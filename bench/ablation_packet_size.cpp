@@ -1,0 +1,51 @@
+// Ablation (§V-B settings): coding-buffer (packet) size sweep — the paper
+// reserves 64 MB buffers; smaller packets pipeline more finely but add
+// per-packet overhead, larger ones delay the downstream stages.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace eccheck;
+  bench::print_header(
+      "Ablation: coding buffer (packet) size (GPT-2 5.3B, 4x4 GPUs, k=m=2)",
+      "virtual packet size = packet_size x size_scale");
+
+  dnn::ParallelismSpec par{4, 4, 1};
+  const auto model = dnn::table1_models()[1];
+  auto workload = bench::make_scaled_workload(model, par);
+
+  std::printf("%-18s %-18s %-12s %-12s %-10s\n", "packet (real)",
+              "packet (virtual)", "save", "stall", "stripes");
+  for (std::size_t packet_kib : {16, 64, 128, 512, 2048}) {
+    core::ECCheckConfig ec;
+    ec.k = 2;
+    ec.m = 2;
+    ec.packet_size = kib(packet_kib);
+    core::ECCheckEngine engine(ec);
+
+    auto cfg = bench::testbed_config();
+    cfg.size_scale = workload.size_scale;
+    cluster::VirtualCluster cluster(cfg);
+    auto rep = engine.save(cluster, workload.shards, 1);
+
+    std::size_t max_shard = 0;
+    for (const auto& sd : workload.shards)
+      max_shard = std::max(max_shard, sd.tensor_bytes());
+    const std::size_t B = core::packets_needed(max_shard, ec.packet_size);
+    std::printf("%-18s %-18s %-12s %-12s %-10zu\n",
+                human_bytes(static_cast<double>(ec.packet_size)).c_str(),
+                human_bytes(static_cast<double>(ec.packet_size) *
+                            workload.size_scale)
+                    .c_str(),
+                human_seconds(rep.total_time).c_str(),
+                human_seconds(rep.stall_time).c_str(),
+                B * static_cast<std::size_t>(
+                        cluster.world_size() / ec.k));
+  }
+  std::printf(
+      "\nShape: total time is packet-size-insensitive over a wide range "
+      "(the pipeline keeps every stage busy); very large packets reduce "
+      "overlap, very small ones only add scheduling granularity.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation (§IV-B1, Fig. 9) — communication volume of the sweep-line
+// data/parity node selection vs naive placements, across cluster shapes.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/placement.hpp"
+
+namespace {
+
+using namespace eccheck;
+using core::IndexInterval;
+using core::PlacementConfig;
+
+/// P2P volume (unit shards) for an arbitrary data-node assignment:
+/// data packets not already on their node + parity results that must move
+/// to a parity node (reduction groups without a parity-hosted worker get a
+/// free target only if one participant sits on the right parity node).
+double p2p_volume(const PlacementConfig& cfg,
+                  const std::vector<int>& data_nodes) {
+  const int W = cfg.num_nodes * cfg.gpus_per_node;
+  const int per_chunk = W / cfg.k;
+  std::vector<bool> is_data(static_cast<std::size_t>(cfg.num_nodes), false);
+  for (int d : data_nodes) is_data[static_cast<std::size_t>(d)] = true;
+  std::vector<int> parity_nodes;
+  for (int n = 0; n < cfg.num_nodes; ++n)
+    if (!is_data[static_cast<std::size_t>(n)]) parity_nodes.push_back(n);
+
+  double volume = 0;
+  for (int w = 0; w < W; ++w) {
+    const int c = w / per_chunk;
+    if (core::node_of(cfg, w) != data_nodes[static_cast<std::size_t>(c)])
+      volume += 1;
+  }
+  for (int j = 0; j < per_chunk; ++j) {
+    for (int r = 0; r < cfg.m; ++r) {
+      const int dest = parity_nodes[static_cast<std::size_t>(r)];
+      bool free_target = false;
+      for (int c = 0; c < cfg.k; ++c)
+        if (core::node_of(cfg, c * per_chunk + j) == dest) free_target = true;
+      if (!free_target) volume += 1;
+    }
+  }
+  return volume;
+}
+
+double best_exhaustive(const PlacementConfig& cfg) {
+  std::vector<int> nodes(static_cast<std::size_t>(cfg.num_nodes));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::vector<int> pick(static_cast<std::size_t>(cfg.num_nodes), 0);
+  std::fill(pick.begin(), pick.begin() + cfg.k, 1);
+  std::sort(pick.begin(), pick.end());
+  double best = 1e18;
+  do {
+    std::vector<int> data_nodes;
+    for (int n = 0; n < cfg.num_nodes; ++n)
+      if (pick[static_cast<std::size_t>(n)]) data_nodes.push_back(n);
+    // Try all assignments of chunks to the chosen node set.
+    std::sort(data_nodes.begin(), data_nodes.end());
+    do {
+      best = std::min(best, p2p_volume(cfg, data_nodes));
+    } while (std::next_permutation(data_nodes.begin(), data_nodes.end()));
+  } while (std::next_permutation(pick.begin(), pick.end()));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: data/parity node selection (sweep line vs naive)",
+      "P2P communication volume in unit shards; lower is better");
+
+  std::printf("%-20s %-12s %-12s %-12s %-12s\n", "cluster (n,g,k,m)",
+              "sweep-line", "first-k", "last-k", "exhaustive");
+  for (auto [n, g, k] : std::vector<std::array<int, 3>>{
+           {3, 2, 2}, {4, 4, 2}, {6, 2, 3}, {6, 2, 4}, {8, 2, 4}, {8, 4, 6}}) {
+    PlacementConfig cfg;
+    cfg.num_nodes = n;
+    cfg.gpus_per_node = g;
+    cfg.k = k;
+    cfg.m = n - k;
+    if ((n * g) % k != 0) continue;
+
+    auto plan = core::plan_placement(cfg);
+    double sweep = p2p_volume(cfg, plan.data_nodes);
+
+    std::vector<int> first_k, last_k;
+    for (int i = 0; i < k; ++i) first_k.push_back(i);
+    for (int i = n - k; i < n; ++i) last_k.push_back(i);
+    std::printf("%-20s %-12.0f %-12.0f %-12.0f %-12.0f\n",
+                ("(" + std::to_string(n) + "," + std::to_string(g) + "," +
+                 std::to_string(k) + "," + std::to_string(n - k) + ")")
+                    .c_str(),
+                sweep, p2p_volume(cfg, first_k), p2p_volume(cfg, last_k),
+                best_exhaustive(cfg));
+  }
+  std::printf(
+      "\nShape: the sweep-line pairing matches the exhaustive optimum and "
+      "beats naive contiguous picks (Fig. 9's 6-vs-7-unit example "
+      "generalised).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (§IV-A): XOR-only encoding cost — naive bitmatrix schedule vs
+// greedy common-subexpression-optimized program, by code shape.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "common/rng.hpp"
+#include "ec/cauchy.hpp"
+#include "ec/xor_program.hpp"
+
+using namespace eccheck;
+
+namespace {
+
+double throughput_gibps(const ec::XorProgram& prog, int k, int m,
+                        std::size_t P) {
+  std::vector<Buffer> data;
+  for (int i = 0; i < k; ++i) {
+    data.emplace_back(P, Buffer::Init::kUninitialized);
+    fill_random(data.back().span(), static_cast<std::uint64_t>(i));
+  }
+  std::vector<Buffer> parity;
+  for (int r = 0; r < m; ++r) parity.emplace_back(P);
+  std::vector<ByteSpan> in;
+  for (auto& d : data) in.push_back(d.span());
+  std::vector<MutableByteSpan> out;
+  for (auto& p : parity) out.push_back(p.span());
+
+  using Clock = std::chrono::steady_clock;
+  const int reps = 20;
+  auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) run_xor_program(prog, in, out);
+  double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(P) * k * reps / dt / (1 << 30);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: XOR schedule optimization (bitmatrix CSE)",
+      "XORs per stripe and measured encode throughput, 1 MiB packets");
+
+  std::printf("%-14s %-12s %-12s %-12s %-10s %-12s %-12s\n", "code (k,m,w)",
+              "naive XORs", "opt XORs", "mem passes", "saved", "naive GiB/s",
+              "opt GiB/s");
+  const std::size_t P = 1 << 20;
+  for (auto [k, m, w] : std::vector<std::array<int, 3>>{
+           {2, 2, 8}, {4, 2, 8}, {6, 2, 8}, {6, 3, 8}, {8, 4, 8}, {4, 4, 4}}) {
+    const auto& f = gf::Field::get(w);
+    ec::BitMatrix bm =
+        ec::expand_to_bitmatrix(ec::normalized_cauchy_matrix(k, m, f));
+    auto naive = ec::naive_xor_program(bm, k, m, w);
+    auto opt = ec::optimize_xor_program(bm, k, m, w);
+    std::printf("%-14s %-12d %-12d %d->%-8d %-10.1f%% %-12.2f %-12.2f\n",
+                ("(" + std::to_string(k) + "," + std::to_string(m) + "," +
+                 std::to_string(w) + ")")
+                    .c_str(),
+                naive.xor_count(), opt.xor_count(), naive.memory_passes(),
+                opt.memory_passes(),
+                100.0 * (naive.memory_passes() - opt.memory_passes()) /
+                    naive.memory_passes(),
+                throughput_gibps(naive, k, m, P),
+                throughput_gibps(opt, k, m, P));
+  }
+  std::printf(
+      "\nShape: factoring pairs that recur >= 3 times cuts both XORs and "
+      "memory passes; throughput follows passes (the kernels are "
+      "memory-bound), so only genuinely shared subexpressions help.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 11 — time breakdown of ECCheck checkpointing for GPT-2 models:
+// step 1 (decompose + DtoH snapshot, blocking), step 2 (metadata broadcast),
+// step 3 (asynchronous encode / XOR-reduce / P2P pipeline).
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace eccheck;
+  bench::print_header("Fig. 11: ECCheck checkpointing time breakdown",
+                      "GPT-2 models, 4 nodes x 4 GPUs, k=m=2; step 3 runs "
+                      "asynchronously — only step 1 stalls training");
+
+  std::printf("%-12s %-14s %-14s %-14s %-16s\n", "Model", "step1(stall)",
+              "step2(meta)", "step3(async)", "stall share");
+  dnn::ParallelismSpec par{4, 4, 1};
+  auto models = dnn::table1_models();
+  for (const auto& model : {models[0], models[1], models[2]}) {
+    auto workload = bench::make_scaled_workload(model, par);
+    auto cfg = bench::testbed_config();
+    cfg.size_scale = workload.size_scale;
+    cluster::VirtualCluster cluster(cfg);
+    auto engines = bench::make_engines();
+    auto rep = engines.eccheck->save(cluster, workload.shards, 1);
+    Seconds s1 = rep.breakdown.at("step1_snapshot");
+    Seconds s2 = rep.breakdown.at("step2_metadata_broadcast") - s1;
+    Seconds s3 = rep.breakdown.at("step3_encode_pipeline");
+    std::printf("%-12s %-14s %-14s %-14s %-16.1f%%\n", model.label.c_str(),
+                human_seconds(s1).c_str(), human_seconds(std::max(0.0, s2)).c_str(),
+                human_seconds(s3).c_str(), 100.0 * s1 / rep.total_time);
+  }
+  std::printf(
+      "\nPaper shape: step 1 blocks briefly, step 2 is negligible, step 3 "
+      "dominates but overlaps training.\n");
+  return 0;
+}

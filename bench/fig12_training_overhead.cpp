@@ -1,0 +1,61 @@
+// Fig. 12 — average training iteration time vs checkpointing frequency for
+// GPT-2 5.3B (4 nodes × 4 GPUs).
+//
+// Per checkpoint the engine imposes: its stall (synchronous part), back-
+// pressure when the asynchronous tail exceeds the checkpoint interval, and
+// NIC interference with training traffic (zero for ECCheck's idle-aware
+// scheduling).
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace eccheck;
+  bench::print_header(
+      "Fig. 12: average iteration time vs checkpoint frequency",
+      "GPT-2 5.3B, tp=4 pp=4; frequency = checkpoints per N iterations");
+
+  dnn::ParallelismSpec par{4, 4, 1};
+  const auto model = dnn::table1_models()[1];  // GPT-2 5.3B
+  auto workload = bench::make_scaled_workload(model, par);
+
+  // Baseline iteration time from the training profile.
+  auto train = trainsim::estimate_workload(model, par);
+  auto prof = trainsim::simulate_iteration(train, par.pipeline_parallel,
+                                           bench::testbed_config().nic_bandwidth);
+  const Seconds t_iter = prof.iteration_time;
+  std::printf("baseline iteration time: %s\n\n", human_seconds(t_iter).c_str());
+
+  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "ckpt interval (iters)",
+              "base1", "base2", "base3", "eccheck");
+
+  for (int interval : {200, 100, 50, 20, 10, 5}) {
+    double avg[4];
+    auto engines = bench::make_engines();
+    int i = 0;
+    for (auto* e : engines.all()) {
+      auto cfg = bench::testbed_config();
+      cfg.size_scale = workload.size_scale;
+      cluster::VirtualCluster cluster(cfg);
+      auto tp = bench::attach_training_calendar(cluster, model, par, 400);
+      (void)tp;
+      auto rep = e->save(cluster, workload.shards, 1);
+      Seconds interference = 0;
+      for (int n = 0; n < cluster.num_nodes(); ++n)
+        interference += cluster.nic_interference(n);
+      // Amortized per-iteration cost: stall + backpressure + interference.
+      Seconds window = interval * t_iter;
+      Seconds backpressure = std::max(0.0, rep.total_time - window);
+      avg[i++] = t_iter + (rep.stall_time + backpressure + interference) /
+                              interval;
+    }
+    std::printf("%-22d %-12s %-12s %-12s %-12s\n", interval,
+                human_seconds(avg[0]).c_str(), human_seconds(avg[1]).c_str(),
+                human_seconds(avg[2]).c_str(), human_seconds(avg[3]).c_str());
+  }
+  std::printf(
+      "\nPaper shape: base1 pays its full save synchronously; base2 "
+      "degrades as the interval shrinks below its persist time; base3 and "
+      "eccheck stay near the baseline at every frequency.\n");
+  return 0;
+}

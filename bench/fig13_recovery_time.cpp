@@ -1,0 +1,71 @@
+// Fig. 13 — recovery time under the paper's two failure scenarios
+// (GPT-2 models, 4 nodes × 4 GPUs, k = m = 2):
+//   (a) both data nodes survive (two parity nodes fail) — ECCheck workflow A;
+//   (b) a data node is among the failed — workflow B (decode required);
+//       base3 cannot recover because a whole replication group is gone.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace eccheck;
+  bench::print_header("Fig. 13: recovery time (load start → training resume)",
+                      "4 nodes x 4 GPUs, two concurrent node failures");
+
+  dnn::ParallelismSpec par{4, 4, 1};
+  auto models = dnn::table1_models();
+
+  for (int scenario = 0; scenario < 2; ++scenario) {
+    std::printf("\n-- scenario (%c): %s --\n", 'a' + scenario,
+                scenario == 0 ? "all data nodes survive (parity nodes fail)"
+                              : "a data node fails (decode on recovery)");
+    std::printf("%-12s %-12s %-12s %-12s %-12s %-14s\n", "Model", "base1",
+                "base2", "base3", "eccheck", "base1/ec");
+
+    for (const auto& model : {models[0], models[1], models[2]}) {
+      auto workload = bench::make_scaled_workload(model, par);
+      auto engines = bench::make_engines();
+
+      // Failure pattern from ECCheck's placement: scenario a kills the two
+      // parity nodes, scenario b kills one data + one parity node (a full
+      // base3 replication group in our 4-node layout when possible).
+      std::string row[4];
+      double ec_time = 0, b1_time = 0;
+      int i = 0;
+      for (auto* e : engines.all()) {
+        auto cfg = bench::testbed_config();
+        cfg.size_scale = workload.size_scale;
+        cluster::VirtualCluster cluster(cfg);
+        auto plan = engines.eccheck->plan_for(cluster);
+        int f1, f2;
+        if (scenario == 0) {
+          f1 = plan.parity_nodes[0];
+          f2 = plan.parity_nodes[1];
+        } else {
+          f1 = plan.data_nodes[1];
+          f2 = plan.parity_nodes[1];
+        }
+        e->save(cluster, workload.shards, 1);
+        cluster.kill(f1);
+        cluster.kill(f2);
+        cluster.replace(f1);
+        cluster.replace(f2);
+        std::vector<dnn::StateDict> out;
+        auto rep = e->load(cluster, 1, out);
+        row[i] = rep.success ? human_seconds(rep.resume_time) : "FAIL";
+        if (i == 0) b1_time = rep.resume_time;
+        if (i == 3) ec_time = rep.resume_time;
+        ++i;
+      }
+      std::printf("%-12s %-12s %-12s %-12s %-12s %-14.1f\n",
+                  model.label.c_str(), row[0].c_str(), row[1].c_str(),
+                  row[2].c_str(), row[3].c_str(),
+                  ec_time > 0 ? b1_time / ec_time : 0.0);
+    }
+  }
+  std::printf(
+      "\nPaper shape: eccheck recovers over the fast inter-node fabric "
+      "(paper: up to 13.9x faster than remote-storage recovery); scenario b "
+      "adds decode time and kills base3 when its whole group is lost.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Shared benchmark harness: builds the paper's testbed (§V-B) in the
+// virtual cluster and runs the four engines on Table-I models.
+//
+// Payloads are generated from a scaled-down model (hidden ≈ 128) so the
+// real data path runs at laptop scale, while ClusterConfig::size_scale
+// charges virtual time for the full-size checkpoint — the absolute numbers
+// are cost-model outputs, the *shape* (orderings, ratios, crossovers) is
+// what reproduces the paper's figures. See EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/base_gemini.hpp"
+#include "ckpt/base_remote.hpp"
+#include "core/eccheck_engine.hpp"
+#include "dnn/checkpoint_gen.hpp"
+#include "trainsim/train_profile.hpp"
+
+namespace eccheck::bench {
+
+/// The paper's testbed: 4 nodes × 4 A100s, TP=4 intra-node, PP=4 across
+/// nodes, 100 Gbps NIC, 5 Gbps aggregate remote storage.
+inline cluster::ClusterConfig testbed_config(int nodes = 4, int gpus = 4) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.gpus_per_node = gpus;
+  cfg.nic_bandwidth = gbps(100);
+  cfg.dtoh_bandwidth = gibps(16);
+  cfg.remote_storage_bandwidth = gbps(5);
+  cfg.host_memcpy_bandwidth = gibps(20);
+  cfg.serialize_bandwidth = gibps(1);
+  cfg.encode_bandwidth_per_thread = gibps(1.2);
+  cfg.encode_threads = 16;
+  cfg.xor_bandwidth = gibps(8);
+  return cfg;
+}
+
+struct ScaledWorkload {
+  std::vector<dnn::StateDict> shards;
+  double size_scale = 1.0;       ///< virtual bytes per real byte
+  dnn::ModelSpec full_model;     ///< the paper-scale spec
+  dnn::ParallelismSpec parallelism;
+};
+
+/// Generate shards for `model` scaled down to `sim_hidden`, with size_scale
+/// set so virtual sizes match the full model.
+inline ScaledWorkload make_scaled_workload(const dnn::ModelSpec& model,
+                                           const dnn::ParallelismSpec& par,
+                                           int sim_hidden = 128,
+                                           std::uint64_t seed = 42) {
+  ScaledWorkload w;
+  w.full_model = model;
+  w.parallelism = par;
+  double factor = static_cast<double>(model.hidden) / sim_hidden;
+  dnn::ModelSpec scaled = factor > 1.0 ? model.scaled_down(factor) : model;
+  // Keep hidden divisible by tp.
+  if (scaled.hidden % par.tensor_parallel != 0)
+    scaled.hidden += par.tensor_parallel - scaled.hidden % par.tensor_parallel;
+  dnn::CheckpointGenConfig gen;
+  gen.model = scaled;
+  gen.parallelism = par;
+  gen.seed = seed;
+  w.shards = dnn::make_sharded_checkpoint(gen);
+  w.size_scale = static_cast<double>(model.param_count()) /
+                 static_cast<double>(scaled.param_count());
+  return w;
+}
+
+/// Convenience: the four engines of §V-B with the paper's settings
+/// (k = m = 2, 64 MB buffers → virtual packet = packet_size × size_scale).
+struct EngineSet {
+  std::unique_ptr<ckpt::CheckpointEngine> base1;
+  std::unique_ptr<ckpt::CheckpointEngine> base2;
+  std::unique_ptr<ckpt::CheckpointEngine> base3;
+  std::unique_ptr<core::ECCheckEngine> eccheck;
+
+  std::vector<ckpt::CheckpointEngine*> all() const {
+    return {base1.get(), base2.get(), base3.get(), eccheck.get()};
+  }
+};
+
+inline EngineSet make_engines(int k = 2, int m = 2,
+                              std::size_t packet = kib(128)) {
+  EngineSet e;
+  e.base1 = std::make_unique<ckpt::RemoteSyncEngine>();
+  e.base2 = std::make_unique<ckpt::RemoteTwoPhaseEngine>();
+  e.base3 = std::make_unique<ckpt::GeminiReplicationEngine>(2);
+  core::ECCheckConfig cfg;
+  cfg.k = k;
+  cfg.m = m;
+  cfg.packet_size = packet;
+  e.eccheck = std::make_unique<core::ECCheckEngine>(cfg);
+  return e;
+}
+
+/// Attach the profiled training calendars (§IV-B3) to the cluster's NICs.
+inline trainsim::TrainProfile attach_training_calendar(
+    cluster::VirtualCluster& cluster, const dnn::ModelSpec& model,
+    const dnn::ParallelismSpec& par, int iterations = 50) {
+  auto workload = trainsim::estimate_workload(model, par);
+  auto prof = trainsim::simulate_iteration(
+      workload, par.pipeline_parallel, cluster.config().nic_bandwidth,
+      par.data_parallel);
+  for (int n = 0; n < cluster.num_nodes(); ++n)
+    cluster.set_nic_calendar(n, prof.tiled(n, iterations));
+  return prof;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& subtitle = "") {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+}
+
+}  // namespace eccheck::bench

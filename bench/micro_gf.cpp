@@ -1,0 +1,72 @@
+// Microbenchmarks (§IV-A): GF(2^w) region-multiply and XOR kernels — the
+// arithmetic inner loops of checkpoint encoding.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gf/galois.hpp"
+
+namespace {
+
+using namespace eccheck;
+
+void BM_XorRegion(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Buffer a(n, Buffer::Init::kUninitialized), b(n, Buffer::Init::kUninitialized);
+  fill_random(a.span(), 1);
+  fill_random(b.span(), 2);
+  for (auto _ : state) {
+    xor_into(a.span(), b.span());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_XorRegion)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_GfMulRegion(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const auto& f = gf::Field::get(w);
+  Buffer src(n, Buffer::Init::kUninitialized), dst(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 3);
+  const std::uint32_t c = f.max_element() / 2 + 1;
+  for (auto _ : state) {
+    f.mul_region(c, src.span(), dst.span(), /*accumulate=*/false);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfMulRegion)
+    ->Args({4, 65536})
+    ->Args({8, 65536})
+    ->Args({16, 65536})
+    ->Args({8, 1 << 20});
+
+void BM_GfMulRegionAccumulate(benchmark::State& state) {
+  const auto& f = gf::Field::get(8);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Buffer src(n, Buffer::Init::kUninitialized), dst(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 5);
+  for (auto _ : state) {
+    f.mul_region(87, src.span(), dst.span(), /*accumulate=*/true);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfMulRegionAccumulate)->Arg(65536)->Arg(1 << 20);
+
+void BM_GfScalarMul(benchmark::State& state) {
+  const auto& f = gf::Field::get(8);
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = f.mul(x, 29) | 1;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_GfScalarMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

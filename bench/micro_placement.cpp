@@ -1,0 +1,68 @@
+// Microbenchmark (§IV-B1): sweep-line placement planning cost at scale —
+// the planner must stay cheap enough to run at every initialize() even for
+// very large clusters.
+#include <benchmark/benchmark.h>
+
+#include "core/placement.hpp"
+
+namespace {
+
+using namespace eccheck;
+
+void BM_PlanPlacement(benchmark::State& state) {
+  core::PlacementConfig cfg;
+  cfg.num_nodes = static_cast<int>(state.range(0));
+  cfg.gpus_per_node = 8;
+  cfg.k = cfg.num_nodes / 2;
+  cfg.m = cfg.num_nodes - cfg.k;
+  for (auto _ : state) {
+    auto plan = core::plan_placement(cfg);
+    benchmark::DoNotOptimize(plan.data_nodes.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanPlacement)
+    ->Arg(4)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_MaxOverlapPairingOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int g = 8;
+  const int k = n / 2;
+  const int W = n * g;
+  std::vector<core::IndexInterval> origin, data;
+  for (int i = 0; i < n; ++i) origin.push_back({i * g, (i + 1) * g});
+  for (int c = 0; c < k; ++c)
+    data.push_back({c * (W / k), (c + 1) * (W / k)});
+  for (auto _ : state) {
+    auto assign = core::max_overlap_pairing(origin, data);
+    benchmark::DoNotOptimize(assign.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxOverlapPairingOnly)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_CommVolumeAccounting(benchmark::State& state) {
+  core::PlacementConfig cfg;
+  cfg.num_nodes = static_cast<int>(state.range(0));
+  cfg.gpus_per_node = 4;
+  cfg.k = cfg.num_nodes / 2;
+  cfg.m = cfg.num_nodes - cfg.k;
+  auto plan = core::plan_placement(cfg);
+  for (auto _ : state) {
+    auto v = core::actual_comm_volume(plan, 1.0);
+    benchmark::DoNotOptimize(v.total());
+  }
+}
+BENCHMARK(BM_CommVolumeAccounting)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

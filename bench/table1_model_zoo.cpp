@@ -1,0 +1,22 @@
+// Table I — model configurations and their derived checkpoint footprints.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace eccheck;
+  bench::print_header("Table I: model configurations",
+                      "checkpoint bytes assume Megatron mixed precision "
+                      "(fp16 weights + fp32 Adam moments + fp32 master, "
+                      "16 B/param); vocab fixed at 50257");
+
+  std::printf("%-12s %-12s %-6s %-8s %-12s %-14s\n", "Model", "Hidden size",
+              "#AH", "#Layers", "Params", "Checkpoint");
+  for (const auto& m : dnn::table1_models()) {
+    std::printf("%-12s %-12d %-6d %-8d %-12.1fB %-14s\n",
+                dnn::family_name(m.family), m.hidden, m.attention_heads,
+                m.layers, static_cast<double>(m.param_count()) / 1e9,
+                human_bytes(static_cast<double>(m.checkpoint_bytes())).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Codec tour: the erasure-coding layer as a standalone library.
+//
+// Shows the CrsCodec API on raw buffers — systematic encode, loss of any m
+// chunks, decode, partial (distributed) encoding, and parity repair — the
+// same primitives the checkpoint engine composes.
+#include <cstdio>
+
+#include "common/crc64.hpp"
+#include "common/units.hpp"
+#include "common/rng.hpp"
+#include "ec/crs_codec.hpp"
+
+using namespace eccheck;
+
+int main() {
+  const int k = 4, m = 2;
+  const std::size_t P = mib(1);
+  ec::CrsCodec codec(k, m, /*w=*/8, ec::KernelMode::kGfTable);
+  std::printf("Cauchy Reed-Solomon codec: k=%d data + m=%d parity chunks, "
+              "GF(2^%d)\n\n",
+              k, m, codec.w());
+
+  // Data chunks with known checksums.
+  std::vector<Buffer> data;
+  std::vector<std::uint64_t> crcs;
+  for (int i = 0; i < k; ++i) {
+    data.emplace_back(P, Buffer::Init::kUninitialized);
+    fill_random(data.back().span(), 1000 + static_cast<std::uint64_t>(i));
+    crcs.push_back(crc64(data.back().span()));
+  }
+
+  // Systematic encode: data is preserved, m parity chunks appended.
+  std::vector<Buffer> parity;
+  for (int r = 0; r < m; ++r) parity.emplace_back(P);
+  {
+    std::vector<ByteSpan> in;
+    for (auto& d : data) in.push_back(d.span());
+    std::vector<MutableByteSpan> out;
+    for (auto& p : parity) out.push_back(p.span());
+    codec.encode(in, out);
+  }
+  std::printf("encoded %d x %s into %d parity chunks\n", k,
+              human_bytes(P).c_str(), m);
+
+  // Distributed encoding: each "worker" computes its own partial product;
+  // XOR-ing the partials reproduces the parity (the paper's XOR reduction).
+  {
+    Buffer acc(P, Buffer::Init::kUninitialized);
+    for (int c = 0; c < k; ++c)
+      codec.encode_partial(k + 0, c, data[static_cast<std::size_t>(c)].span(),
+                           acc.span(), c != 0);
+    std::printf("partial-product XOR reduction == direct encode: %s\n",
+                acc == parity[0] ? "yes" : "NO");
+  }
+
+  // Lose any m chunks — here the two heaviest: data 0 and data 2.
+  std::printf("\nerasing data chunks 0 and 2...\n");
+  std::vector<int> rows = {1, 3, 4, 5};  // surviving generator rows
+  std::vector<ByteSpan> chunks = {data[1].span(), data[3].span(),
+                                  parity[0].span(), parity[1].span()};
+  std::vector<Buffer> recovered;
+  for (int i = 0; i < k; ++i)
+    recovered.emplace_back(P, Buffer::Init::kUninitialized);
+  {
+    std::vector<MutableByteSpan> out;
+    for (auto& r : recovered) out.push_back(r.span());
+    codec.decode(rows, chunks, out);
+  }
+  for (int i = 0; i < k; ++i) {
+    bool ok = crc64(recovered[static_cast<std::size_t>(i)].span()) ==
+              crcs[static_cast<std::size_t>(i)];
+    std::printf("  data chunk %d: %s\n", i, ok ? "recovered" : "CORRUPT");
+    if (!ok) return 1;
+  }
+
+  // Repair the erasure code itself: recompute parity row 1 from survivors
+  // without first materialising all the data (reconstruction matrix).
+  {
+    auto t = codec.reconstruction_matrix(rows, {k + 1});
+    Buffer rebuilt(P, Buffer::Init::kUninitialized);
+    std::vector<MutableByteSpan> out{rebuilt.span()};
+    codec.apply_matrix(t, chunks, out);
+    std::printf("\nparity row 1 rebuilt directly from survivors: %s\n",
+                rebuilt == parity[1] ? "bit-exact" : "MISMATCH");
+  }
+
+  // The XOR-only bitmatrix kernel is a drop-in alternative (§IV-A).
+  {
+    ec::CrsCodec xcodec(k, m, 8, ec::KernelMode::kXorBitmatrix);
+    std::printf("XOR-only kernel: %d XOR ops per stripe for this code\n",
+                xcodec.xor_ops_per_stripe());
+  }
+  return 0;
+}

@@ -1,0 +1,224 @@
+// eccheck_cli — scenario driver: pick a cluster, model, engine and failure
+// pattern from the command line; runs save → failures → load and prints the
+// reports plus bit-exactness verification.
+//
+// Examples:
+//   eccheck_cli                                   # defaults: paper testbed
+//   eccheck_cli --engine base3 --fail 2,3         # GEMINI loses a group
+//   eccheck_cli --nodes 8 --gpus 2 --k 4 --m 4 --fail 0,3,5,6
+//   eccheck_cli --engine grouped --nodes 8 --group-size 4 --fail 0,1,4,5
+//   eccheck_cli --model 20b --flush --fail 0,1,2  # remote rescue
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "bench/harness.hpp"
+#include "core/grouped_engine.hpp"
+
+using namespace eccheck;
+
+namespace {
+
+struct Options {
+  int nodes = 4;
+  int gpus = 4;
+  int k = 2;
+  int m = 2;
+  int group_size = 4;
+  std::string engine = "eccheck";
+  std::string model = "5.3b";
+  int tp = 0;  // 0 = gpus
+  bool fsdp = false;
+  bool flush = false;
+  std::vector<int> failures;
+  std::uint64_t seed = 42;
+  std::size_t packet_kib = 128;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --nodes N --gpus G        cluster shape (default 4x4)\n"
+      "  --k K --m M               data/parity nodes (default 2/2)\n"
+      "  --engine E                base1|base2|base3|eccheck|grouped\n"
+      "  --group-size S            grouped mode group size (default 4)\n"
+      "  --model M                 345m|1.6b|5.3b|20b (default 5.3b)\n"
+      "  --tp T                    tensor-parallel degree (default = gpus)\n"
+      "  --fsdp                    fully sharded data parallelism\n"
+      "  --flush                   ECCheck step 4: flush chunks to remote\n"
+      "  --fail a,b,c              nodes to kill after save\n"
+      "  --packet-kib P            coding buffer size (default 128)\n"
+      "  --seed S                  payload seed\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--nodes")) o.nodes = std::atoi(need(i));
+    else if (!std::strcmp(a, "--gpus")) o.gpus = std::atoi(need(i));
+    else if (!std::strcmp(a, "--k")) o.k = std::atoi(need(i));
+    else if (!std::strcmp(a, "--m")) o.m = std::atoi(need(i));
+    else if (!std::strcmp(a, "--group-size")) o.group_size = std::atoi(need(i));
+    else if (!std::strcmp(a, "--engine")) o.engine = need(i);
+    else if (!std::strcmp(a, "--model")) o.model = need(i);
+    else if (!std::strcmp(a, "--tp")) o.tp = std::atoi(need(i));
+    else if (!std::strcmp(a, "--fsdp")) o.fsdp = true;
+    else if (!std::strcmp(a, "--flush")) o.flush = true;
+    else if (!std::strcmp(a, "--seed"))
+      o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    else if (!std::strcmp(a, "--packet-kib"))
+      o.packet_kib = static_cast<std::size_t>(std::atoll(need(i)));
+    else if (!std::strcmp(a, "--fail")) {
+      std::stringstream ss(need(i));
+      std::string part;
+      while (std::getline(ss, part, ','))
+        o.failures.push_back(std::atoi(part.c_str()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+dnn::ModelSpec pick_model(const std::string& name) {
+  if (name == "345m") return dnn::gpt2_345m();
+  auto t1 = dnn::table1_models();
+  if (name == "1.6b") return t1[0];
+  if (name == "5.3b") return t1[1];
+  if (name == "20b") return t1[2];
+  std::printf("unknown model '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<ckpt::CheckpointEngine> pick_engine(const Options& o) {
+  if (o.engine == "base1") return std::make_unique<ckpt::RemoteSyncEngine>();
+  if (o.engine == "base2")
+    return std::make_unique<ckpt::RemoteTwoPhaseEngine>();
+  if (o.engine == "base3")
+    return std::make_unique<ckpt::GeminiReplicationEngine>(2);
+  if (o.engine == "eccheck") {
+    core::ECCheckConfig cfg;
+    cfg.k = o.k;
+    cfg.m = o.m;
+    cfg.packet_size = kib(o.packet_kib);
+    cfg.flush_to_remote = o.flush;
+    return std::make_unique<core::ECCheckEngine>(cfg);
+  }
+  if (o.engine == "grouped") {
+    core::GroupedConfig cfg;
+    cfg.group_size = o.group_size;
+    cfg.per_group.k = o.group_size / 2;
+    cfg.per_group.m = o.group_size - o.group_size / 2;
+    cfg.per_group.packet_size = kib(o.packet_kib);
+    cfg.per_group.flush_to_remote = o.flush;
+    return std::make_unique<core::GroupedECCheckEngine>(cfg);
+  }
+  std::printf("unknown engine '%s'\n", o.engine.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+
+  const auto model = pick_model(o.model);
+  dnn::ParallelismSpec par;
+  par.tensor_parallel = o.tp > 0 ? o.tp : o.gpus;
+  const int world = o.nodes * o.gpus;
+  if (world % par.tensor_parallel != 0) {
+    std::printf("world %d not divisible by tp %d\n", world,
+                par.tensor_parallel);
+    return 2;
+  }
+  if (o.fsdp) {
+    par.pipeline_parallel = std::max(1, world / par.tensor_parallel / 2);
+    par.data_parallel =
+        world / par.tensor_parallel / par.pipeline_parallel;
+  } else {
+    par.pipeline_parallel = world / par.tensor_parallel;
+    par.data_parallel = 1;
+  }
+
+  std::printf("cluster : %d nodes x %d GPUs (100 Gbps NIC, 5 Gbps remote)\n",
+              o.nodes, o.gpus);
+  std::printf("model   : %s (%s checkpoint), tp=%d pp=%d dp=%d%s\n",
+              model.label.c_str(),
+              human_bytes(static_cast<double>(model.checkpoint_bytes()))
+                  .c_str(),
+              par.tensor_parallel, par.pipeline_parallel, par.data_parallel,
+              o.fsdp ? " (FSDP)" : "");
+
+  auto workload = bench::make_scaled_workload(model, par);
+  if (o.fsdp) {
+    dnn::CheckpointGenConfig gen;
+    gen.model = workload.shards.empty() ? model : model;  // rebuild below
+    gen.model = model.scaled_down(
+        std::max(1.0, static_cast<double>(model.hidden) / 128));
+    if (gen.model.hidden % par.tensor_parallel != 0)
+      gen.model.hidden +=
+          par.tensor_parallel - gen.model.hidden % par.tensor_parallel;
+    gen.parallelism = par;
+    gen.fsdp = true;
+    gen.seed = o.seed;
+    workload.shards = dnn::make_sharded_checkpoint(gen);
+  }
+
+  auto cfg = bench::testbed_config(o.nodes, o.gpus);
+  cfg.size_scale = workload.size_scale;
+  cluster::VirtualCluster cluster(cfg);
+  bench::attach_training_calendar(cluster, model, par);
+
+  std::vector<std::uint64_t> digests;
+  for (const auto& sd : workload.shards) digests.push_back(sd.digest());
+
+  auto engine = pick_engine(o);
+  std::printf("engine  : %s\n\n", engine->name().c_str());
+
+  auto save = engine->save(cluster, workload.shards, 1);
+  std::printf("save    : stall %s, durable after %s, network %s%s\n",
+              human_seconds(save.stall_time).c_str(),
+              human_seconds(save.total_time).c_str(),
+              human_bytes(static_cast<double>(save.network_bytes)).c_str(),
+              o.flush ? " (+ remote flush)" : "");
+
+  if (o.failures.empty()) {
+    std::printf("no failures requested; done.\n");
+    return 0;
+  }
+
+  std::printf("failing : nodes");
+  for (int f : o.failures) {
+    std::printf(" %d", f);
+    cluster.kill(f);
+  }
+  std::printf("\n");
+  for (int f : o.failures) cluster.replace(f);
+
+  std::vector<dnn::StateDict> out;
+  auto load = engine->load(cluster, 1, out);
+  if (!load.success) {
+    std::printf("recover : FAILED — %s\n", load.detail.c_str());
+    return 1;
+  }
+  std::printf("recover : %s; resume after %s, redundancy restored by %s\n",
+              load.detail.c_str(), human_seconds(load.resume_time).c_str(),
+              human_seconds(load.total_time).c_str());
+
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    if (out[w].digest() != digests[w]) {
+      std::printf("verify  : worker %zu MISMATCH\n", w);
+      return 1;
+    }
+  }
+  std::printf("verify  : all %zu worker state_dicts bit-exact\n", out.size());
+  return 0;
+}

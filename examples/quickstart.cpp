@@ -1,0 +1,73 @@
+// Quickstart: erasure-coded in-memory checkpointing in ~60 lines.
+//
+// Builds the paper's 4-node testbed, saves a sharded GPT-2 checkpoint with
+// ECCheck (k = 2 data nodes, m = 2 parity nodes), kills two nodes — a
+// failure pattern replication-based schemes cannot always survive — and
+// restores every worker's state_dict bit-exactly.
+#include <cstdio>
+
+#include "core/eccheck_engine.hpp"
+#include "dnn/checkpoint_gen.hpp"
+
+using namespace eccheck;
+
+int main() {
+  // 1. A virtual 4-node × 2-GPU cluster (100 Gbps NIC, 5 Gbps remote).
+  cluster::ClusterConfig cluster_cfg;
+  cluster_cfg.num_nodes = 4;
+  cluster_cfg.gpus_per_node = 2;
+  cluster::VirtualCluster cluster(cluster_cfg);
+
+  // 2. A sharded checkpoint: one state_dict per worker (tp=2, pp=4).
+  dnn::CheckpointGenConfig gen;
+  gen.model = dnn::make_model(dnn::ModelFamily::kGPT2, 256, 4, 8, "demo");
+  gen.model.vocab = 1024;
+  gen.parallelism = {2, 4, 1};
+  auto shards = dnn::make_sharded_checkpoint(gen);
+  std::vector<std::uint64_t> digests;
+  for (const auto& sd : shards) digests.push_back(sd.digest());
+  std::printf("sharded checkpoint: %d workers, %s per worker\n",
+              gen.parallelism.world_size(),
+              human_bytes(static_cast<double>(shards[0].tensor_bytes()))
+                  .c_str());
+
+  // 3. Save with ECCheck: k = m = 2 → any two node failures survivable.
+  core::ECCheckConfig ec;
+  ec.k = 2;
+  ec.m = 2;
+  ec.packet_size = kib(64);
+  core::ECCheckEngine engine(ec);
+  auto save = engine.save(cluster, shards, /*version=*/1);
+  std::printf("save: training stalled %s, checkpoint durable after %s\n",
+              human_seconds(save.stall_time).c_str(),
+              human_seconds(save.total_time).c_str());
+
+  // 4. Disaster: two nodes die at once (host memory is volatile).
+  cluster.kill(0);
+  cluster.kill(1);
+  std::printf("nodes 0 and 1 failed; replacements join empty\n");
+  cluster.replace(0);
+  cluster.replace(1);
+
+  // 5. Recover. ECCheck decodes the lost chunks from any k survivors.
+  std::vector<dnn::StateDict> restored;
+  auto load = engine.load(cluster, 1, restored);
+  if (!load.success) {
+    std::printf("recovery failed: %s\n", load.detail.c_str());
+    return 1;
+  }
+  std::printf("recovery (%s): resume after %s, redundancy restored by %s\n",
+              load.detail.c_str(), human_seconds(load.resume_time).c_str(),
+              human_seconds(load.total_time).c_str());
+
+  // 6. Verify bit-exactness.
+  for (std::size_t w = 0; w < restored.size(); ++w) {
+    if (restored[w].digest() != digests[w]) {
+      std::printf("worker %zu MISMATCH\n", w);
+      return 1;
+    }
+  }
+  std::printf("all %zu worker state_dicts restored bit-exactly\n",
+              restored.size());
+  return 0;
+}

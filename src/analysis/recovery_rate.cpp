@@ -1,0 +1,87 @@
+#include "analysis/recovery_rate.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace eccheck::analysis {
+
+double binomial(int n, int k) {
+  ECC_CHECK(n >= 0 && k >= 0);
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  double r = 1;
+  for (int i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+double replication_group_rate(int group_size, double p) {
+  ECC_CHECK(group_size >= 1);
+  // Full intra-group replication: data lost only if every member fails.
+  return 1.0 - std::pow(p, group_size);
+}
+
+double erasure_group_rate(int n, int m, double p) {
+  ECC_CHECK(n >= 1 && m >= 0 && m <= n);
+  double r = 0;
+  for (int i = 0; i <= m; ++i)
+    r += binomial(n, i) * std::pow(p, i) * std::pow(1 - p, n - i);
+  return r;
+}
+
+double eqn1_replication_rate(double p) {
+  const double q = 1 - p;
+  return std::pow(q, 4) + binomial(4, 1) * p * q * q * q +
+         (binomial(4, 2) - 2) * p * p * q * q;
+}
+
+double eqn2_erasure_rate(double p) { return erasure_group_rate(4, 2, p); }
+
+double cluster_rate(double group_rate, int num_groups) {
+  ECC_CHECK(num_groups >= 1);
+  return std::pow(group_rate, num_groups);
+}
+
+FaultToleranceComparison compare_at_equal_redundancy(int n, double p) {
+  ECC_CHECK_MSG(n >= 2 && n % 2 == 0, "need even n for k = m = n/2");
+  FaultToleranceComparison c;
+  c.n = n;
+  c.p = p;
+  c.eccheck_rate = erasure_group_rate(n, n / 2, p);
+  // base3: n/2 replication groups of 2 — every group must keep ≥1 copy.
+  c.replication_rate = cluster_rate(replication_group_rate(2, p), n / 2);
+  return c;
+}
+
+std::vector<GroupTradeoff> group_tradeoff_table(
+    int total_nodes, double p, const std::vector<int>& group_sizes) {
+  std::vector<GroupTradeoff> out;
+  for (int g : group_sizes) {
+    if (g < 2 || g % 2 != 0 || total_nodes % g != 0) continue;
+    GroupTradeoff t;
+    t.group_size = g;
+    t.num_groups = total_nodes / g;
+    t.cluster_recovery_rate =
+        cluster_rate(erasure_group_rate(g, g / 2, p), t.num_groups);
+    t.per_device_comm_factor = g / 2.0;  // m·s with m = g/2
+    out.push_back(t);
+  }
+  return out;
+}
+
+int optimal_group_size(int total_nodes, double p, double target_rate,
+                       const std::vector<int>& candidate_sizes) {
+  auto table = group_tradeoff_table(total_nodes, p, candidate_sizes);
+  int best = 0;
+  double best_comm = 1e300;
+  for (const auto& t : table) {
+    if (t.cluster_recovery_rate >= target_rate &&
+        t.per_device_comm_factor < best_comm) {
+      best = t.group_size;
+      best_comm = t.per_device_comm_factor;
+    }
+  }
+  return best;
+}
+
+}  // namespace eccheck::analysis

@@ -1,0 +1,60 @@
+// Closed-form fault-tolerance analysis (paper §II-B Eqns. 1–2, Figs. 3/15,
+// and the §VI group-size discussion).
+//
+// Node failures are independent with per-node probability p (refs [31][11]).
+// A replication group survives unless *all* of its members fail (each member
+// holds every shard in the group); an erasure-coded group of n = k + m nodes
+// survives any ≤ m failures. Cluster-level rates are products over groups.
+#pragma once
+
+#include <vector>
+
+namespace eccheck::analysis {
+
+/// C(n, k) as double (exact for the ranges used here).
+double binomial(int n, int k);
+
+/// P(recover) for one replication group of `group_size` nodes.
+double replication_group_rate(int group_size, double p);
+
+/// P(recover) for one erasure-coded group of n nodes with m parity nodes:
+/// Σ_{i=0..m} C(n,i) p^i (1-p)^(n-i)   (Eqn. 2 generalised).
+double erasure_group_rate(int n, int m, double p);
+
+/// Eqn. 1: a 4-node section organised as two replication groups of 2.
+double eqn1_replication_rate(double p);
+/// Eqn. 2: a 4-node erasure-coded section with m = 2.
+double eqn2_erasure_rate(double p);
+
+/// Whole-cluster rate: every group must recover.
+double cluster_rate(double group_rate, int num_groups);
+
+/// Fig. 15 comparison at identical redundancy (k = m = n/2): ECCheck vs
+/// GEMINI-style replication with groups of 2 inside the n nodes.
+struct FaultToleranceComparison {
+  int n = 0;
+  double p = 0;
+  double eccheck_rate = 0;
+  double replication_rate = 0;
+};
+FaultToleranceComparison compare_at_equal_redundancy(int n, double p);
+
+/// §VI group-based scaling: divide `total_nodes` into groups of g (half
+/// data, half parity inside each group) and run ECCheck per group. Larger
+/// groups tolerate more correlated failures but raise per-device
+/// communication (m·s with m = g/2).
+struct GroupTradeoff {
+  int group_size = 0;
+  int num_groups = 0;
+  double cluster_recovery_rate = 0;
+  double per_device_comm_factor = 0;  ///< in units of shard size s (== g/2)
+};
+std::vector<GroupTradeoff> group_tradeoff_table(
+    int total_nodes, double p, const std::vector<int>& group_sizes);
+
+/// Smallest (cheapest-communication) group size whose cluster recovery rate
+/// meets `target_rate`; returns 0 if none does.
+int optimal_group_size(int total_nodes, double p, double target_rate,
+                       const std::vector<int>& candidate_sizes);
+
+}  // namespace eccheck::analysis

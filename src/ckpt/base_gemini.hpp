@@ -1,0 +1,39 @@
+// base3: GEMINI-style replication-based in-memory checkpointing (§V-B).
+//
+// Nodes are statically partitioned into groups of `group_size` consecutive
+// nodes. Each worker snapshots its shard to host memory (the only blocking
+// phase), then every node broadcasts its shards to all peers in its group.
+// Any single failure per group is recoverable from a peer replica; losing a
+// whole group loses the checkpoint — the fault-tolerance gap erasure coding
+// closes (Fig. 2, Fig. 15).
+#pragma once
+
+#include "ckpt/engine.hpp"
+
+namespace eccheck::ckpt {
+
+class GeminiReplicationEngine final : public CheckpointEngine {
+ public:
+  explicit GeminiReplicationEngine(int group_size = 2)
+      : group_size_(group_size) {
+    ECC_CHECK(group_size >= 2);
+  }
+
+  std::string name() const override { return "base3-gemini-replication"; }
+  int group_size() const { return group_size_; }
+
+  SaveReport save(cluster::VirtualCluster& cluster,
+                  const std::vector<dnn::StateDict>& shards,
+                  std::int64_t version) override;
+  LoadReport load(cluster::VirtualCluster& cluster, std::int64_t version,
+                  std::vector<dnn::StateDict>& out) override;
+
+  /// Nodes in the same replication group as `node`.
+  std::vector<int> group_of(const cluster::VirtualCluster& cluster,
+                            int node) const;
+
+ private:
+  int group_size_;
+};
+
+}  // namespace eccheck::ckpt

@@ -1,0 +1,35 @@
+// base1 / base2: remote-persistent-storage checkpointing (paper §V-B).
+//
+// base1 — torch.save() semantics: serialize each worker's state_dict and
+// push it to remote storage synchronously; training stalls for the whole
+// save. base2 — CheckFreq-inspired two-phase scheme: phase one snapshots
+// GPU state to host memory (training stalls only for the snapshot), phase
+// two serializes and persists asynchronously. Both recover by reading the
+// serialized shards back over the shared 5 Gbps storage link.
+#pragma once
+
+#include "ckpt/engine.hpp"
+
+namespace eccheck::ckpt {
+
+class RemoteSyncEngine final : public CheckpointEngine {  // base1
+ public:
+  std::string name() const override { return "base1-remote-sync"; }
+  SaveReport save(cluster::VirtualCluster& cluster,
+                  const std::vector<dnn::StateDict>& shards,
+                  std::int64_t version) override;
+  LoadReport load(cluster::VirtualCluster& cluster, std::int64_t version,
+                  std::vector<dnn::StateDict>& out) override;
+};
+
+class RemoteTwoPhaseEngine final : public CheckpointEngine {  // base2
+ public:
+  std::string name() const override { return "base2-two-phase"; }
+  SaveReport save(cluster::VirtualCluster& cluster,
+                  const std::vector<dnn::StateDict>& shards,
+                  std::int64_t version) override;
+  LoadReport load(cluster::VirtualCluster& cluster, std::int64_t version,
+                  std::vector<dnn::StateDict>& out) override;
+};
+
+}  // namespace eccheck::ckpt

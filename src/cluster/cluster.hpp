@@ -1,0 +1,164 @@
+// VirtualCluster: the in-process stand-in for the paper's testbed.
+//
+// Combines three concerns the checkpoint engines need:
+//  * data plane  — per-node volatile host-memory Stores plus a persistent
+//    remote Store; bytes really move, so recovery can be verified bit-exact;
+//  * timing plane — a sim::Timeline with per-GPU DtoH engines, per-node
+//    CPU + NIC TX/RX resources and one shared remote-storage resource,
+//    durations derived from the ClusterConfig cost model;
+//  * failure injection — kill() wipes a node's volatile store (CPU memory
+//    is non-persistent, §II-A), replace() brings up a fresh empty node.
+//
+// Engines call the fabric helpers (send_buffer, remote_write, ...) which
+// move bytes AND emit timeline tasks, returning TaskIds so dataflow
+// dependencies translate into the schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/store.hpp"
+#include "sim/timeline.hpp"
+
+namespace eccheck::cluster {
+
+using sim::TaskId;
+
+class VirtualCluster {
+ public:
+  explicit VirtualCluster(ClusterConfig cfg);
+
+  const ClusterConfig& config() const { return cfg_; }
+  int num_nodes() const { return cfg_.num_nodes; }
+  int gpus_per_node() const { return cfg_.gpus_per_node; }
+  int world_size() const { return cfg_.world_size(); }
+
+  sim::Timeline& timeline() { return timeline_; }
+  const sim::Timeline& timeline() const { return timeline_; }
+
+  /// Drop all scheduled tasks and reset resource availability to 0, keeping
+  /// stores and NIC calendars. Engines call this so each measured operation
+  /// (one save, one load) starts at virtual time zero.
+  void reset_timeline();
+
+  // ---- data plane -------------------------------------------------------
+
+  bool alive(int node) const { return alive_[check_node(node)]; }
+  Store& host(int node);              ///< volatile host memory (must be alive)
+  const Store& host(int node) const;
+  Store& remote() { return remote_; }  ///< persistent remote storage
+  const Store& remote() const { return remote_; }
+
+  /// Fail a node: marks it dead and wipes its volatile store.
+  void kill(int node);
+
+  /// Bring up a replacement (fresh, empty) node in the same slot.
+  void replace(int node);
+
+  std::vector<int> alive_nodes() const;
+
+  // ---- fabric: timing-only tasks ----------------------------------------
+
+  /// GPU→CPU snapshot copy on worker (node, gpu).
+  TaskId dtoh(int node, int gpu, std::size_t bytes,
+              const std::vector<TaskId>& deps);
+
+  /// Host memcpy (packing tensor bytes into coding buffers).
+  TaskId host_copy(int node, std::size_t bytes,
+                   const std::vector<TaskId>& deps);
+
+  /// CRS encode/decode compute (thread-pool accelerated, §IV-A). Encode
+  /// runs on the per-node "cpu" lane; XOR reduction runs on a separate
+  /// "xor" lane, mirroring the paper's dedicated encoding and XOR-reduction
+  /// threads (§IV-C) so a stalled reduction never blocks encoding.
+  TaskId cpu_code(int node, std::size_t bytes,
+                  const std::vector<TaskId>& deps);
+
+  /// XOR-reduction compute.
+  TaskId cpu_xor(int node, std::size_t bytes,
+                 const std::vector<TaskId>& deps);
+
+  /// Pickle-style serialization/deserialization (baselines, metadata).
+  TaskId cpu_serialize(int node, std::size_t bytes,
+                       const std::vector<TaskId>& deps);
+
+  /// Inter-node transfer occupying src TX and dst RX. With idle_only the
+  /// transfer is packed into training-idle NIC windows (§IV-B3).
+  TaskId net_send(int src, int dst, std::size_t bytes,
+                  const std::vector<TaskId>& deps, bool idle_only = false,
+                  const std::string& label = "send");
+
+  /// Write/read to/from remote storage (shared aggregate bandwidth).
+  TaskId remote_write(int node, std::size_t bytes,
+                      const std::vector<TaskId>& deps);
+  TaskId remote_read(int node, std::size_t bytes,
+                     const std::vector<TaskId>& deps);
+
+  /// Zero-duration join node.
+  TaskId barrier(const std::vector<TaskId>& deps);
+
+  // ---- fabric: data + timing convenience --------------------------------
+
+  /// Copy host(src)[src_key] into host(dst)[dst_key] and charge the NIC.
+  TaskId send_buffer(int src, int dst, const std::string& src_key,
+                     const std::string& dst_key,
+                     const std::vector<TaskId>& deps, bool idle_only = false);
+
+  /// Copy host(node)[key] into remote()[remote_key], charging storage.
+  TaskId flush_to_remote(int node, const std::string& key,
+                         const std::string& remote_key,
+                         const std::vector<TaskId>& deps);
+
+  /// Copy remote()[remote_key] into host(node)[key], charging storage.
+  TaskId fetch_from_remote(int node, const std::string& remote_key,
+                           const std::string& key,
+                           const std::vector<TaskId>& deps);
+
+  // ---- training traffic calendars ---------------------------------------
+
+  /// Mark the node's NIC (TX and RX) busy with training traffic.
+  void set_nic_calendar(int node, const std::vector<sim::TimeInterval>& busy);
+
+  /// Total checkpoint-traffic time that landed inside training windows on
+  /// this node's NIC (interference; 0 when everything was idle-scheduled).
+  Seconds nic_interference(int node) const;
+
+  // resource accessors (exposed for tests / custom engines)
+  sim::ResourceId nic_tx(int node) const { return nic_tx_[check_node(node)]; }
+  sim::ResourceId nic_rx(int node) const { return nic_rx_[check_node(node)]; }
+  sim::ResourceId cpu(int node) const { return cpu_[check_node(node)]; }
+  sim::ResourceId xor_lane(int node) const {
+    return xor_[check_node(node)];
+  }
+  sim::ResourceId storage_resource() const { return storage_; }
+
+ private:
+  std::size_t check_node(int node) const {
+    ECC_CHECK_MSG(node >= 0 && node < cfg_.num_nodes,
+                  "node " << node << " out of range");
+    return static_cast<std::size_t>(node);
+  }
+
+  Seconds virt(std::size_t bytes, BytesPerSecond bw) const {
+    return static_cast<double>(bytes) * cfg_.size_scale / bw;
+  }
+
+  void build_resources();
+
+  ClusterConfig cfg_;
+  sim::Timeline timeline_;
+  std::vector<bool> alive_;
+  std::vector<Store> hosts_;
+  Store remote_;
+
+  // resource ids
+  std::vector<sim::ResourceId> nic_tx_, nic_rx_, cpu_, xor_;
+  std::vector<std::vector<sim::ResourceId>> dtoh_;  // [node][gpu]
+  sim::ResourceId storage_ = sim::kNoResource;
+
+  // calendars survive reset_timeline()
+  std::vector<std::vector<sim::TimeInterval>> nic_calendar_;
+};
+
+}  // namespace eccheck::cluster

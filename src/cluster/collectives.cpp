@@ -1,0 +1,94 @@
+#include "cluster/collectives.hpp"
+
+#include <functional>
+
+namespace eccheck::cluster {
+
+std::vector<TaskId> broadcast(VirtualCluster& c, const std::vector<int>& nodes,
+                              int root, const std::string& key,
+                              const CollectiveOptions& opts) {
+  const Buffer& src = c.host(root).get(key);
+  std::vector<TaskId> finish(nodes.size(), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    int dst = nodes[i];
+    if (dst == root) continue;
+    finish[i] = c.net_send(root, dst, src.size(), opts.deps, opts.idle_only,
+                           opts.label + ":bcast");
+    c.host(dst).put(key, src.clone());
+  }
+  return finish;
+}
+
+std::vector<TaskId> all_gather(VirtualCluster& c,
+                               const std::vector<int>& nodes,
+                               const std::function<std::string(int)>& key_of,
+                               const CollectiveOptions& opts) {
+  const int p = static_cast<int>(nodes.size());
+  ECC_CHECK(p >= 1);
+  std::vector<TaskId> carry(nodes.size(), -1);
+
+  // Ring: at step t, node i forwards the chunk that originated at node
+  // (i - t) mod p to its right neighbour.
+  for (int t = 0; t < p - 1; ++t) {
+    std::vector<TaskId> next(nodes.size(), -1);
+    for (int i = 0; i < p; ++i) {
+      const int src = nodes[static_cast<std::size_t>(i)];
+      const int dst = nodes[static_cast<std::size_t>((i + 1) % p)];
+      const int origin = nodes[static_cast<std::size_t>(((i - t) % p + p) % p)];
+      const std::string key = key_of(origin);
+      std::vector<TaskId> deps = opts.deps;
+      if (carry[static_cast<std::size_t>(i)] >= 0)
+        deps.push_back(carry[static_cast<std::size_t>(i)]);
+      TaskId send = c.net_send(src, dst, c.host(src).get(key).size(), deps,
+                               opts.idle_only, opts.label + ":ag");
+      c.host(dst).put(key, c.host(src).get(key).clone());
+      next[static_cast<std::size_t>((i + 1) % p)] = send;
+    }
+    carry = std::move(next);
+  }
+  return carry;
+}
+
+std::vector<TaskId> ring_all_reduce_xor(VirtualCluster& c,
+                                        const std::vector<int>& nodes,
+                                        const std::string& key,
+                                        const CollectiveOptions& opts) {
+  const int p = static_cast<int>(nodes.size());
+  ECC_CHECK(p >= 1);
+  const std::size_t total = c.host(nodes[0]).get(key).size();
+  for (int n : nodes) ECC_CHECK(c.host(n).get(key).size() == total);
+
+  // Data plane: the reduced value is the XOR of all contributions; compute
+  // it once, install everywhere after the timing tasks are scheduled.
+  Buffer reduced(total, Buffer::Init::kZeroed);
+  for (int n : nodes) xor_into(reduced.span(), c.host(n).get(key).span());
+
+  std::vector<TaskId> carry(nodes.size(), -1);
+  if (p > 1) {
+    const std::size_t seg = (total + static_cast<std::size_t>(p) - 1) /
+                            static_cast<std::size_t>(p);
+    // Reduce-scatter then all-gather: 2(p-1) steps of one segment each,
+    // with an XOR after every reduce-scatter receive.
+    for (int phase = 0; phase < 2; ++phase) {
+      for (int t = 0; t < p - 1; ++t) {
+        std::vector<TaskId> next(nodes.size(), -1);
+        for (int i = 0; i < p; ++i) {
+          const int src = nodes[static_cast<std::size_t>(i)];
+          const int dst = nodes[static_cast<std::size_t>((i + 1) % p)];
+          std::vector<TaskId> deps = opts.deps;
+          if (carry[static_cast<std::size_t>(i)] >= 0)
+            deps.push_back(carry[static_cast<std::size_t>(i)]);
+          TaskId step = c.net_send(src, dst, seg, deps, opts.idle_only,
+                                   opts.label + ":ar");
+          if (phase == 0) step = c.cpu_xor(dst, seg, {step});
+          next[static_cast<std::size_t>((i + 1) % p)] = step;
+        }
+        carry = std::move(next);
+      }
+    }
+  }
+  for (int n : nodes) c.host(n).put(key, reduced.clone());
+  return carry;
+}
+
+}  // namespace eccheck::cluster

@@ -1,0 +1,50 @@
+// Collective communication over the virtual fabric.
+//
+// Distributed training frameworks move checkpoint data with the same
+// collective primitives they train with (NCCL/Gloo, §V-A). These
+// implementations move real bytes between node stores and emit timeline
+// tasks, so both the data plane and the schedule are exercised:
+//   broadcast      — root sends to every other participant (tree-free,
+//                    matching GEMINI's group broadcast);
+//   all_gather     — every participant ends with every shard;
+//   ring_all_reduce— XOR-reduce (the only reduction the checkpoint layer
+//                    needs) via the classic 2(p−1)-step ring: reduce-scatter
+//                    then all-gather, 2·(p−1)/p of the payload per link.
+// Each helper returns the finish TaskIds per participant.
+#pragma once
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+
+namespace eccheck::cluster {
+
+struct CollectiveOptions {
+  bool idle_only = false;           ///< pack into training-idle NIC windows
+  std::vector<TaskId> deps;         ///< released when these finish
+  std::string label = "collective";
+};
+
+/// Copy host(root)[key] to every other node in `nodes` under the same key.
+/// Returns per-destination finish tasks (empty entry for the root).
+std::vector<TaskId> broadcast(VirtualCluster& c, const std::vector<int>& nodes,
+                              int root, const std::string& key,
+                              const CollectiveOptions& opts = {});
+
+/// Every node contributes host(node)[key_of(node)]; afterwards every node
+/// holds all contributions. Implemented as a ring: p−1 steps, each node
+/// forwarding the chunk it received last round.
+std::vector<TaskId> all_gather(VirtualCluster& c,
+                               const std::vector<int>& nodes,
+                               const std::function<std::string(int)>& key_of,
+                               const CollectiveOptions& opts = {});
+
+/// XOR all-reduce of equal-size buffers host(node)[key]: afterwards every
+/// node's buffer holds the XOR of all contributions. Ring reduce-scatter +
+/// ring all-gather over per-node segments.
+std::vector<TaskId> ring_all_reduce_xor(VirtualCluster& c,
+                                        const std::vector<int>& nodes,
+                                        const std::string& key,
+                                        const CollectiveOptions& opts = {});
+
+}  // namespace eccheck::cluster

@@ -1,0 +1,50 @@
+// Cluster topology and calibrated cost model.
+//
+// Defaults mirror the paper's testbed (§V-B): 4 nodes × 4 GPUs, 100 Gbps
+// inter-node network, 5 Gbps aggregate bandwidth to remote persistent
+// storage, PCIe-class DtoH copy. `size_scale` lets benchmarks run the real
+// data path on scaled-down payloads while charging virtual time for
+// paper-scale checkpoints (virtual_bytes = real_bytes × size_scale).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace eccheck::cluster {
+
+struct ClusterConfig {
+  int num_nodes = 4;
+  int gpus_per_node = 4;
+
+  /// Per-node NIC bandwidth, full duplex (separate TX and RX resources).
+  BytesPerSecond nic_bandwidth = gbps(100);
+
+  /// Per-GPU device-to-host copy bandwidth (PCIe 4.0 x16-class).
+  BytesPerSecond dtoh_bandwidth = gibps(16);
+
+  /// Aggregate bandwidth from the whole cluster to remote storage — the
+  /// paper's 5 Gbps bottleneck that motivates in-memory checkpointing.
+  BytesPerSecond remote_storage_bandwidth = gbps(5);
+
+  /// Host memcpy bandwidth (buffer packing, snapshot staging).
+  BytesPerSecond host_memcpy_bandwidth = gibps(20);
+
+  /// Python-pickle-class serialization throughput (baselines; Fig. 4).
+  BytesPerSecond serialize_bandwidth = gibps(1.0);
+
+  /// CRS encode throughput of one CPU thread (calibratable from micro-
+  /// benchmarks; ~1 GiB/s table-driven on one core).
+  BytesPerSecond encode_bandwidth_per_thread = gibps(1.0);
+
+  /// XOR-reduction compute throughput (memory-bound).
+  BytesPerSecond xor_bandwidth = gibps(6.0);
+
+  /// Threads in the encode thread pool (paper §IV-A).
+  int encode_threads = 8;
+
+  /// virtual bytes charged per real byte moved (see header comment).
+  double size_scale = 1.0;
+
+  int world_size() const { return num_nodes * gpus_per_node; }
+};
+
+}  // namespace eccheck::cluster

@@ -1,0 +1,98 @@
+// Owned byte buffers and views used throughout the checkpoint pipeline.
+//
+// Buffers are 64-byte aligned so XOR/GF region kernels can assume aligned
+// word access, and zero-initialisation is explicit (parity buffers must start
+// zeroed; data buffers may skip the cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace eccheck {
+
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+/// Owned, 64-byte-aligned, fixed-size byte buffer.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  enum class Init { kZeroed, kUninitialized };
+
+  explicit Buffer(std::size_t size, Init init = Init::kZeroed) : size_(size) {
+    if (size_ == 0) return;
+    data_.reset(static_cast<std::byte*>(
+        ::operator new[](size_, std::align_val_t{kAlignment})));
+    if (init == Init::kZeroed) std::memset(data_.get(), 0, size_);
+  }
+
+  static Buffer copy_of(ByteSpan src) {
+    Buffer b(src.size(), Init::kUninitialized);
+    if (!src.empty()) std::memcpy(b.data(), src.data(), src.size());
+    return b;
+  }
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  ByteSpan span() const { return {data_.get(), size_}; }
+  MutableByteSpan span() { return {data_.get(), size_}; }
+
+  ByteSpan subspan(std::size_t offset, std::size_t len) const {
+    ECC_CHECK(offset + len <= size_);
+    return {data_.get() + offset, len};
+  }
+  MutableByteSpan subspan(std::size_t offset, std::size_t len) {
+    ECC_CHECK(offset + len <= size_);
+    return {data_.get() + offset, len};
+  }
+
+  void zero() {
+    if (size_ != 0) std::memset(data_.get(), 0, size_);
+  }
+
+  Buffer clone() const { return copy_of(span()); }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data_.get(), b.data_.get(), a.size_) == 0);
+  }
+
+  static constexpr std::size_t kAlignment = 64;
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+  std::unique_ptr<std::byte[], AlignedDelete> data_;
+  std::size_t size_ = 0;
+};
+
+/// XOR `src` into `dst` (dst ^= src). Spans must be the same length.
+void xor_into(MutableByteSpan dst, ByteSpan src);
+
+/// Convenience: bytes of a trivially copyable value.
+template <typename T>
+ByteSpan as_bytes_of(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+}  // namespace eccheck

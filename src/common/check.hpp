@@ -1,0 +1,57 @@
+// Lightweight precondition / invariant checking.
+//
+// ECC_CHECK is always on (these guard protocol invariants whose violation
+// would silently corrupt checkpoints); ECC_DCHECK compiles out in NDEBUG
+// builds and is meant for hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eccheck {
+
+/// Raised when an ECC_CHECK fires. Carries file:line plus the failed
+/// expression so a test harness can assert on the message.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace eccheck
+
+#define ECC_CHECK(expr)                                                    \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::eccheck::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define ECC_CHECK_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream ecc_check_os_;                                    \
+      ecc_check_os_ << msg;                                                \
+      ::eccheck::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                      ecc_check_os_.str());                \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define ECC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define ECC_DCHECK(expr) ECC_CHECK(expr)
+#endif

@@ -1,0 +1,15 @@
+// CRC64 (ECMA-182 polynomial) for checkpoint integrity verification.
+//
+// Every tensor carries a CRC so tests can assert bit-exact recovery without
+// holding a second copy of multi-megabyte payloads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace eccheck {
+
+std::uint64_t crc64(ByteSpan data, std::uint64_t seed = 0);
+
+}  // namespace eccheck

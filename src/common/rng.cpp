@@ -1,0 +1,21 @@
+#include "common/rng.hpp"
+
+#include <cstring>
+
+namespace eccheck {
+
+void fill_random(MutableByteSpan dst, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::size_t i = 0;
+  auto* d = reinterpret_cast<unsigned char*>(dst.data());
+  for (; i + 8 <= dst.size(); i += 8) {
+    std::uint64_t v = rng.next();
+    std::memcpy(d + i, &v, 8);
+  }
+  if (i < dst.size()) {
+    std::uint64_t v = rng.next();
+    std::memcpy(d + i, &v, dst.size() - i);
+  }
+}
+
+}  // namespace eccheck

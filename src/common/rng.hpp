@@ -1,0 +1,41 @@
+// Deterministic pseudo-random generation.
+//
+// Checkpoint payloads in tests and benchmarks are synthesised from seeds so
+// that recovery can be verified bit-exactly without retaining a golden copy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace eccheck {
+
+/// SplitMix64: tiny, fast, well-distributed; used for payload synthesis and
+/// anywhere reproducibility across platforms matters (std::mt19937 streams
+/// are standardised too, but SplitMix is cheaper and header-only).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  double next_double() {  // uniform in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill `dst` with deterministic bytes derived from `seed`.
+void fill_random(MutableByteSpan dst, std::uint64_t seed);
+
+}  // namespace eccheck

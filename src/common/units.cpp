@@ -1,0 +1,32 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eccheck {
+
+std::string human_bytes(double bytes) {
+  static const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int i = 0;
+  while (std::abs(bytes) >= 1024.0 && i < 5) {
+    bytes /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), i == 0 ? "%.0f %s" : "%.2f %s", bytes,
+                suffix[i]);
+  return buf;
+}
+
+std::string human_seconds(Seconds s) {
+  char buf[64];
+  if (s >= 1.0)
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3f us", s * 1e6);
+  return buf;
+}
+
+}  // namespace eccheck

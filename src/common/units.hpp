@@ -1,0 +1,31 @@
+// Size / bandwidth / virtual-time units.
+//
+// All simulated durations are double seconds (virtual time); bandwidths are
+// bytes per second. Helpers keep call sites self-describing:
+//   remote.bandwidth = gbps(5);    // 5 Gbit/s aggregate
+//   Buffer buf(mib(64));
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eccheck {
+
+using Seconds = double;         ///< virtual-time duration
+using BytesPerSecond = double;  ///< bandwidth
+
+constexpr std::size_t kib(std::size_t n) { return n << 10; }
+constexpr std::size_t mib(std::size_t n) { return n << 20; }
+constexpr std::size_t gib(std::size_t n) { return n << 30; }
+
+/// Network bandwidths quoted in Gbit/s (decimal, as vendors do).
+constexpr BytesPerSecond gbps(double g) { return g * 1e9 / 8.0; }
+constexpr BytesPerSecond gibps(double g) { return g * (1ULL << 30); }
+
+/// Human-readable byte counts ("6.5 GiB") for reports.
+std::string human_bytes(double bytes);
+
+/// Human-readable durations ("1.25 s", "830 ms").
+std::string human_seconds(Seconds s);
+
+}  // namespace eccheck

@@ -1,0 +1,768 @@
+#include "core/eccheck_engine.hpp"
+
+#include <algorithm>
+
+#include "cluster/slice.hpp"
+#include "ec/parallel_codec.hpp"
+
+namespace eccheck::core {
+namespace {
+
+std::string row_key(const std::string& ns, std::int64_t v, int row, int j,
+                    int b) {
+  return ns + "ec/" + std::to_string(v) + "/row/" + std::to_string(row) +
+         "/" + std::to_string(j) + "/" + std::to_string(b);
+}
+std::string meta_key(const std::string& ns, std::int64_t v, int w) {
+  return ns + "ec/" + std::to_string(v) + "/meta/" + std::to_string(w);
+}
+std::string keys_key(const std::string& ns, std::int64_t v, int w) {
+  return ns + "ec/" + std::to_string(v) + "/keys/" + std::to_string(w);
+}
+std::string commit_key(const std::string& ns, std::int64_t v) {
+  return ns + "ec/" + std::to_string(v) + "/commit";
+}
+std::string sums_key(const std::string& ns, std::int64_t v) {
+  return ns + "ec/" + std::to_string(v) + "/sums";
+}
+std::string local_key(const std::string& ns, std::int64_t v, int w, int b) {
+  return ns + "tmp/" + std::to_string(v) + "/local/" + std::to_string(w) +
+         "/" + std::to_string(b);
+}
+
+}  // namespace
+
+ECCheckEngine::ECCheckEngine(ECCheckConfig cfg) : cfg_(cfg) {
+  ECC_CHECK(cfg_.k >= 1 && cfg_.m >= 0);
+  ECC_CHECK(cfg_.packet_size > 0);
+}
+
+Placement ECCheckEngine::plan_for(int num_nodes, int gpus_per_node) const {
+  PlacementConfig pc;
+  pc.num_nodes = num_nodes;
+  pc.gpus_per_node = gpus_per_node;
+  pc.k = cfg_.k;
+  pc.m = cfg_.m;
+  return plan_placement(pc);
+}
+
+Placement ECCheckEngine::plan_for(
+    const cluster::VirtualCluster& cluster) const {
+  return plan_for(cluster.num_nodes(), cluster.gpus_per_node());
+}
+
+// ---------------------------------------------------------------------------
+// save
+// ---------------------------------------------------------------------------
+
+ckpt::SaveReport ECCheckEngine::save(cluster::VirtualCluster& cluster,
+                                     const std::vector<dnn::StateDict>& shards,
+                                     std::int64_t version) {
+  return save_slice(cluster::ClusterSlice(cluster), shards, version);
+}
+
+ckpt::SaveReport ECCheckEngine::save_slice(
+    cluster::ClusterSlice cluster, std::span<const dnn::StateDict> shards,
+    std::int64_t version) {
+  ECC_CHECK(static_cast<int>(shards.size()) == cluster.world_size());
+  ECC_CHECK_MSG(cfg_.k + cfg_.m == cluster.num_nodes(),
+                "k+m must equal node count");
+  cluster.reset_timeline();
+  ckpt::SaveReport rep;
+
+  const Placement plan = plan_for(cluster.num_nodes(), cluster.gpus_per_node());
+  const ec::CrsCodec codec(cfg_.k, cfg_.m, cfg_.gf_width, cfg_.kernel);
+  const int W = cluster.world_size();
+  const int per_chunk = plan.workers_per_chunk();
+  const std::size_t P = cfg_.packet_size;
+  ECC_CHECK_MSG(P % codec.packet_granularity() == 0,
+                "packet_size must be a multiple of the codec granularity");
+  std::unique_ptr<runtime::ThreadPool> pool;
+  std::unique_ptr<ec::ParallelCodec> pcodec;
+  if (cfg_.data_plane_threads > 0) {
+    pool = std::make_unique<runtime::ThreadPool>(
+        static_cast<unsigned>(cfg_.data_plane_threads));
+    pcodec = std::make_unique<ec::ParallelCodec>(codec, *pool, P / 4 + 64);
+  }
+  const double scale = cluster.config().size_scale;
+  const bool idle = cfg_.idle_aware_comm;
+
+  // Packets per worker: uniform so reduction groups align (§III-C).
+  std::size_t B = 1;
+  for (const auto& sd : shards)
+    B = std::max(B, packets_needed(sd.tensor_bytes(), P));
+
+  // ---- Step 1: decompose + snapshot (blocking) --------------------------
+  std::vector<std::vector<cluster::TaskId>> pack_done(
+      static_cast<std::size_t>(W));
+  std::vector<cluster::TaskId> meta_ser(static_cast<std::size_t>(W));
+  Seconds stall = 0;
+  for (int w = 0; w < W; ++w) {
+    const int node = cluster::slice_node_of_worker(cluster, w);
+    const int gpu = cluster::slice_gpu_of_worker(cluster, w);
+    const auto& sd = shards[static_cast<std::size_t>(w)];
+    Decomposition dec = decompose(sd);
+
+    cluster::TaskId snap = cluster.dtoh(node, gpu, dec.tensor_bytes, {});
+    meta_ser[static_cast<std::size_t>(w)] = cluster.cpu_serialize(
+        node, dec.metadata_blob.size() + dec.keys_blob.size(), {});
+    stall = std::max({stall, cluster.timeline().finish_time(snap),
+                      cluster.timeline().finish_time(
+                          meta_ser[static_cast<std::size_t>(w)])});
+
+    // Pack tensor bytes into B fixed-size packets (async, per packet).
+    std::vector<Buffer> packets = pack_packets(dec.tensor_data, P, B);
+    for (std::size_t b = 0; b < B; ++b) {
+      pack_done[static_cast<std::size_t>(w)].push_back(
+          cluster.host_copy(node, P, {snap}));
+      cluster.host(node).put(local_key(cfg_.key_namespace, version, w, static_cast<int>(b)),
+                             std::move(packets[b]));
+    }
+    cluster.host(node).put(meta_key(cfg_.key_namespace, version, w), std::move(dec.metadata_blob));
+    cluster.host(node).put(keys_key(cfg_.key_namespace, version, w), std::move(dec.keys_blob));
+  }
+  rep.breakdown["step1_snapshot"] = stall;
+  rep.stall_time = stall;
+
+  // ---- Step 2: broadcast metadata + tensor keys --------------------------
+  Seconds meta_bcast_finish = stall;
+  for (int w = 0; w < W; ++w) {
+    const int src = cluster::slice_node_of_worker(cluster, w);
+    const std::size_t blob = cluster.host(src).get(meta_key(cfg_.key_namespace, version, w)).size() +
+                             cluster.host(src).get(keys_key(cfg_.key_namespace, version, w)).size();
+    for (int d = 0; d < cluster.num_nodes(); ++d) {
+      if (d == src) continue;
+      cluster::TaskId t = cluster.net_send(
+          src, d, blob, {meta_ser[static_cast<std::size_t>(w)]}, idle,
+          "meta_bcast");
+      rep.network_bytes += static_cast<std::size_t>(blob * scale);
+      meta_bcast_finish =
+          std::max(meta_bcast_finish, cluster.timeline().finish_time(t));
+      cluster.host(d).put(meta_key(cfg_.key_namespace, version, w),
+                          cluster.host(src).get(meta_key(cfg_.key_namespace, version, w)).clone());
+      cluster.host(d).put(keys_key(cfg_.key_namespace, version, w),
+                          cluster.host(src).get(keys_key(cfg_.key_namespace, version, w)).clone());
+    }
+  }
+  rep.breakdown["step2_metadata_broadcast"] = meta_bcast_finish;
+
+  // ---- Step 3: encode → XOR-reduce → P2P ---------------------------------
+  // A stripe is one (reduction group j, buffer b) pair: it touches packet b
+  // of each chunk's j-th worker. Emission is stage-major — all relocations,
+  // then all encodes, then the XOR chains — mirroring the paper's dedicated
+  // encoding / XOR-reduction / P2P threads (§IV-C): each stage streams
+  // packets in order, and stages overlap across the per-node CPU, XOR and
+  // NIC resources. With cfg_.pipelined == false a barrier separates the
+  // encode stage from everything downstream (ablation).
+  std::vector<Seconds> row_finish(static_cast<std::size_t>(cfg_.k + cfg_.m),
+                                  stall);
+
+  struct StripeWork {
+    int j, b;
+  };
+  std::vector<StripeWork> stripes;
+  for (int j = 0; j < per_chunk; ++j)
+    for (int b = 0; b < static_cast<int>(B); ++b) stripes.push_back({j, b});
+
+  auto count_net = [&](std::size_t bytes) {
+    rep.network_bytes += static_cast<std::size_t>(bytes * scale);
+  };
+
+  // Stage 3a: data-packet relocation to data nodes (ready after packing).
+  for (const auto& s : stripes) {
+    for (int c = 0; c < cfg_.k; ++c) {
+      const int wsrc = c * per_chunk + s.j;
+      const int src = cluster::slice_node_of_worker(cluster, wsrc);
+      const int dst = plan.data_nodes[static_cast<std::size_t>(c)];
+      const std::string lk = local_key(cfg_.key_namespace, version, wsrc, s.b);
+      const std::string rk = row_key(cfg_.key_namespace, version, c, s.j, s.b);
+      cluster::TaskId dep = pack_done[static_cast<std::size_t>(wsrc)]
+                                     [static_cast<std::size_t>(s.b)];
+      cluster::TaskId t = dep;
+      if (src != dst) {
+        t = cluster.net_send(src, dst, P, {dep}, idle, "p2p_data");
+        count_net(P);
+      }
+      cluster.host(dst).put(rk, cluster.host(src).get(lk).clone());
+      row_finish[static_cast<std::size_t>(c)] =
+          std::max(row_finish[static_cast<std::size_t>(c)],
+                   cluster.timeline().finish_time(t));
+    }
+  }
+
+  // Stage 3b: every per-participant partial encode.
+  std::vector<std::vector<cluster::TaskId>> enc_tasks(stripes.size());
+  for (std::size_t si = 0; si < stripes.size(); ++si) {
+    const auto& s = stripes[si];
+    enc_tasks[si].resize(static_cast<std::size_t>(cfg_.m * cfg_.k));
+    for (int r = 0; r < cfg_.m; ++r) {
+      const auto& op =
+          plan.reductions[static_cast<std::size_t>(s.j * cfg_.m + r)];
+      for (int c = 0; c < cfg_.k; ++c) {
+        const int pw = op.participants[static_cast<std::size_t>(c)];
+        enc_tasks[si][static_cast<std::size_t>(r * cfg_.k + c)] =
+            cluster.cpu_code(cluster::slice_node_of_worker(cluster, pw), P,
+                             {pack_done[static_cast<std::size_t>(pw)]
+                                       [static_cast<std::size_t>(s.b)]});
+      }
+    }
+  }
+  cluster::TaskId encode_barrier = -1;
+  if (!cfg_.pipelined) {
+    std::vector<cluster::TaskId> all_encodes;
+    for (const auto& v : enc_tasks)
+      all_encodes.insert(all_encodes.end(), v.begin(), v.end());
+    encode_barrier = cluster.barrier(all_encodes);
+  }
+
+  // Stage 3c: XOR-reduction chains ending at each target, then the final
+  // P2P hop to the parity node; real parity bytes are produced here.
+  for (std::size_t si = 0; si < stripes.size(); ++si) {
+    const auto& s = stripes[si];
+    for (int r = 0; r < cfg_.m; ++r) {
+      const auto& op =
+          plan.reductions[static_cast<std::size_t>(s.j * cfg_.m + r)];
+
+      // Data plane: accumulate partial products over chunk indices —
+      // thread-pool sliced when data_plane_threads > 0 (§IV-A).
+      Buffer acc(P, Buffer::Init::kUninitialized);
+      {
+        std::vector<ByteSpan> packet_spans;
+        packet_spans.reserve(static_cast<std::size_t>(cfg_.k));
+        for (int c = 0; c < cfg_.k; ++c) {
+          const int pw = op.participants[static_cast<std::size_t>(c)];
+          packet_spans.push_back(
+              cluster.host(cluster::slice_node_of_worker(cluster, pw))
+                  .get(local_key(cfg_.key_namespace, version, pw, s.b))
+                  .span());
+        }
+        if (pcodec) {
+          pcodec->encode_row(cfg_.k + r, packet_spans, acc.span());
+        } else {
+          for (int c = 0; c < cfg_.k; ++c)
+            codec.encode_partial(cfg_.k + r, c,
+                                 packet_spans[static_cast<std::size_t>(c)],
+                                 acc.span(), /*accumulate=*/c != 0);
+        }
+      }
+
+      auto enc_of = [&](int c) {
+        return cfg_.pipelined
+                   ? enc_tasks[si][static_cast<std::size_t>(r * cfg_.k + c)]
+                   : encode_barrier;
+      };
+
+      // Chain-XOR along the participants, ending at the target.
+      std::vector<int> chain;
+      std::vector<cluster::TaskId> chain_enc;
+      int target_c = -1;
+      for (int c = 0; c < cfg_.k; ++c) {
+        const int pw = op.participants[static_cast<std::size_t>(c)];
+        if (pw == op.target_worker) {
+          target_c = c;
+          continue;
+        }
+        chain.push_back(pw);
+        chain_enc.push_back(enc_of(c));
+      }
+      ECC_CHECK(target_c >= 0);
+      chain.push_back(op.target_worker);
+      chain_enc.push_back(enc_of(target_c));
+
+      cluster::TaskId carry;
+      if (!cfg_.tree_reduction) {
+        carry = chain_enc[0];
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+          const int a = cluster::slice_node_of_worker(cluster, chain[i - 1]);
+          const int d = cluster::slice_node_of_worker(cluster, chain[i]);
+          cluster::TaskId arrive = carry;
+          if (a != d) {
+            arrive = cluster.net_send(a, d, P, {carry}, idle, "xor_reduce");
+            count_net(P);
+          }
+          carry = cluster.cpu_xor(d, P, {arrive, chain_enc[i]});
+        }
+      } else {
+        // Binary tree rooted at the target (last element of `chain`):
+        // reverse so the target sits at index 0, then halve each round.
+        std::vector<int> order(chain.rbegin(), chain.rend());
+        std::vector<cluster::TaskId> hold(chain_enc.rbegin(),
+                                          chain_enc.rend());
+        for (std::size_t step = 1; step < order.size(); step *= 2) {
+          for (std::size_t i = 0; i + step < order.size(); i += 2 * step) {
+            const int a =
+                cluster::slice_node_of_worker(cluster, order[i + step]);
+            const int d = cluster::slice_node_of_worker(cluster, order[i]);
+            cluster::TaskId arrive = hold[i + step];
+            if (a != d) {
+              arrive = cluster.net_send(a, d, P, {arrive}, idle,
+                                        "xor_reduce_tree");
+              count_net(P);
+            }
+            hold[i] = cluster.cpu_xor(d, P, {arrive, hold[i]});
+          }
+        }
+        carry = hold[0];
+      }
+      // Final hop to the parity node if the target worker lives elsewhere.
+      const int tnode = cluster::slice_node_of_worker(cluster, op.target_worker);
+      cluster::TaskId done = carry;
+      if (tnode != op.dest_node) {
+        done = cluster.net_send(tnode, op.dest_node, P, {carry}, idle,
+                                "p2p_parity");
+        count_net(P);
+      }
+      cluster.host(op.dest_node).put(row_key(cfg_.key_namespace, version, cfg_.k + r, s.j, s.b),
+                                     std::move(acc));
+      row_finish[static_cast<std::size_t>(cfg_.k + r)] =
+          std::max(row_finish[static_cast<std::size_t>(cfg_.k + r)],
+                   cluster.timeline().finish_time(done));
+    }
+  }
+
+  Seconds encode_finish = stall;
+  for (Seconds f : row_finish) encode_finish = std::max(encode_finish, f);
+  encode_finish = std::max(encode_finish, meta_bcast_finish);
+  rep.breakdown["step3_encode_pipeline"] = encode_finish;
+  rep.total_time = encode_finish;
+
+  // Drop the staging copies: each node now keeps exactly one chunk plus the
+  // tiny metadata, matching the paper's redundancy accounting. A commit
+  // marker makes the version visible to load() — a save torn by failure
+  // never commits, so recovery falls back to the previous version.
+  for (int w = 0; w < W; ++w) {
+    const int node = cluster::slice_node_of_worker(cluster, w);
+    for (int b = 0; b < static_cast<int>(B); ++b)
+      cluster.host(node).erase(local_key(cfg_.key_namespace, version, w, b));
+  }
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    if (cfg_.verify_integrity) {
+      const int row = plan.generator_row_of_node(node);
+      Buffer sums(static_cast<std::size_t>(per_chunk) * B * 8,
+                  Buffer::Init::kUninitialized);
+      for (int j = 0; j < per_chunk; ++j) {
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          const std::uint64_t crc = crc64(
+              cluster.host(node)
+                  .get(row_key(cfg_.key_namespace, version, row, j, b))
+                  .span());
+          std::memcpy(sums.data() +
+                          (static_cast<std::size_t>(j) * B +
+                           static_cast<std::size_t>(b)) *
+                              8,
+                      &crc, 8);
+        }
+      }
+      cluster.host(node).put(sums_key(cfg_.key_namespace, version),
+                             std::move(sums));
+    }
+    cluster.host(node).put(commit_key(cfg_.key_namespace, version),
+                           Buffer::copy_of(as_bytes_of(version)));
+  }
+
+  // ---- Step 4: low-frequency remote flush --------------------------------
+  if (cfg_.flush_to_remote) {
+    Seconds flush_finish = encode_finish;
+    for (int row = 0; row < cfg_.k + cfg_.m; ++row) {
+      const int node = row < cfg_.k
+                           ? plan.data_nodes[static_cast<std::size_t>(row)]
+                           : plan.parity_nodes[static_cast<std::size_t>(
+                                 row - cfg_.k)];
+      for (int j = 0; j < per_chunk; ++j) {
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          const std::string rk = row_key(cfg_.key_namespace, version, row, j, b);
+          cluster::TaskId t = cluster.flush_to_remote(node, rk, rk, {});
+          rep.remote_bytes += static_cast<std::size_t>(P * scale);
+          flush_finish =
+              std::max(flush_finish, cluster.timeline().finish_time(t));
+        }
+      }
+    }
+    for (int w = 0; w < W; ++w) {
+      const int node = cluster::slice_node_of_worker(cluster, w);
+      cluster.remote().put(meta_key(cfg_.key_namespace, version, w),
+                           cluster.host(node).get(meta_key(cfg_.key_namespace, version, w)).clone());
+      cluster.remote().put(keys_key(cfg_.key_namespace, version, w),
+                           cluster.host(node).get(keys_key(cfg_.key_namespace, version, w)).clone());
+    }
+    cluster.remote().put(commit_key(cfg_.key_namespace, version),
+                         Buffer::copy_of(as_bytes_of(version)));
+    rep.breakdown["step4_remote_flush"] = flush_finish;
+    rep.total_time = std::max(rep.total_time, flush_finish);
+  }
+
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// load
+// ---------------------------------------------------------------------------
+
+ckpt::LoadReport ECCheckEngine::load(cluster::VirtualCluster& cluster,
+                                     std::int64_t version,
+                                     std::vector<dnn::StateDict>& out) {
+  return load_slice(cluster::ClusterSlice(cluster), version, out);
+}
+
+ckpt::LoadReport ECCheckEngine::load_slice(cluster::ClusterSlice cluster,
+                                           std::int64_t version,
+                                           std::vector<dnn::StateDict>& out) {
+  cluster.reset_timeline();
+  ckpt::LoadReport rep;
+  const Placement plan = plan_for(cluster.num_nodes(), cluster.gpus_per_node());
+  const ec::CrsCodec codec(cfg_.k, cfg_.m, cfg_.gf_width, cfg_.kernel);
+  std::unique_ptr<runtime::ThreadPool> pool;
+  std::unique_ptr<ec::ParallelCodec> pcodec;
+  if (cfg_.data_plane_threads > 0) {
+    pool = std::make_unique<runtime::ThreadPool>(
+        static_cast<unsigned>(cfg_.data_plane_threads));
+    pcodec = std::make_unique<ec::ParallelCodec>(
+        codec, *pool, cfg_.packet_size / 4 + 64);
+  }
+  const int W = cluster.world_size();
+  const int n = cluster.num_nodes();
+  const int per_chunk = plan.workers_per_chunk();
+  const std::size_t P = cfg_.packet_size;
+
+  auto node_of_row = [&](int row) {
+    return row < cfg_.k
+               ? plan.data_nodes[static_cast<std::size_t>(row)]
+               : plan.parity_nodes[static_cast<std::size_t>(row - cfg_.k)];
+  };
+
+  // ---- discover which chunk rows survived -------------------------------
+  std::vector<int> survivor_rows, missing_rows;
+  for (int node = 0; node < n; ++node) {
+    ECC_CHECK_MSG(cluster.alive(node),
+                  "dead node " << node << " must be replace()d before load");
+    const int row = plan.generator_row_of_node(node);
+    bool intact =
+        cluster.host(node).contains(commit_key(cfg_.key_namespace, version)) &&
+        cluster.host(node).contains(
+            row_key(cfg_.key_namespace, version, row, 0, 0));
+    if (intact && cfg_.verify_integrity) {
+      // Scrub: any packet whose CRC64 disagrees with the stored checksum
+      // turns the whole chunk into an erasure (decoded around like a
+      // failed node).
+      intact = cluster.host(node).contains(
+          sums_key(cfg_.key_namespace, version));
+      if (intact) {
+        const Buffer& sums =
+            cluster.host(node).get(sums_key(cfg_.key_namespace, version));
+        const std::size_t B_row = sums.size() / 8 / per_chunk;
+        for (int j = 0; intact && j < per_chunk; ++j) {
+          for (std::size_t b = 0; intact && b < B_row; ++b) {
+            const std::string rk = row_key(cfg_.key_namespace, version, row,
+                                           j, static_cast<int>(b));
+            if (!cluster.host(node).contains(rk)) {
+              intact = false;
+              break;
+            }
+            std::uint64_t want;
+            std::memcpy(&want,
+                        sums.data() +
+                            (static_cast<std::size_t>(j) * B_row + b) * 8,
+                        8);
+            intact = crc64(cluster.host(node).get(rk).span()) == want;
+          }
+        }
+      }
+    }
+    if (intact)
+      survivor_rows.push_back(row);
+    else
+      missing_rows.push_back(row);
+  }
+  std::sort(survivor_rows.begin(), survivor_rows.end());
+  std::sort(missing_rows.begin(), missing_rows.end());
+
+  // ---- catastrophic path: fewer than k chunks left ------------------------
+  if (static_cast<int>(survivor_rows.size()) < cfg_.k) {
+    if (!(cfg_.remote_fallback &&
+          cluster.remote().contains(commit_key(cfg_.key_namespace, version)) &&
+          cluster.remote().contains(
+              row_key(cfg_.key_namespace, version, 0, 0, 0)))) {
+      rep.success = false;
+      rep.detail = "only " + std::to_string(survivor_rows.size()) +
+                   " chunks survive, need k=" + std::to_string(cfg_.k) +
+                   " and no remote copy exists";
+      return rep;
+    }
+    // Refill the missing rows from the remote flush.
+    std::size_t B_remote = 0;
+    while (cluster.remote().contains(
+        row_key(cfg_.key_namespace, version, 0, 0, static_cast<int>(B_remote))))
+      ++B_remote;
+    for (int row : missing_rows) {
+      const int node = node_of_row(row);
+      for (int j = 0; j < per_chunk; ++j)
+        for (int b = 0; b < static_cast<int>(B_remote); ++b) {
+          const std::string rk = row_key(cfg_.key_namespace, version, row, j, b);
+          cluster.fetch_from_remote(node, rk, rk, {});
+        }
+      // Commit markers and checksums for the refetched rows are restored
+      // by the end-of-load refresh pass.
+      survivor_rows.push_back(row);
+    }
+    std::sort(survivor_rows.begin(), survivor_rows.end());
+    missing_rows.clear();
+    // Metadata also comes back from remote: every node needs the full set
+    // of per-worker blobs (the step-2 broadcast invariant).
+    for (int node = 0; node < n; ++node) {
+      for (int w = 0; w < W; ++w) {
+        if (cluster.host(node).contains(meta_key(cfg_.key_namespace, version, w))) continue;
+        cluster.host(node).put(
+            meta_key(cfg_.key_namespace, version, w),
+            cluster.remote().get(meta_key(cfg_.key_namespace, version, w)).clone());
+        cluster.host(node).put(
+            keys_key(cfg_.key_namespace, version, w),
+            cluster.remote().get(keys_key(cfg_.key_namespace, version, w)).clone());
+      }
+    }
+  }
+
+  // ---- packets per worker, from the tensor-keys component ----------------
+  // Any surviving node has every worker's metadata (step-2 broadcast).
+  int meta_holder = -1;
+  for (int node = 0; node < n; ++node) {
+    if (cluster.host(node).contains(meta_key(cfg_.key_namespace, version, 0))) {
+      meta_holder = node;
+      break;
+    }
+  }
+  if (meta_holder < 0) {
+    rep.success = false;
+    rep.detail = "no surviving metadata copy for version " +
+                 std::to_string(version) + " (pruned or never saved)";
+    return rep;
+  }
+  std::size_t B = 1;
+  std::vector<std::vector<dnn::TensorMeta>> keys(
+      static_cast<std::size_t>(W));
+  for (int w = 0; w < W; ++w) {
+    keys[static_cast<std::size_t>(w)] = dnn::deserialize_tensor_keys(
+        cluster.host(meta_holder).get(keys_key(cfg_.key_namespace, version, w)).span());
+    std::size_t bytes = 0;
+    for (const auto& tm : keys[static_cast<std::size_t>(w)])
+      bytes += tm.nbytes();
+    B = std::max(B, packets_needed(bytes, P));
+  }
+
+  // Replaced nodes re-fetch the tiny metadata blobs.
+  std::vector<Seconds> node_meta_ready(static_cast<std::size_t>(n), 0);
+  for (int node = 0; node < n; ++node) {
+    if (cluster.host(node).contains(meta_key(cfg_.key_namespace, version, 0))) continue;
+    Seconds done = 0;
+    for (int w = 0; w < W; ++w) {
+      std::size_t blob =
+          cluster.host(meta_holder).get(meta_key(cfg_.key_namespace, version, w)).size() +
+          cluster.host(meta_holder).get(keys_key(cfg_.key_namespace, version, w)).size();
+      cluster::TaskId t = cluster.net_send(meta_holder, node, blob, {}, false,
+                                           "meta_refetch");
+      done = std::max(done, cluster.timeline().finish_time(t));
+      cluster.host(node).put(
+          meta_key(cfg_.key_namespace, version, w),
+          cluster.host(meta_holder).get(meta_key(cfg_.key_namespace, version, w)).clone());
+      cluster.host(node).put(
+          keys_key(cfg_.key_namespace, version, w),
+          cluster.host(meta_holder).get(keys_key(cfg_.key_namespace, version, w)).clone());
+    }
+    node_meta_ready[static_cast<std::size_t>(node)] = done;
+  }
+
+  // ---- reconstruct lost rows from any k survivors -------------------------
+  // Workflow A (all data rows alive) degenerates to re-encoding the lost
+  // parity rows; workflow B decodes lost data rows with the inverted
+  // submatrix. Both are the same distributed pass with a different
+  // reconstruction matrix (§III-C: "the decoding protocol follows the same
+  // three-step procedure ... replacing the encoding matrix by the decoding
+  // matrix"). Ordering follows the paper: lost *data* rows are rebuilt
+  // before training resumes; lost *parity* rows are restored afterwards
+  // ("each node can use its checkpoint data to resume training. Then the
+  // lost parity packets are encoded...").
+  std::vector<Seconds> row_ready(static_cast<std::size_t>(cfg_.k + cfg_.m), 0);
+  std::vector<int> missing_data, missing_parity;
+  for (int r : missing_rows)
+    (r < cfg_.k ? missing_data : missing_parity).push_back(r);
+  const bool data_lost = !missing_data.empty();
+
+  // Distributed reconstruction pass: rebuild `targets` from the k-row
+  // `basis`, releasing no task before `not_before`.
+  auto reconstruct = [&](const std::vector<int>& basis,
+                         const std::vector<int>& targets,
+                         Seconds not_before) {
+    if (targets.empty()) return;
+    ec::GfMatrix T = codec.reconstruction_matrix(basis, targets);
+    sim::TaskOptions release;
+    release.not_before = not_before;
+    cluster::TaskId gate = cluster.timeline().add_task(
+        "reconstruct_gate", sim::kNoResource, 0, {}, release);
+
+    for (int j = 0; j < per_chunk; ++j) {
+      for (int b = 0; b < static_cast<int>(B); ++b) {
+        // Partial products at each survivor, one per target row.
+        for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+          const int target_row = targets[ti];
+          const int target_node = node_of_row(target_row);
+
+          Buffer acc(P, Buffer::Init::kUninitialized);
+          if (pcodec) {
+            std::vector<ByteSpan> survivor_spans;
+            for (int s = 0; s < cfg_.k; ++s) {
+              survivor_spans.push_back(
+                  cluster.host(node_of_row(basis[static_cast<std::size_t>(s)]))
+                      .get(row_key(cfg_.key_namespace, version,
+                                   basis[static_cast<std::size_t>(s)], j, b))
+                      .span());
+            }
+            MutableByteSpan accs[] = {acc.span()};
+            pcodec->apply_matrix(T.select_rows({static_cast<int>(ti)}),
+                                 survivor_spans, accs);
+          }
+          cluster::TaskId carry = -1;
+          for (int s = 0; s < cfg_.k; ++s) {
+            const int srow = basis[static_cast<std::size_t>(s)];
+            const int snode = node_of_row(srow);
+            if (!pcodec) {
+              const Buffer& pkt = cluster.host(snode).get(
+                  row_key(cfg_.key_namespace, version, srow, j, b));
+              codec.mul_packet(T.at(static_cast<int>(ti), s), pkt.span(),
+                               acc.span(), /*accumulate=*/s != 0);
+            }
+
+            cluster::TaskId part = cluster.cpu_code(snode, P, {gate});
+            if (carry < 0) {
+              carry = part;
+            } else {
+              const int prev_node =
+                  node_of_row(basis[static_cast<std::size_t>(s - 1)]);
+              cluster::TaskId arrive = carry;
+              if (prev_node != snode)
+                arrive = cluster.net_send(prev_node, snode, P, {carry}, false,
+                                          "decode_reduce");
+              carry = cluster.cpu_xor(snode, P, {arrive, part});
+            }
+          }
+          const int last_node =
+              node_of_row(basis[static_cast<std::size_t>(cfg_.k - 1)]);
+          cluster::TaskId done = carry;
+          if (last_node != target_node)
+            done = cluster.net_send(last_node, target_node, P, {carry}, false,
+                                    "decode_p2p");
+          cluster.host(target_node).put(row_key(cfg_.key_namespace, version, target_row, j, b),
+                                        std::move(acc));
+          row_ready[static_cast<std::size_t>(target_row)] =
+              std::max(row_ready[static_cast<std::size_t>(target_row)],
+                       cluster.timeline().finish_time(done));
+        }
+      }
+    }
+  };
+
+  std::vector<int> basis(survivor_rows.begin(),
+                         survivor_rows.begin() + cfg_.k);
+  reconstruct(basis, missing_data, 0);
+
+  // ---- refill every worker's own packets and rebuild state_dicts ---------
+  out.clear();
+  out.resize(static_cast<std::size_t>(W));
+  Seconds resume = 0;
+  for (int w = 0; w < W; ++w) {
+    const int node = cluster::slice_node_of_worker(cluster, w);
+    const int c = plan.chunk_of_worker(w);
+    const int src = plan.data_nodes[static_cast<std::size_t>(c)];
+    const int j = w - c * per_chunk;
+
+    Seconds ready = std::max(row_ready[static_cast<std::size_t>(c)],
+                             node_meta_ready[static_cast<std::size_t>(node)]);
+    std::vector<ByteSpan> packet_views;
+    cluster::TaskId last = -1;
+    for (int b = 0; b < static_cast<int>(B); ++b) {
+      const std::string rk = row_key(cfg_.key_namespace, version, c, j, b);
+      if (src != node) {
+        sim::TaskOptions opts;
+        opts.not_before = ready;
+        cluster::TaskId t = cluster.timeline().add_task(
+            "refill", {cluster.nic_tx(src), cluster.nic_rx(node)},
+            static_cast<double>(P) * cluster.config().size_scale /
+                cluster.config().nic_bandwidth,
+            {}, opts);
+        last = t;
+      }
+      packet_views.push_back(cluster.host(src).get(rk).span());
+    }
+    Seconds packets_at =
+        last >= 0 ? cluster.timeline().finish_time(last) : ready;
+
+    // Skeleton rebuild: deserialize tiny components + in-place unpack.
+    dnn::StateDict skel = dnn::make_skeleton(
+        dnn::deserialize_metadata(
+            cluster.host(meta_holder).get(meta_key(cfg_.key_namespace, version, w)).span()),
+        keys[static_cast<std::size_t>(w)]);
+    unpack_packets(packet_views, skel);
+    out[static_cast<std::size_t>(w)] = std::move(skel);
+
+    sim::TaskOptions opts;
+    opts.not_before = packets_at;
+    cluster::TaskId unpack = cluster.timeline().add_task(
+        "unpack", cluster.cpu(node),
+        static_cast<double>(B) * static_cast<double>(P) *
+            cluster.config().size_scale /
+            cluster.config().host_memcpy_bandwidth,
+        {}, opts);
+    resume = std::max(resume, cluster.timeline().finish_time(unpack));
+  }
+
+  // Restore redundancy: lost parity rows are re-encoded after resume, from
+  // the now-complete set of data rows.
+  {
+    std::vector<int> data_basis;
+    for (int c = 0; c < cfg_.k; ++c) data_basis.push_back(c);
+    reconstruct(data_basis, missing_parity, resume);
+  }
+
+  Seconds total = resume;
+  for (Seconds t : row_ready) total = std::max(total, t);
+
+  // Replaced nodes now hold their reconstructed chunk and metadata: refresh
+  // their checksums and mark the version committed so future recoveries see
+  // them as survivors.
+  for (int node = 0; node < n; ++node) {
+    if (cluster.host(node).contains(commit_key(cfg_.key_namespace, version)))
+      continue;
+    if (cfg_.verify_integrity) {
+      const int row = plan.generator_row_of_node(node);
+      Buffer sums(static_cast<std::size_t>(per_chunk) * B * 8,
+                  Buffer::Init::kUninitialized);
+      for (int j = 0; j < per_chunk; ++j) {
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          const std::uint64_t crc = crc64(
+              cluster.host(node)
+                  .get(row_key(cfg_.key_namespace, version,
+                               plan.generator_row_of_node(node), j, b))
+                  .span());
+          std::memcpy(sums.data() +
+                          (static_cast<std::size_t>(j) * B +
+                           static_cast<std::size_t>(b)) *
+                              8,
+                      &crc, 8);
+        }
+      }
+      (void)row;
+      cluster.host(node).put(sums_key(cfg_.key_namespace, version),
+                             std::move(sums));
+    }
+    cluster.host(node).put(commit_key(cfg_.key_namespace, version),
+                           Buffer::copy_of(as_bytes_of(version)));
+  }
+
+  rep.success = true;
+  rep.resume_time = resume;
+  rep.total_time = total;
+  rep.detail = data_lost ? "workflow B (decoded " +
+                               std::to_string(missing_rows.size()) + " rows)"
+                         : "workflow A (all data nodes survived)";
+  return rep;
+}
+
+}  // namespace eccheck::core

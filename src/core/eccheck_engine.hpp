@@ -1,0 +1,114 @@
+// ECCheck: erasure-coded in-memory checkpointing engine (paper §III–§IV).
+//
+// save() runs the four-step protocol of Fig. 5:
+//   1. decompose each worker's state_dict and snapshot tensor data to host
+//      memory (the only training-blocking part);
+//   2. broadcast the two tiny serialized components (metadata, tensor keys)
+//      to every node;
+//   3. asynchronously encode / XOR-reduce / P2P-transfer the packed packets
+//      so that data node c ends up with data chunk c and parity node r with
+//      parity chunk r — communication is packed into profiled network-idle
+//      windows and the three stages pipeline across packets;
+//   4. optionally flush chunks to remote persistent storage (low frequency,
+//      catastrophic-failure insurance).
+//
+// load() implements the two recovery workflows of Fig. 7:
+//   A. all data nodes survive — replaced nodes are refilled by plain P2P
+//      from data nodes, lost parity chunks are re-encoded;
+//   B. data chunks were lost — any k surviving chunks are decoded with the
+//      inverted generator submatrix (a distributed pass structurally
+//      identical to encoding), training resumes as soon as every worker has
+//      its packets, then redundancy is restored.
+// If more than m nodes failed, load falls back to the remote flush when one
+// exists, and reports failure otherwise.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "ckpt/engine.hpp"
+#include "cluster/slice.hpp"
+#include "core/placement.hpp"
+#include "core/protocol.hpp"
+#include "ec/crs_codec.hpp"
+
+namespace eccheck::core {
+
+struct ECCheckConfig {
+  int k = 2;  ///< data nodes
+  int m = 2;  ///< parity nodes; k + m must equal the cluster's node count
+  int gf_width = 8;
+  ec::KernelMode kernel = ec::KernelMode::kGfTable;
+
+  /// Coding buffer size (the paper reserves 64 MB buffers; tests shrink it).
+  std::size_t packet_size = mib(64);
+
+  /// Schedule checkpoint communication inside profiled network-idle windows
+  /// (§IV-B3). Disabling it is the interference ablation.
+  bool idle_aware_comm = true;
+
+  /// Pipeline encode → XOR-reduce → P2P per packet (§IV-C). Disabling
+  /// inserts a barrier after the encode stage (ablation).
+  bool pipelined = true;
+
+  /// Step 4: also persist chunks to remote storage during save.
+  bool flush_to_remote = false;
+
+  /// Use the remote copy (if any) when more than m nodes failed.
+  bool remote_fallback = true;
+
+  /// Store per-packet CRC64s with each chunk and scrub them during load:
+  /// silently corrupted chunks are treated as erasures and decoded around,
+  /// exactly like a failed node (production bit-rot protection).
+  bool verify_integrity = true;
+
+  /// Combine XOR-reduction partials in a binary tree instead of a chain:
+  /// ⌈log2 k⌉ network hops of latency instead of k−1 (matters for large k).
+  bool tree_reduction = false;
+
+  /// Real threads for the engine's data plane (packet encoding/decoding);
+  /// 0 = serial. Timing is unaffected (virtual time comes from the cost
+  /// model) — this exercises the §IV-A thread-pool path on real bytes.
+  int data_plane_threads = 2;
+
+  /// Prefix for all store keys — lets several engines (the per-group
+  /// instances of GroupedECCheckEngine) share the remote store without
+  /// collisions.
+  std::string key_namespace;
+};
+
+class ECCheckEngine final : public ckpt::CheckpointEngine {
+ public:
+  explicit ECCheckEngine(ECCheckConfig cfg);
+
+  std::string name() const override { return "eccheck"; }
+  const ECCheckConfig& config() const { return cfg_; }
+
+  /// The communication plan for a given cluster shape (exposed for tests
+  /// and the placement ablation bench).
+  Placement plan_for(const cluster::VirtualCluster& cluster) const;
+  Placement plan_for(int num_nodes, int gpus_per_node) const;
+
+  ckpt::SaveReport save(cluster::VirtualCluster& cluster,
+                        const std::vector<dnn::StateDict>& shards,
+                        std::int64_t version) override;
+  ckpt::LoadReport load(cluster::VirtualCluster& cluster, std::int64_t version,
+                        std::vector<dnn::StateDict>& out) override;
+
+  /// Slice-based entry points: the same protocol over a window of nodes,
+  /// sharing the enclosing cluster's timeline (group-based mode, §VI).
+  ckpt::SaveReport save_slice(cluster::ClusterSlice cluster,
+                              std::span<const dnn::StateDict> shards,
+                              std::int64_t version);
+  ckpt::LoadReport load_slice(cluster::ClusterSlice cluster,
+                              std::int64_t version,
+                              std::vector<dnn::StateDict>& out);
+
+ private:
+  struct SaveContext;
+  struct LoadContext;
+
+  ECCheckConfig cfg_;
+};
+
+}  // namespace eccheck::core

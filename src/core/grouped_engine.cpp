@@ -1,0 +1,96 @@
+#include "core/grouped_engine.hpp"
+
+#include <algorithm>
+
+namespace eccheck::core {
+
+GroupedECCheckEngine::GroupedECCheckEngine(GroupedConfig cfg) : cfg_(cfg) {
+  ECC_CHECK(cfg_.group_size >= 2);
+  ECC_CHECK_MSG(cfg_.per_group.k + cfg_.per_group.m == cfg_.group_size,
+                "per-group k + m must equal group_size");
+}
+
+int GroupedECCheckEngine::num_groups(
+    const cluster::VirtualCluster& cluster) const {
+  ECC_CHECK_MSG(cluster.num_nodes() % cfg_.group_size == 0,
+                "node count " << cluster.num_nodes()
+                              << " not divisible by group size "
+                              << cfg_.group_size);
+  return cluster.num_nodes() / cfg_.group_size;
+}
+
+std::vector<int> GroupedECCheckEngine::group_nodes(
+    const cluster::VirtualCluster& cluster, int g) const {
+  ECC_CHECK(g >= 0 && g < num_groups(cluster));
+  std::vector<int> out;
+  for (int n = g * cfg_.group_size; n < (g + 1) * cfg_.group_size; ++n)
+    out.push_back(n);
+  return out;
+}
+
+ckpt::SaveReport GroupedECCheckEngine::save(
+    cluster::VirtualCluster& cluster, const std::vector<dnn::StateDict>& shards,
+    std::int64_t version) {
+  ECC_CHECK(static_cast<int>(shards.size()) == cluster.world_size());
+  const int groups = num_groups(cluster);
+  const int workers_per_group = cfg_.group_size * cluster.gpus_per_node();
+
+  cluster.reset_timeline();
+  ckpt::SaveReport merged;
+  for (int g = 0; g < groups; ++g) {
+    ECCheckConfig ec = cfg_.per_group;
+    ec.key_namespace = "grp" + std::to_string(g) + "/";
+    ECCheckEngine engine(ec);
+    cluster::ClusterSlice slice(cluster, g * cfg_.group_size, cfg_.group_size,
+                                /*owns_timeline=*/false);
+    std::span<const dnn::StateDict> group_shards(
+        shards.data() + static_cast<std::size_t>(g) * workers_per_group,
+        static_cast<std::size_t>(workers_per_group));
+    ckpt::SaveReport rep = engine.save_slice(slice, group_shards, version);
+
+    merged.stall_time = std::max(merged.stall_time, rep.stall_time);
+    merged.total_time = std::max(merged.total_time, rep.total_time);
+    merged.network_bytes += rep.network_bytes;
+    merged.remote_bytes += rep.remote_bytes;
+    for (const auto& [k, v] : rep.breakdown)
+      merged.breakdown[k] = std::max(merged.breakdown[k], v);
+  }
+  return merged;
+}
+
+ckpt::LoadReport GroupedECCheckEngine::load(cluster::VirtualCluster& cluster,
+                                            std::int64_t version,
+                                            std::vector<dnn::StateDict>& out) {
+  const int groups = num_groups(cluster);
+  const int workers_per_group = cfg_.group_size * cluster.gpus_per_node();
+
+  cluster.reset_timeline();
+  out.clear();
+  out.resize(static_cast<std::size_t>(cluster.world_size()));
+
+  ckpt::LoadReport merged;
+  merged.success = true;
+  for (int g = 0; g < groups; ++g) {
+    ECCheckConfig ec = cfg_.per_group;
+    ec.key_namespace = "grp" + std::to_string(g) + "/";
+    ECCheckEngine engine(ec);
+    cluster::ClusterSlice slice(cluster, g * cfg_.group_size, cfg_.group_size,
+                                /*owns_timeline=*/false);
+    std::vector<dnn::StateDict> group_out;
+    ckpt::LoadReport rep = engine.load_slice(slice, version, group_out);
+    if (!rep.success) {
+      merged.success = false;
+      merged.detail = "group " + std::to_string(g) + ": " + rep.detail;
+      return merged;
+    }
+    for (int w = 0; w < workers_per_group; ++w)
+      out[static_cast<std::size_t>(g * workers_per_group + w)] =
+          std::move(group_out[static_cast<std::size_t>(w)]);
+    merged.resume_time = std::max(merged.resume_time, rep.resume_time);
+    merged.total_time = std::max(merged.total_time, rep.total_time);
+  }
+  merged.detail = "recovered across " + std::to_string(groups) + " groups";
+  return merged;
+}
+
+}  // namespace eccheck::core

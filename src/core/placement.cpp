@@ -1,0 +1,190 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace eccheck::core {
+
+std::vector<int> max_overlap_pairing(const std::vector<IndexInterval>& origin,
+                                     const std::vector<IndexInterval>& data) {
+  // Sweep over the sorted, disjoint interval sets with two cursors,
+  // enumerating every intersecting (origin, data) pair exactly once — the
+  // sweep line visits each interval endpoint in order, so the candidate list
+  // is O(|origin| + |data|) long.
+  struct Candidate {
+    int ov;
+    int data_idx;
+    int origin_idx;
+  };
+  std::vector<Candidate> candidates;
+  std::size_t i = 0, j = 0;
+  while (i < origin.size() && j < data.size()) {
+    int ov = overlap(origin[i], data[j]);
+    if (ov > 0)
+      candidates.push_back({ov, static_cast<int>(j), static_cast<int>(i)});
+    // Advance whichever interval ends first.
+    if (origin[i].end <= data[j].end)
+      ++i;
+    else
+      ++j;
+  }
+
+  // Greedy maximum-overlap assignment: largest overlaps first, each origin
+  // interval used at most once (two data chunks cannot share a node).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::tie(b.ov, a.data_idx, a.origin_idx) <
+                     std::tie(a.ov, b.data_idx, b.origin_idx);
+            });
+  std::vector<int> assignment(data.size(), -1);
+  std::vector<bool> origin_used(origin.size(), false);
+  for (const auto& c : candidates) {
+    auto d = static_cast<std::size_t>(c.data_idx);
+    auto o = static_cast<std::size_t>(c.origin_idx);
+    if (assignment[d] >= 0 || origin_used[o]) continue;
+    assignment[d] = c.origin_idx;
+    origin_used[o] = true;
+  }
+  // Any data chunk left unmatched (possible only when overlaps collide)
+  // takes the lowest unused origin interval.
+  for (std::size_t d = 0; d < assignment.size(); ++d) {
+    if (assignment[d] >= 0) continue;
+    for (std::size_t o = 0; o < origin.size(); ++o) {
+      if (!origin_used[o]) {
+        assignment[d] = static_cast<int>(o);
+        origin_used[o] = true;
+        break;
+      }
+    }
+    ECC_CHECK_MSG(assignment[d] >= 0, "more data chunks than nodes");
+  }
+  return assignment;
+}
+
+bool Placement::is_data_node(int node) const {
+  return std::find(data_nodes.begin(), data_nodes.end(), node) !=
+         data_nodes.end();
+}
+
+bool Placement::is_parity_node(int node) const {
+  return std::find(parity_nodes.begin(), parity_nodes.end(), node) !=
+         parity_nodes.end();
+}
+
+int Placement::generator_row_of_node(int node) const {
+  for (std::size_t c = 0; c < data_nodes.size(); ++c)
+    if (data_nodes[c] == node) return static_cast<int>(c);
+  for (std::size_t r = 0; r < parity_nodes.size(); ++r)
+    if (parity_nodes[r] == node) return config.k + static_cast<int>(r);
+  ECC_CHECK_MSG(false, "node " << node << " has no chunk role");
+  return -1;
+}
+
+Placement plan_placement(const PlacementConfig& cfg) {
+  ECC_CHECK(cfg.num_nodes >= 1 && cfg.gpus_per_node >= 1);
+  ECC_CHECK_MSG(cfg.k >= 1 && cfg.m >= 0 && cfg.k + cfg.m == cfg.num_nodes,
+                "need k + m == num_nodes (one chunk per node)");
+  const int W = cfg.num_nodes * cfg.gpus_per_node;
+  ECC_CHECK_MSG(W % cfg.k == 0,
+                "world size " << W << " not divisible by k=" << cfg.k);
+  const int per_chunk = W / cfg.k;
+
+  Placement p;
+  p.config = cfg;
+
+  // origin_group: physical node intervals; data_group: logical chunks.
+  std::vector<IndexInterval> origin, data;
+  for (int n = 0; n < cfg.num_nodes; ++n)
+    origin.push_back({n * cfg.gpus_per_node, (n + 1) * cfg.gpus_per_node});
+  for (int c = 0; c < cfg.k; ++c)
+    data.push_back({c * per_chunk, (c + 1) * per_chunk});
+
+  p.data_nodes = max_overlap_pairing(origin, data);
+  std::vector<bool> is_data(static_cast<std::size_t>(cfg.num_nodes), false);
+  for (int n : p.data_nodes) is_data[static_cast<std::size_t>(n)] = true;
+  for (int n = 0; n < cfg.num_nodes; ++n)
+    if (!is_data[static_cast<std::size_t>(n)]) p.parity_nodes.push_back(n);
+  ECC_CHECK(static_cast<int>(p.parity_nodes.size()) == cfg.m);
+
+  // Reduction groups and targets (§IV-B2).
+  for (int j = 0; j < per_chunk; ++j) {
+    std::vector<int> participants;
+    for (int c = 0; c < cfg.k; ++c) participants.push_back(c * per_chunk + j);
+
+    for (int r = 0; r < cfg.m; ++r) {
+      ReductionOp op;
+      op.group = j;
+      op.parity_row = r;
+      op.participants = participants;
+      op.dest_node = p.parity_nodes[static_cast<std::size_t>(r)];
+
+      int target = -1;
+      for (int w : participants) {
+        if (node_of(cfg, w) == op.dest_node) {
+          target = w;  // result lands directly on its parity node
+          break;
+        }
+      }
+      if (target < 0) {
+        int idx;
+        if (cfg.k == cfg.m) {
+          idx = r;  // one result per worker
+        } else if (cfg.k > cfg.m) {
+          idx = r * (cfg.k / cfg.m);  // spread at ⌊k/m⌋ intervals
+        } else {
+          idx = r % cfg.k;  // round robin, some workers take several
+        }
+        target = participants[static_cast<std::size_t>(idx)];
+      }
+      op.target_worker = target;
+      p.reductions.push_back(std::move(op));
+    }
+  }
+
+  // P2P step: data packets that are not already on their data node.
+  for (int w = 0; w < W; ++w) {
+    const int c = w / per_chunk;
+    const int src = node_of(cfg, w);
+    const int dst = p.data_nodes[static_cast<std::size_t>(c)];
+    if (src != dst)
+      p.transfers.push_back(
+          {P2PTransfer::Kind::kDataPacket, c, w, src, dst});
+  }
+  // Parity packets whose reduction target is not on the parity node.
+  for (const auto& op : p.reductions) {
+    const int src = node_of(cfg, op.target_worker);
+    if (src != op.dest_node)
+      p.transfers.push_back({P2PTransfer::Kind::kParityPacket, op.parity_row,
+                             op.target_worker, src, op.dest_node});
+  }
+  return p;
+}
+
+CommVolume nominal_comm_volume(const Placement& p, double shard_bytes) {
+  CommVolume v;
+  const int k = p.config.k;
+  v.xor_reduction_bytes =
+      static_cast<double>(p.reductions.size()) * (k - 1) * shard_bytes;
+  v.p2p_bytes = static_cast<double>(p.transfers.size()) * shard_bytes;
+  return v;
+}
+
+CommVolume actual_comm_volume(const Placement& p, double shard_bytes) {
+  CommVolume v;
+  for (const auto& op : p.reductions) {
+    // Chain reduce ending at the target: participants forward accumulated
+    // packets in order; hops between co-located workers are free.
+    std::vector<int> chain;
+    for (int w : op.participants)
+      if (w != op.target_worker) chain.push_back(w);
+    chain.push_back(op.target_worker);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (node_of(p.config, chain[i]) != node_of(p.config, chain[i + 1]))
+        v.xor_reduction_bytes += shard_bytes;
+    }
+  }
+  v.p2p_bytes = static_cast<double>(p.transfers.size()) * shard_bytes;
+  return v;
+}
+
+}  // namespace eccheck::core

@@ -1,0 +1,47 @@
+// Serialization-free encoding/decoding protocol (paper §III-C, Fig. 8).
+//
+// Instead of pickling the whole state_dict, ECCheck decomposes it into
+//   (1) non-tensor key-value pairs   — serialized, broadcast (tiny);
+//   (2) tensor keys (names/shapes)   — serialized, broadcast (tiny);
+//   (3) tensor data                  — raw contiguous bytes (≈ all of it).
+// The tensor bytes are packed back-to-back into fixed-size *packets*
+// (the paper's 64 MB data buffers); packets are the unit the erasure code
+// and the reduction groups operate on. Every worker is padded to the same
+// packet count so packet t of chunk a aligns with packet t of chunk b.
+//
+// Reassembly is the inverse: rebuild the state_dict skeleton from the two
+// tiny components, then copy packet bytes back into the tensors in place.
+#pragma once
+
+#include <vector>
+
+#include "dnn/serializer.hpp"
+#include "dnn/state_dict.hpp"
+
+namespace eccheck::core {
+
+/// The three components of one worker's state_dict.
+struct Decomposition {
+  Buffer metadata_blob;              ///< serialized non-tensor KV pairs
+  Buffer keys_blob;                  ///< serialized tensor keys
+  std::vector<ByteSpan> tensor_data; ///< views into the live state_dict
+  std::size_t tensor_bytes = 0;
+};
+
+Decomposition decompose(const dnn::StateDict& sd);
+
+/// Packets needed to hold `payload_bytes` at `packet_size` granularity.
+std::size_t packets_needed(std::size_t payload_bytes, std::size_t packet_size);
+
+/// Concatenate tensor byte spans into `num_packets` zero-padded packets of
+/// `packet_size` bytes each (num_packets ≥ packets_needed(total)).
+std::vector<Buffer> pack_packets(const std::vector<ByteSpan>& tensor_data,
+                                 std::size_t packet_size,
+                                 std::size_t num_packets);
+
+/// Inverse of pack_packets: copy packet bytes back into the skeleton's
+/// tensors (sizes come from the tensor keys component).
+void unpack_packets(const std::vector<ByteSpan>& packets,
+                    dnn::StateDict& skeleton);
+
+}  // namespace eccheck::core

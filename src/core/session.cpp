@@ -1,0 +1,71 @@
+#include "core/session.hpp"
+
+namespace eccheck::core {
+
+Session Session::initialize(cluster::VirtualCluster& cluster,
+                            const dnn::ModelSpec& model,
+                            const dnn::ParallelismSpec& parallelism,
+                            SessionConfig cfg) {
+  ECCheckEngine engine(cfg.ec);
+  Placement placement = engine.plan_for(cluster);
+
+  trainsim::TrainProfile profile;
+  if (cfg.profile_iterations > 0) {
+    auto workload = trainsim::estimate_workload(model, parallelism);
+    profile = trainsim::simulate_iteration(workload,
+                                           parallelism.pipeline_parallel,
+                                           cluster.config().nic_bandwidth,
+                                           parallelism.data_parallel);
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      int stage = std::min(n, parallelism.pipeline_parallel - 1);
+      cluster.set_nic_calendar(n, profile.tiled(stage,
+                                                cfg.profile_iterations));
+    }
+  }
+  return Session(cluster, std::move(engine), std::move(placement),
+                 std::move(profile), cfg);
+}
+
+ckpt::SaveReport Session::save(const std::vector<dnn::StateDict>& shards) {
+  const std::int64_t version = next_version_++;
+  ckpt::SaveReport rep = engine_.save(*cluster_, shards, version);
+  if (cfg_.retain_versions > 0)
+    prune(version - cfg_.retain_versions + 1);
+  return rep;
+}
+
+void Session::prune(std::int64_t oldest_to_keep) {
+  const std::string& ns = engine_.config().key_namespace;
+  for (std::int64_t v = oldest_to_keep - 1; v >= 1; --v) {
+    const std::string prefix = ns + "ec/" + std::to_string(v) + "/";
+    bool any = false;
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      if (!cluster_->alive(n)) continue;
+      for (const auto& key : cluster_->host(n).keys_with_prefix(prefix)) {
+        cluster_->host(n).erase(key);
+        any = true;
+      }
+    }
+    if (!any) break;  // older versions were already pruned
+  }
+}
+
+Session::RecoverResult Session::load(std::vector<dnn::StateDict>& out) {
+  RecoverResult result;
+  const std::int64_t newest = latest_version();
+  const std::int64_t oldest =
+      cfg_.retain_versions > 0
+          ? std::max<std::int64_t>(1, newest - cfg_.retain_versions + 1)
+          : 1;
+  for (std::int64_t v = newest; v >= oldest; --v) {
+    result.report = engine_.load(*cluster_, v, out);
+    if (result.report.success) {
+      result.version = v;
+      return result;
+    }
+  }
+  result.version = 0;
+  return result;
+}
+
+}  // namespace eccheck::core

@@ -1,0 +1,78 @@
+// Session facade — the paper's three-call API (§V-A):
+//   eccheck.initialize  → core::Session::initialize(...)
+//   eccheck.save        → session.save(shards)
+//   eccheck.load        → session.load(out)
+//
+// initialize() fixes the encoding matrix and communication strategy
+// (placement plan), profiles the training communication pattern over the
+// first iterations to find network-idle windows, and installs the resulting
+// NIC calendars on the cluster. save() checkpoints with monotonically
+// increasing versions and prunes old versions beyond the retention window;
+// load() recovers the newest version that is still fully recoverable.
+#pragma once
+
+#include <optional>
+
+#include "core/eccheck_engine.hpp"
+#include "trainsim/train_profile.hpp"
+
+namespace eccheck::core {
+
+struct SessionConfig {
+  ECCheckConfig ec;
+
+  /// Online idle-slot profiling (§IV-B3): number of iterations profiled and
+  /// tiled into the NIC calendars. 0 disables profiling.
+  int profile_iterations = 50;
+
+  /// Checkpoint versions kept in host memory (older keys are pruned).
+  int retain_versions = 2;
+};
+
+class Session {
+ public:
+  /// Plan placement, profile training communication, install calendars.
+  static Session initialize(cluster::VirtualCluster& cluster,
+                            const dnn::ModelSpec& model,
+                            const dnn::ParallelismSpec& parallelism,
+                            SessionConfig cfg = SessionConfig());
+
+  const Placement& placement() const { return placement_; }
+  const trainsim::TrainProfile& train_profile() const { return profile_; }
+  std::int64_t latest_version() const { return next_version_ - 1; }
+
+  /// Checkpoint the sharded state; returns the engine report. Versions
+  /// start at 1 and increase by one per save.
+  ckpt::SaveReport save(const std::vector<dnn::StateDict>& shards);
+
+  /// Recover the newest loadable version (falling back to older retained
+  /// versions if the newest is unrecoverable). Returns the version loaded
+  /// alongside the engine report; version 0 in the report detail means
+  /// nothing could be recovered.
+  struct RecoverResult {
+    ckpt::LoadReport report;
+    std::int64_t version = 0;
+  };
+  RecoverResult load(std::vector<dnn::StateDict>& out);
+
+  ECCheckEngine& engine() { return engine_; }
+
+ private:
+  Session(cluster::VirtualCluster& cluster, ECCheckEngine engine,
+          Placement placement, trainsim::TrainProfile profile,
+          SessionConfig cfg)
+      : cluster_(&cluster), engine_(std::move(engine)),
+        placement_(std::move(placement)), profile_(std::move(profile)),
+        cfg_(cfg) {}
+
+  void prune(std::int64_t oldest_to_keep);
+
+  cluster::VirtualCluster* cluster_;
+  ECCheckEngine engine_;
+  Placement placement_;
+  trainsim::TrainProfile profile_;
+  SessionConfig cfg_;
+  std::int64_t next_version_ = 1;
+};
+
+}  // namespace eccheck::core

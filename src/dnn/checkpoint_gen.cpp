@@ -1,0 +1,153 @@
+#include "dnn/checkpoint_gen.hpp"
+
+#include "common/rng.hpp"
+
+namespace eccheck::dnn {
+namespace {
+
+/// Deterministic payload: every tensor's bytes depend on (seed, worker, its
+/// position in the dict) so any reconstruction path must reproduce them
+/// exactly.
+void fill_tensor(Tensor& t, std::uint64_t seed, int worker,
+                 std::size_t index) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(worker) << 32) ^
+                    (static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL);
+  fill_random(t.bytes(), s);
+}
+
+struct Builder {
+  const CheckpointGenConfig& cfg;
+  int worker;       ///< the physical worker this shard belongs to
+  int fill_worker;  ///< worker id used for payload seeds (dp replicas share)
+  StateDict sd;
+  std::size_t index = 0;
+
+  /// FSDP flattens every tensor and keeps 1/dp of the elements per replica.
+  std::vector<std::int64_t> maybe_fsdp_shape(
+      std::vector<std::int64_t> shape) const {
+    const int dp = cfg.parallelism.data_parallel;
+    if (!cfg.fsdp || dp <= 1) return shape;
+    std::int64_t numel = 1;
+    for (auto d : shape) numel *= d;
+    return {(numel + dp - 1) / dp};
+  }
+
+  void add(const std::string& key, DType dtype,
+           std::vector<std::int64_t> shape) {
+    shape = maybe_fsdp_shape(std::move(shape));
+    Tensor t(dtype, shape);
+    fill_tensor(t, cfg.seed, fill_worker, index++);
+    std::string prefix = "model." + key;
+    if (cfg.optimizer_states) {
+      Tensor m(DType::kF32, shape);
+      Tensor v(DType::kF32, shape);
+      fill_tensor(m, cfg.seed, fill_worker, index++);
+      fill_tensor(v, cfg.seed, fill_worker, index++);
+      sd.add_tensor("optimizer.exp_avg." + key, std::move(m));
+      sd.add_tensor("optimizer.exp_avg_sq." + key, std::move(v));
+    }
+    sd.add_tensor(prefix, std::move(t));
+  }
+};
+
+}  // namespace
+
+StateDict make_worker_state_dict(const CheckpointGenConfig& cfg, int worker) {
+  const ModelSpec& m = cfg.model;
+  const ParallelismSpec& p = cfg.parallelism;
+  const RankCoords rc = rank_coords(p, worker);
+
+  const int tp = p.tensor_parallel;
+  ECC_CHECK_MSG(m.hidden % tp == 0,
+                "hidden " << m.hidden << " not divisible by tp " << tp);
+  // Layers are distributed round-robin-contiguously over pipeline stages;
+  // uneven remainders go to the earliest stages (Megatron default).
+  const int pp = p.pipeline_parallel;
+  const int base = m.layers / pp;
+  const int extra = m.layers % pp;
+  const int my_layers = base + (rc.pp_stage < extra ? 1 : 0);
+  const int first_layer =
+      rc.pp_stage * base + std::min(rc.pp_stage, extra);
+
+  const std::int64_t h = m.hidden;
+  const std::int64_t h_tp = h / tp;
+  const std::int64_t v_tp =
+      (m.vocab + tp - 1) / tp;  // vocab padded to tp shards
+
+  // Plain data parallelism replicates model tensors bit-identically across
+  // dp ranks; FSDP gives each rank a distinct 1/dp slice.
+  int fill_worker = worker;
+  if (p.data_parallel > 1 && !cfg.fsdp)
+    fill_worker = worker_of(p, {rc.tp_rank, rc.pp_stage, 0});
+  Builder b{cfg, worker, fill_worker, {}, 0};
+
+  // Embeddings live on the first pipeline stage (column-sharded over tp).
+  if (rc.pp_stage == 0) {
+    b.add("embedding.word_embeddings.weight", DType::kF16, {v_tp, h});
+    b.add("embedding.position_embeddings.weight", DType::kF16, {1024, h});
+  }
+
+  for (int l = first_layer; l < first_layer + my_layers; ++l) {
+    std::string lp = "layers." + std::to_string(l) + ".";
+    b.add(lp + "input_layernorm.weight", DType::kF16, {h});
+    b.add(lp + "input_layernorm.bias", DType::kF16, {h});
+    // Column-parallel QKV: output dim sharded.
+    b.add(lp + "attention.qkv.weight", DType::kF16, {3 * h_tp, h});
+    b.add(lp + "attention.qkv.bias", DType::kF16, {3 * h_tp});
+    // Row-parallel projection: input dim sharded; bias replicated.
+    b.add(lp + "attention.dense.weight", DType::kF16, {h, h_tp});
+    b.add(lp + "attention.dense.bias", DType::kF16, {h});
+    b.add(lp + "post_attention_layernorm.weight", DType::kF16, {h});
+    b.add(lp + "post_attention_layernorm.bias", DType::kF16, {h});
+    b.add(lp + "mlp.dense_h_to_4h.weight", DType::kF16, {4 * h_tp, h});
+    b.add(lp + "mlp.dense_h_to_4h.bias", DType::kF16, {4 * h_tp});
+    b.add(lp + "mlp.dense_4h_to_h.weight", DType::kF16, {h, 4 * h_tp});
+    b.add(lp + "mlp.dense_4h_to_h.bias", DType::kF16, {h});
+  }
+
+  if (rc.pp_stage == p.pipeline_parallel - 1) {
+    b.add("final_layernorm.weight", DType::kF16, {h});
+    b.add("final_layernorm.bias", DType::kF16, {h});
+  }
+
+  // Dataloader / CUDA RNG state blob (tensor data kept in CPU memory).
+  {
+    // RNG state is always per-worker (dataloader streams differ).
+    Tensor rng_state(DType::kU8, {5056});
+    fill_tensor(rng_state, cfg.seed, worker, b.index++);
+    b.sd.add_tensor("rng.cuda_rng_state", std::move(rng_state));
+  }
+
+  auto& meta = b.sd.metadata();
+  meta["iteration"] = cfg.iteration;
+  meta["checkpoint_version"] = std::int64_t{3};
+  meta["model"] = m.label;
+  meta["tokens_consumed"] = cfg.iteration * std::int64_t{1048576};
+  meta["learning_rate"] = 1.5e-4;
+  meta["tp_rank"] = static_cast<std::int64_t>(rc.tp_rank);
+  meta["pp_stage"] = static_cast<std::int64_t>(rc.pp_stage);
+  meta["dp_rank"] = static_cast<std::int64_t>(rc.dp_rank);
+  meta["world_size"] = static_cast<std::int64_t>(p.world_size());
+  meta["fsdp"] = static_cast<std::int64_t>(cfg.fsdp ? 1 : 0);
+
+  return std::move(b.sd);
+}
+
+std::vector<StateDict> make_sharded_checkpoint(
+    const CheckpointGenConfig& cfg) {
+  std::vector<StateDict> out;
+  out.reserve(static_cast<std::size_t>(cfg.parallelism.world_size()));
+  for (int w = 0; w < cfg.parallelism.world_size(); ++w)
+    out.push_back(make_worker_state_dict(cfg, w));
+  return out;
+}
+
+std::vector<std::uint64_t> shard_digests(const CheckpointGenConfig& cfg) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(cfg.parallelism.world_size()));
+  for (int w = 0; w < cfg.parallelism.world_size(); ++w)
+    out.push_back(make_worker_state_dict(cfg, w).digest());
+  return out;
+}
+
+}  // namespace eccheck::dnn

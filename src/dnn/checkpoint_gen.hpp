@@ -1,0 +1,44 @@
+// Synthetic sharded-checkpoint generator.
+//
+// Builds one Megatron-style state_dict per worker for a given model and
+// parallelism layout: tensor-parallel column/row-sharded weights, per-layer
+// layernorms, stage-0 embeddings, Adam exp_avg/exp_avg_sq, an RNG-state
+// blob, and non-tensor metadata. Payload bytes are deterministic in
+// (seed, worker, tensor index) so recovered checkpoints can be verified
+// bit-exactly from the digest alone.
+#pragma once
+
+#include <vector>
+
+#include "dnn/model_zoo.hpp"
+#include "dnn/parallelism.hpp"
+#include "dnn/state_dict.hpp"
+
+namespace eccheck::dnn {
+
+struct CheckpointGenConfig {
+  ModelSpec model;
+  ParallelismSpec parallelism;
+  std::uint64_t seed = 42;
+  std::int64_t iteration = 1000;
+  bool optimizer_states = true;  ///< include Adam moments (f32, 2× weights)
+
+  /// Fully sharded data parallelism: with data_parallel > 1, every tensor
+  /// (weights and optimizer state) is flattened and split 1/dp per replica
+  /// — no full copies exist anywhere, which is exactly when in-memory
+  /// erasure coding matters (§III-A). Without it, plain data parallelism
+  /// replicates tensors bit-identically across dp ranks.
+  bool fsdp = false;
+};
+
+/// state_dict for one worker.
+StateDict make_worker_state_dict(const CheckpointGenConfig& cfg, int worker);
+
+/// All world_size() shards.
+std::vector<StateDict> make_sharded_checkpoint(const CheckpointGenConfig& cfg);
+
+/// Digest of each worker's shard without keeping the shards alive —
+/// convenience for large sweeps.
+std::vector<std::uint64_t> shard_digests(const CheckpointGenConfig& cfg);
+
+}  // namespace eccheck::dnn

@@ -1,0 +1,79 @@
+#include "dnn/half.hpp"
+
+#include <cstring>
+
+namespace eccheck::dnn {
+
+std::uint16_t float_to_half(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const std::uint32_t sign = (x >> 16) & 0x8000;
+  const std::uint32_t exp = (x >> 23) & 0xff;
+  std::uint32_t mant = x & 0x7fffff;
+
+  if (exp == 0xff) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7c00 | (mant ? 0x200 : 0));
+  }
+  // Re-bias: half exponent = exp - 127 + 15.
+  int new_exp = static_cast<int>(exp) - 127 + 15;
+  if (new_exp >= 0x1f) {  // overflow → infinity
+    return static_cast<std::uint16_t>(sign | 0x7c00);
+  }
+  if (new_exp <= 0) {  // subnormal or zero
+    if (new_exp < -10) return static_cast<std::uint16_t>(sign);
+    // Add the implicit leading 1 and shift into subnormal position.
+    mant |= 0x800000;
+    const int shift = 14 - new_exp;
+    std::uint32_t sub = mant >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (sub & 1))) ++sub;
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+  // Normal: round mantissa from 23 to 10 bits, nearest even.
+  std::uint32_t out_mant = mant >> 13;
+  const std::uint32_t rem = mant & 0x1fff;
+  if (rem > 0x1000 || (rem == 0x1000 && (out_mant & 1))) {
+    ++out_mant;
+    if (out_mant == 0x400) {  // mantissa overflow bumps the exponent
+      out_mant = 0;
+      ++new_exp;
+      if (new_exp >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00);
+    }
+  }
+  return static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(new_exp) << 10) | out_mant);
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1f;
+  std::uint32_t mant = h & 0x3ff;
+  std::uint32_t out;
+
+  if (exp == 0x1f) {  // inf / NaN
+    out = sign | 0x7f800000 | (mant << 13);
+  } else if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // zero
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while (!(mant & 0x400));
+      mant &= 0x3ff;
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            (mant << 13);
+    }
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, 4);
+  return f;
+}
+
+}  // namespace eccheck::dnn

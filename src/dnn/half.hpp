@@ -1,0 +1,19 @@
+// IEEE 754 binary16 conversion.
+//
+// The training-step simulator updates fp16 weights through an fp32 Adam
+// path, exactly like mixed-precision training; bit-exact, branch-complete
+// conversions (subnormals, infinities, NaN, round-to-nearest-even) keep the
+// interrupted-vs-uninterrupted training equivalence test meaningful.
+#pragma once
+
+#include <cstdint>
+
+namespace eccheck::dnn {
+
+/// fp32 → fp16 bits, round-to-nearest-even, overflow to infinity.
+std::uint16_t float_to_half(float f);
+
+/// fp16 bits → fp32 (exact).
+float half_to_float(std::uint16_t h);
+
+}  // namespace eccheck::dnn

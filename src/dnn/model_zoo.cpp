@@ -1,0 +1,86 @@
+#include "dnn/model_zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace eccheck::dnn {
+
+const char* family_name(ModelFamily f) {
+  switch (f) {
+    case ModelFamily::kGPT2:
+      return "GPT-2";
+    case ModelFamily::kBERT:
+      return "BERT";
+    case ModelFamily::kT5:
+      return "T5";
+  }
+  return "?";
+}
+
+std::uint64_t ModelSpec::param_count() const {
+  const std::uint64_t h = static_cast<std::uint64_t>(hidden);
+  const std::uint64_t L = static_cast<std::uint64_t>(layers);
+  const std::uint64_t V = static_cast<std::uint64_t>(vocab);
+  return V * h + L * (12 * h * h + 13 * h) + 2 * h;
+}
+
+std::uint64_t ModelSpec::checkpoint_bytes(double bytes_per_param) const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(param_count()) * bytes_per_param);
+}
+
+ModelSpec ModelSpec::scaled_down(double factor, int hidden_multiple) const {
+  ECC_CHECK(factor >= 1.0);
+  ModelSpec s = *this;
+  int h = static_cast<int>(std::lround(hidden / factor));
+  h = std::max(hidden_multiple, (h / hidden_multiple) * hidden_multiple);
+  s.hidden = h;
+  s.vocab = std::max(256, static_cast<int>(std::lround(vocab / factor)));
+  s.attention_heads = std::max(1, std::min(attention_heads, h / 64));
+  s.label = label + " (scaled)";
+  return s;
+}
+
+ModelSpec make_model(ModelFamily family, int hidden, int heads, int layers,
+                     const std::string& label) {
+  ModelSpec m;
+  m.family = family;
+  m.hidden = hidden;
+  m.attention_heads = heads;
+  m.layers = layers;
+  m.label = label;
+  return m;
+}
+
+std::vector<ModelSpec> table1_models() {
+  std::vector<ModelSpec> out;
+  const struct {
+    int hidden, heads, layers;
+    const char* size;
+  } rows[] = {
+      {1600, 32, 48, "1.6B"},
+      {2560, 40, 64, "5.3B"},
+      {5120, 40, 64, "20B"},
+  };
+  for (ModelFamily f :
+       {ModelFamily::kGPT2, ModelFamily::kBERT, ModelFamily::kT5}) {
+    for (const auto& r : rows) {
+      out.push_back(make_model(f, r.hidden, r.heads, r.layers,
+                               std::string(family_name(f)) + " " + r.size));
+    }
+  }
+  return out;
+}
+
+ModelSpec gpt2_345m() {
+  return make_model(ModelFamily::kGPT2, 1024, 16, 24, "GPT-2 345M");
+}
+
+ModelSpec gpt2_hidden1024(int layers) {
+  return make_model(ModelFamily::kGPT2, 1024, 16, layers,
+                    "GPT-2 h1024 L" + std::to_string(layers));
+}
+
+}  // namespace eccheck::dnn

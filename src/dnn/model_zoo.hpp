@@ -1,0 +1,49 @@
+// Table-I model configurations and checkpoint sizing.
+//
+// Parameter counts follow the standard transformer estimate
+//   P ≈ V·h (embeddings) + L·(12h² + 13h) (blocks) + 2h (final layernorm);
+// the Table-I labels check out: (1600,48)→1.6B, (2560,64)→5.3B,
+// (5120,64)→20B. Checkpoint bytes default to 16 B/param — fp16 weights plus
+// fp32 Adam exp_avg/exp_avg_sq plus fp32 master copy, the Megatron-LM
+// mixed-precision layout the paper trains with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eccheck::dnn {
+
+enum class ModelFamily { kGPT2, kBERT, kT5 };
+
+const char* family_name(ModelFamily f);
+
+struct ModelSpec {
+  ModelFamily family = ModelFamily::kGPT2;
+  std::string label;        ///< "GPT-2 5.3B"
+  int hidden = 1024;
+  int attention_heads = 16;
+  int layers = 24;
+  int vocab = 50257;        ///< constant across the paper's experiments
+
+  std::uint64_t param_count() const;
+
+  /// Checkpoint footprint across the whole model.
+  std::uint64_t checkpoint_bytes(double bytes_per_param = 16.0) const;
+
+  /// Scaled-down copy for simulation: divides hidden (rounded to a multiple
+  /// of `hidden_multiple`) and vocab by `factor`, keeping layer count and
+  /// tensor structure. Used with ClusterConfig::size_scale so benchmarks run
+  /// real bytes at laptop scale while charging paper-scale virtual time.
+  ModelSpec scaled_down(double factor, int hidden_multiple = 64) const;
+};
+
+/// The nine Table-I configurations plus the GPT-2 345M used in Fig. 4 and
+/// the hidden-1024 scalability model of Fig. 14.
+std::vector<ModelSpec> table1_models();
+ModelSpec gpt2_345m();
+ModelSpec gpt2_hidden1024(int layers);
+ModelSpec make_model(ModelFamily family, int hidden, int heads, int layers,
+                     const std::string& label);
+
+}  // namespace eccheck::dnn

@@ -1,0 +1,46 @@
+// Hybrid-parallel rank topology (paper Fig. 1).
+//
+// Megatron-LM assigns ranks tensor-parallel-first: for world size
+// W = tp·pp·dp, worker w has tp_rank = w mod tp, then pipeline stage, then
+// data-parallel replica. With tp equal to GPUs per node, a node hosts one
+// full tensor-parallel group of one pipeline stage — the testbed layout
+// (tp=4 intra-node over NVLink, pp=4 across nodes).
+#pragma once
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace eccheck::dnn {
+
+struct ParallelismSpec {
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int data_parallel = 1;
+
+  int world_size() const {
+    return tensor_parallel * pipeline_parallel * data_parallel;
+  }
+};
+
+struct RankCoords {
+  int tp_rank = 0;
+  int pp_stage = 0;
+  int dp_rank = 0;
+};
+
+inline RankCoords rank_coords(const ParallelismSpec& p, int worker) {
+  ECC_CHECK(worker >= 0 && worker < p.world_size());
+  RankCoords c;
+  c.tp_rank = worker % p.tensor_parallel;
+  c.pp_stage = (worker / p.tensor_parallel) % p.pipeline_parallel;
+  c.dp_rank = worker / (p.tensor_parallel * p.pipeline_parallel);
+  return c;
+}
+
+inline int worker_of(const ParallelismSpec& p, const RankCoords& c) {
+  return c.tp_rank +
+         p.tensor_parallel * (c.pp_stage + p.pipeline_parallel * c.dp_rank);
+}
+
+}  // namespace eccheck::dnn

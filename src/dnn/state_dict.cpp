@@ -1,0 +1,76 @@
+#include "dnn/state_dict.hpp"
+
+namespace eccheck::dnn {
+
+const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::kF16:
+      return "f16";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kF32:
+      return "f32";
+    case DType::kF64:
+      return "f64";
+    case DType::kI64:
+      return "i64";
+    case DType::kU8:
+      return "u8";
+  }
+  return "?";
+}
+
+std::size_t StateDict::tensor_bytes() const {
+  std::size_t n = 0;
+  for (const auto& e : tensors_) n += e.tensor.nbytes();
+  return n;
+}
+
+namespace {
+
+std::uint64_t crc_str(const std::string& s, std::uint64_t seed) {
+  return crc64({reinterpret_cast<const std::byte*>(s.data()), s.size()}, seed);
+}
+
+}  // namespace
+
+std::uint64_t StateDict::digest() const {
+  std::uint64_t h = 0;
+  for (const auto& [k, v] : metadata_) {
+    h = crc_str(k, h);
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      h = crc64(as_bytes_of(*i), h);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      h = crc64(as_bytes_of(*d), h);
+    } else {
+      h = crc_str(std::get<std::string>(v), h);
+    }
+  }
+  for (const auto& e : tensors_) {
+    h = crc_str(e.key, h);
+    auto dt = static_cast<std::uint8_t>(e.tensor.dtype());
+    h = crc64(as_bytes_of(dt), h);
+    for (auto d : e.tensor.shape()) h = crc64(as_bytes_of(d), h);
+    h = crc64(e.tensor.bytes(), h);
+  }
+  return h;
+}
+
+bool operator==(const StateDict& a, const StateDict& b) {
+  if (a.metadata_ != b.metadata_) return false;
+  if (a.tensors_.size() != b.tensors_.size()) return false;
+  for (std::size_t i = 0; i < a.tensors_.size(); ++i) {
+    const auto& ta = a.tensors_[i];
+    const auto& tb = b.tensors_[i];
+    if (ta.key != tb.key || ta.tensor.dtype() != tb.tensor.dtype() ||
+        ta.tensor.shape() != tb.tensor.shape())
+      return false;
+    if (ta.tensor.nbytes() != tb.tensor.nbytes()) return false;
+    if (std::memcmp(ta.tensor.bytes().data(), tb.tensor.bytes().data(),
+                    ta.tensor.nbytes()) != 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace eccheck::dnn

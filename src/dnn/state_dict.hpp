@@ -1,0 +1,55 @@
+// The sharded checkpoint unit: one state_dict per worker (paper §III-A).
+//
+// Mirrors the PyTorch structure ECCheck decomposes (§III-C):
+//   * non-tensor key-value pairs — iteration count, checkpoint version,
+//     argument digests ... (tiny);
+//   * tensor keys — names + shapes + dtypes (tiny);
+//   * tensor data — model weights, Adam moments, RNG state (≈ everything).
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/crc64.hpp"
+#include "dnn/tensor.hpp"
+
+namespace eccheck::dnn {
+
+using MetaValue = std::variant<std::int64_t, double, std::string>;
+
+struct TensorEntry {
+  std::string key;
+  Tensor tensor;
+};
+
+class StateDict {
+ public:
+  std::map<std::string, MetaValue>& metadata() { return metadata_; }
+  const std::map<std::string, MetaValue>& metadata() const {
+    return metadata_;
+  }
+
+  void add_tensor(std::string key, Tensor t) {
+    tensors_.push_back({std::move(key), std::move(t)});
+  }
+
+  std::vector<TensorEntry>& tensors() { return tensors_; }
+  const std::vector<TensorEntry>& tensors() const { return tensors_; }
+
+  /// Total tensor payload bytes (the ">99.99%" component).
+  std::size_t tensor_bytes() const;
+
+  /// Order-sensitive digest over metadata, keys, shapes and payload bytes;
+  /// recovery tests assert digest equality instead of keeping golden copies.
+  std::uint64_t digest() const;
+
+  friend bool operator==(const StateDict& a, const StateDict& b);
+
+ private:
+  std::map<std::string, MetaValue> metadata_;
+  std::vector<TensorEntry> tensors_;
+};
+
+}  // namespace eccheck::dnn

@@ -1,0 +1,82 @@
+// Minimal tensor representation: contiguous bytes + shape + dtype.
+//
+// The checkpoint protocol never interprets element values — it only needs
+// (a) contiguous storage, (b) sizes that vary wildly between entries
+// (layernorm biases vs. embedding matrices), which is exactly what drives
+// the paper's buffer-packing design.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace eccheck::dnn {
+
+enum class DType : std::uint8_t {
+  kF16 = 0,
+  kBF16 = 1,
+  kF32 = 2,
+  kF64 = 3,
+  kI64 = 4,
+  kU8 = 5,
+};
+
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF16:
+    case DType::kBF16:
+      return 2;
+    case DType::kF32:
+      return 4;
+    case DType::kF64:
+    case DType::kI64:
+      return 8;
+    case DType::kU8:
+      return 1;
+  }
+  return 0;
+}
+
+const char* dtype_name(DType t);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(DType dtype, std::vector<std::int64_t> shape)
+      : dtype_(dtype), shape_(std::move(shape)),
+        data_(numel() * dtype_size(dtype), Buffer::Init::kUninitialized) {}
+
+  DType dtype() const { return dtype_; }
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+
+  std::size_t numel() const {
+    std::size_t n = 1;
+    for (auto d : shape_) {
+      ECC_CHECK(d >= 0);
+      n *= static_cast<std::size_t>(d);
+    }
+    return n;
+  }
+
+  std::size_t nbytes() const { return data_.size(); }
+  ByteSpan bytes() const { return data_.span(); }
+  MutableByteSpan bytes() { return data_.span(); }
+
+  Tensor clone() const {
+    Tensor t;
+    t.dtype_ = dtype_;
+    t.shape_ = shape_;
+    t.data_ = data_.clone();
+    return t;
+  }
+
+ private:
+  DType dtype_ = DType::kF32;
+  std::vector<std::int64_t> shape_;
+  Buffer data_;
+};
+
+}  // namespace eccheck::dnn

@@ -1,0 +1,127 @@
+#include "dnn/train_step.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+#include "dnn/half.hpp"
+#include "dnn/parallelism.hpp"
+
+namespace eccheck::dnn {
+namespace {
+
+std::uint64_t key_hash(const std::string& s) {
+  return crc64({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+}
+
+float read_weight(const Tensor& t, std::size_t i) {
+  if (t.dtype() == DType::kF16) {
+    std::uint16_t h;
+    std::memcpy(&h, t.bytes().data() + i * 2, 2);
+    return half_to_float(h);
+  }
+  float f;
+  std::memcpy(&f, t.bytes().data() + i * 4, 4);
+  return f;
+}
+
+void write_weight(Tensor& t, std::size_t i, float v) {
+  if (t.dtype() == DType::kF16) {
+    std::uint16_t h = float_to_half(v);
+    std::memcpy(t.bytes().data() + i * 2, &h, 2);
+    return;
+  }
+  std::memcpy(t.bytes().data() + i * 4, &v, 4);
+}
+
+float read_f32(const Tensor& t, std::size_t i) {
+  float f;
+  std::memcpy(&f, t.bytes().data() + i * 4, 4);
+  return f;
+}
+
+void write_f32(Tensor& t, std::size_t i, float v) {
+  std::memcpy(t.bytes().data() + i * 4, &v, 4);
+}
+
+}  // namespace
+
+void train_step(StateDict& sd, std::uint64_t grad_seed,
+                const AdamConfig& cfg) {
+  // Pair each model tensor with its optimizer moments by suffix.
+  std::map<std::string, TensorEntry*> by_key;
+  for (auto& e : sd.tensors()) by_key[e.key] = &e;
+
+  auto it = sd.metadata().find("iteration");
+  std::int64_t t = it != sd.metadata().end() && std::holds_alternative<std::int64_t>(it->second)
+                       ? std::get<std::int64_t>(it->second)
+                       : 0;
+  const auto step = static_cast<float>(t + 1);
+  const float bc1 = 1.0f - std::pow(cfg.beta1, step);
+  const float bc2 = 1.0f - std::pow(cfg.beta2, step);
+
+  for (auto& e : sd.tensors()) {
+    if (e.key.rfind("model.", 0) != 0) continue;
+    const std::string suffix = e.key.substr(6);
+    auto m_it = by_key.find("optimizer.exp_avg." + suffix);
+    auto v_it = by_key.find("optimizer.exp_avg_sq." + suffix);
+    if (m_it == by_key.end() || v_it == by_key.end()) continue;
+    Tensor& w = e.tensor;
+    Tensor& m = m_it->second->tensor;
+    Tensor& v = v_it->second->tensor;
+    ECC_CHECK(m.numel() == w.numel() && v.numel() == w.numel());
+
+    SplitMix64 rng(grad_seed ^ key_hash(e.key));
+    const std::size_t n = w.numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Pseudo-gradient in [-1, 1), scaled down as real gradients are.
+      const float g =
+          (static_cast<float>(rng.next_double()) * 2.0f - 1.0f) * 0.01f;
+      float mi = cfg.beta1 * read_f32(m, i) + (1 - cfg.beta1) * g;
+      float vi = cfg.beta2 * read_f32(v, i) + (1 - cfg.beta2) * g * g;
+      write_f32(m, i, mi);
+      write_f32(v, i, vi);
+      const float update =
+          cfg.lr * (mi / bc1) / (std::sqrt(vi / bc2) + cfg.eps);
+      write_weight(w, i, read_weight(w, i) - update);
+    }
+  }
+  sd.metadata()["iteration"] = t + 1;
+}
+
+void train_step_all(std::vector<StateDict>& shards, std::uint64_t seed) {
+  for (auto& sd : shards) {
+    // dp replicas share a gradient stream: derive the seed from the shard's
+    // (tp, pp) coordinates and iteration, not the dp rank.
+    std::int64_t iter = 0;
+    if (auto it = sd.metadata().find("iteration"); it != sd.metadata().end())
+      iter = std::get<std::int64_t>(it->second);
+    std::uint64_t tp = 0, pp = 0;
+    if (auto it = sd.metadata().find("tp_rank"); it != sd.metadata().end())
+      tp = static_cast<std::uint64_t>(std::get<std::int64_t>(it->second));
+    if (auto it = sd.metadata().find("pp_stage"); it != sd.metadata().end())
+      pp = static_cast<std::uint64_t>(std::get<std::int64_t>(it->second));
+    train_step(sd, seed ^ (tp << 40) ^ (pp << 20) ^
+                       static_cast<std::uint64_t>(iter));
+  }
+}
+
+void sanitize_for_training(StateDict& sd, std::uint64_t seed) {
+  for (auto& e : sd.tensors()) {
+    if (e.key.rfind("optimizer.", 0) == 0) {
+      e.tensor.bytes();
+      std::memset(e.tensor.bytes().data(), 0, e.tensor.nbytes());
+    } else if (e.key.rfind("model.", 0) == 0 &&
+               (e.tensor.dtype() == DType::kF16 ||
+                e.tensor.dtype() == DType::kF32)) {
+      SplitMix64 rng(seed ^ key_hash(e.key));
+      for (std::size_t i = 0; i < e.tensor.numel(); ++i) {
+        const float w =
+            (static_cast<float>(rng.next_double()) * 2.0f - 1.0f) * 0.05f;
+        write_weight(e.tensor, i, w);
+      }
+    }
+  }
+}
+
+}  // namespace eccheck::dnn

@@ -1,0 +1,42 @@
+// Numeric training-step simulator: mixed-precision Adam on the state_dict.
+//
+// Each step synthesises deterministic pseudo-gradients (a function of the
+// seed, the iteration counter and each tensor's key) and applies a real
+// Adam update: fp16 weights are read, updated through fp32 arithmetic with
+// the fp32 exp_avg/exp_avg_sq moments stored next to them, and written back
+// with round-to-nearest. This makes training state evolve exactly like a
+// mixed-precision run, enabling the gold-standard checkpoint test: train,
+// checkpoint, fail, recover, continue — the final state must be
+// bit-identical to an uninterrupted run.
+#pragma once
+
+#include "dnn/state_dict.hpp"
+
+namespace eccheck::dnn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+/// Apply one optimizer step to every model tensor in `sd` that has matching
+/// optimizer.exp_avg./exp_avg_sq. entries; advances metadata["iteration"].
+/// `grad_seed` determines the pseudo-gradients (use the same seed on all dp
+/// replicas of a shard, as all-reduce would).
+void train_step(StateDict& sd, std::uint64_t grad_seed,
+                const AdamConfig& cfg = AdamConfig());
+
+/// Replace random generator payloads with trainable values: weights become
+/// small deterministic reals, optimizer moments become zero. Call once
+/// before the first train_step (the generator fills tensors with raw random
+/// bytes, which decode to NaN/Inf floats).
+void sanitize_for_training(StateDict& sd, std::uint64_t seed);
+
+/// Convenience: step every shard of a sharded checkpoint, deriving each
+/// worker's gradient seed from (seed, iteration) so dp replicas that hold
+/// identical tensors stay identical.
+void train_step_all(std::vector<StateDict>& shards, std::uint64_t seed);
+
+}  // namespace eccheck::dnn

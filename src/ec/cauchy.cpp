@@ -1,0 +1,40 @@
+#include "ec/cauchy.hpp"
+
+namespace eccheck::ec {
+
+GfMatrix cauchy_matrix(int k, int m, const gf::Field& field) {
+  ECC_CHECK(k >= 1 && m >= 0);
+  ECC_CHECK_MSG(static_cast<std::uint32_t>(k + m) <= field.order(),
+                "k+m=" << (k + m) << " exceeds field order " << field.order());
+  GfMatrix c(m, k, field);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      std::uint32_t xi = static_cast<std::uint32_t>(i);
+      std::uint32_t yj = static_cast<std::uint32_t>(m + j);
+      c.set(i, j, field.inv(xi ^ yj));
+    }
+  }
+  return c;
+}
+
+GfMatrix normalized_cauchy_matrix(int k, int m, const gf::Field& field) {
+  GfMatrix c = cauchy_matrix(k, m, field);
+  for (int i = 0; i < m; ++i) {
+    std::uint32_t f = field.inv(c.at(i, 0));
+    for (int j = 0; j < k; ++j) c.set(i, j, field.mul(c.at(i, j), f));
+  }
+  return c;
+}
+
+GfMatrix systematic_generator(int k, int m, const gf::Field& field,
+                              bool normalized) {
+  GfMatrix c =
+      normalized ? normalized_cauchy_matrix(k, m, field) : cauchy_matrix(k, m, field);
+  GfMatrix e(k + m, k, field);
+  for (int i = 0; i < k; ++i) e.set(i, i, 1);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j) e.set(k + i, j, c.at(i, j));
+  return e;
+}
+
+}  // namespace eccheck::ec

@@ -1,0 +1,28 @@
+// Cauchy Reed-Solomon generator matrices (paper §IV-A, ref [2]).
+//
+// A Cauchy matrix C over GF(2^w) with C[i][j] = 1 / (x_i + y_j) for distinct
+// x_i, y_j has the defining property that *every* square submatrix is
+// invertible — exactly the MDS property an erasure code needs. The
+// systematic generator is E = [ I_k ; C ] (k+m rows × k columns): any k of
+// the k+m rows form an invertible matrix, so any m losses are recoverable.
+#pragma once
+
+#include "ec/gf_matrix.hpp"
+
+namespace eccheck::ec {
+
+/// m×k Cauchy matrix with x_i = i (rows) and y_j = m + j (columns).
+/// Requires k + m <= 2^w.
+GfMatrix cauchy_matrix(int k, int m, const gf::Field& field);
+
+/// Row-normalised variant ("good" Cauchy): each row divided by its first
+/// element so column 0 is all ones — fewer set bits in the bitmatrix, hence
+/// fewer XORs. Normalisation preserves the any-k-rows-invertible property
+/// (row scaling by non-zero constants cannot create singular submatrices).
+GfMatrix normalized_cauchy_matrix(int k, int m, const gf::Field& field);
+
+/// Systematic generator E = [ I_k ; C ], (k+m)×k.
+GfMatrix systematic_generator(int k, int m, const gf::Field& field,
+                              bool normalized = true);
+
+}  // namespace eccheck::ec

@@ -1,0 +1,95 @@
+// Systematic Cauchy Reed-Solomon encoder/decoder (paper §III-B, §IV-A).
+//
+// The codec owns the (k+m)×k generator E = [I_k ; C] and offers:
+//  * whole-stripe encode/decode (used by tests and the group-based mode),
+//  * partial per-packet products (the per-worker "encoding step" of the
+//    distributed protocol, whose results are then XOR-reduced across nodes),
+//  * reconstruction matrices mapping any k surviving generator rows to any
+//    set of target rows (recovery workflow B and parity restoration).
+//
+// Two kernel modes produce the same code but different byte layouts of the
+// arithmetic: kGfTable multiplies packed GF(2^w) symbols via per-constant
+// lookup tables; kXorBitmatrix splits each packet into w strips and uses
+// XOR exclusively. A stripe must be processed in one mode end-to-end.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ec/bitmatrix.hpp"
+#include "ec/cauchy.hpp"
+#include "ec/gf_matrix.hpp"
+
+namespace eccheck::ec {
+
+enum class KernelMode {
+  kGfTable,       ///< table-driven GF(2^w) region multiply
+  kXorBitmatrix,  ///< Cauchy bitmatrix, XOR-only strip schedule
+};
+
+class CrsCodec {
+ public:
+  CrsCodec(int k, int m, int w = 8, KernelMode mode = KernelMode::kGfTable,
+           bool normalized = true);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  int w() const { return w_; }
+  KernelMode mode() const { return mode_; }
+  const gf::Field& field() const { return *field_; }
+  const GfMatrix& generator() const { return generator_; }
+
+  /// Packet lengths must be a multiple of this (w·8 bytes in bitmatrix mode
+  /// so strips stay 8-byte aligned; the symbol width otherwise).
+  std::size_t packet_granularity() const;
+
+  /// Full-stripe encode: parity[r] = Σ_j E[k+r][j] · data[j].
+  /// data.size() == k, parity.size() == m, all spans equal length.
+  void encode(std::span<const ByteSpan> data,
+              std::span<MutableByteSpan> parity) const;
+
+  /// Partial product for generator row `row` (0..k+m) and data chunk index
+  /// `data_index`: dst (^)= E[row][data_index] · src.
+  void encode_partial(int row, int data_index, ByteSpan src,
+                      MutableByteSpan dst, bool accumulate) const;
+
+  /// coefficient E[row][data_index].
+  std::uint32_t coefficient(int row, int data_index) const {
+    return generator_.at(row, data_index);
+  }
+
+  /// Decode all k data chunks from any k surviving generator rows.
+  /// `rows[i]` names the generator row that `chunks[i]` carries; exactly k
+  /// entries are required and rows must be distinct.
+  void decode(const std::vector<int>& rows, std::span<const ByteSpan> chunks,
+              std::span<MutableByteSpan> out_data) const;
+
+  /// Matrix T (targets × k survivors) with target[i] = Σ_j T[i][j]·chunk[j]:
+  /// lets recovery compute any generator rows (data or parity) directly from
+  /// the survivors, T = E[target_rows] · E[survivor_rows]⁻¹.
+  GfMatrix reconstruction_matrix(const std::vector<int>& survivor_rows,
+                                 const std::vector<int>& target_rows) const;
+
+  /// out[i] = Σ_j M[i][j] · in[j] using this codec's kernel mode.
+  void apply_matrix(const GfMatrix& m, std::span<const ByteSpan> in,
+                    std::span<MutableByteSpan> out) const;
+
+  /// dst (^)= coeff · src with this codec's kernel.
+  void mul_packet(std::uint32_t coeff, ByteSpan src, MutableByteSpan dst,
+                  bool accumulate) const;
+
+  /// Total XOR ops per stripe in bitmatrix mode (cost model / ablations).
+  int xor_ops_per_stripe() const;
+
+ private:
+  int k_;
+  int m_;
+  int w_;
+  KernelMode mode_;
+  const gf::Field* field_;
+  GfMatrix generator_;           // (k+m) × k
+  BitMatrix parity_bitmatrix_;   // (m·w) × (k·w), bitmatrix mode only
+  std::vector<XorOp> encode_schedule_;
+};
+
+}  // namespace eccheck::ec

@@ -1,0 +1,92 @@
+#include "ec/gf_matrix.hpp"
+
+namespace eccheck::ec {
+
+GfMatrix GfMatrix::identity(int n, const gf::Field& field) {
+  GfMatrix m(n, n, field);
+  for (int i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+GfMatrix GfMatrix::mul(const GfMatrix& other) const {
+  ECC_CHECK(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_, *field_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < other.cols_; ++j) {
+      std::uint32_t acc = 0;
+      for (int t = 0; t < cols_; ++t)
+        acc ^= field_->mul(at(i, t), other.at(t, j));
+      out.set(i, j, acc);
+    }
+  }
+  return out;
+}
+
+bool GfMatrix::try_inverse(GfMatrix* out) const {
+  ECC_CHECK(rows_ == cols_);
+  const int n = rows_;
+  GfMatrix a = *this;
+  GfMatrix inv = identity(n, *field_);
+
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a.data_[static_cast<std::size_t>(pivot) * n + c],
+                  a.data_[static_cast<std::size_t>(col) * n + c]);
+        std::swap(inv.data_[static_cast<std::size_t>(pivot) * n + c],
+                  inv.data_[static_cast<std::size_t>(col) * n + c]);
+      }
+    }
+    // Scale pivot row to 1.
+    std::uint32_t piv_inv = field_->inv(a.at(col, col));
+    for (int c = 0; c < n; ++c) {
+      a.set(col, c, field_->mul(a.at(col, c), piv_inv));
+      inv.set(col, c, field_->mul(inv.at(col, c), piv_inv));
+    }
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      std::uint32_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        a.set(r, c, a.at(r, c) ^ field_->mul(f, a.at(col, c)));
+        inv.set(r, c, inv.at(r, c) ^ field_->mul(f, inv.at(col, c)));
+      }
+    }
+  }
+  *out = std::move(inv);
+  return true;
+}
+
+GfMatrix GfMatrix::inverse() const {
+  GfMatrix out;
+  ECC_CHECK_MSG(try_inverse(&out), "matrix is singular");
+  return out;
+}
+
+bool GfMatrix::invertible() const {
+  GfMatrix out;
+  return try_inverse(&out);
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<int>& row_indices) const {
+  GfMatrix out(static_cast<int>(row_indices.size()), cols_, *field_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    int r = row_indices[i];
+    ECC_CHECK(r >= 0 && r < rows_);
+    for (int c = 0; c < cols_; ++c)
+      out.set(static_cast<int>(i), c, at(r, c));
+  }
+  return out;
+}
+
+}  // namespace eccheck::ec

@@ -1,0 +1,64 @@
+// Dense matrices over GF(2^w) with Gauss-Jordan inversion.
+//
+// Used to build systematic Cauchy Reed-Solomon generator matrices and to
+// derive decode matrices from surviving rows (paper Eqn. 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/galois.hpp"
+
+namespace eccheck::ec {
+
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(int rows, int cols, const gf::Field& field)
+      : rows_(rows), cols_(cols), field_(&field),
+        data_(static_cast<std::size_t>(rows) * cols, 0) {
+    ECC_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static GfMatrix identity(int n, const gf::Field& field);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const gf::Field& field() const { return *field_; }
+
+  std::uint32_t at(int r, int c) const {
+    ECC_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  void set(int r, int c, std::uint32_t v) {
+    ECC_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    ECC_DCHECK(v <= field_->max_element());
+    data_[static_cast<std::size_t>(r) * cols_ + c] = v;
+  }
+
+  GfMatrix mul(const GfMatrix& other) const;
+
+  /// Inverse of a square matrix. Throws CheckFailure if singular.
+  GfMatrix inverse() const;
+
+  /// True iff the square matrix is invertible.
+  bool invertible() const;
+
+  /// New matrix formed from the given rows of this one (in order).
+  GfMatrix select_rows(const std::vector<int>& row_indices) const;
+
+  friend bool operator==(const GfMatrix& a, const GfMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  /// Gauss-Jordan; returns false (leaving *out unspecified) if singular.
+  bool try_inverse(GfMatrix* out) const;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  const gf::Field* field_ = nullptr;
+  std::vector<std::uint32_t> data_;
+};
+
+}  // namespace eccheck::ec

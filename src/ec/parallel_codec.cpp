@@ -1,0 +1,93 @@
+#include "ec/parallel_codec.hpp"
+
+namespace eccheck::ec {
+
+ParallelCodec::ParallelCodec(const CrsCodec& codec, runtime::ThreadPool& pool,
+                             std::size_t slice_bytes)
+    : codec_(&codec), pool_(&pool), slice_bytes_(slice_bytes) {
+  const std::size_t g = codec.packet_granularity();
+  if (slice_bytes_ % g != 0) slice_bytes_ += g - slice_bytes_ % g;
+  ECC_CHECK(slice_bytes_ > 0);
+}
+
+void ParallelCodec::for_each_slice(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  if (codec_->mode() == KernelMode::kXorBitmatrix || total <= slice_bytes_) {
+    fn(0, total);
+    return;
+  }
+  const std::size_t slices = (total + slice_bytes_ - 1) / slice_bytes_;
+  pool_->parallel_for(slices, [&](std::size_t s) {
+    const std::size_t lo = s * slice_bytes_;
+    const std::size_t hi = std::min(total, lo + slice_bytes_);
+    fn(lo, hi);
+  });
+}
+
+void ParallelCodec::encode(std::span<const ByteSpan> data,
+                           std::span<MutableByteSpan> parity) const {
+  ECC_CHECK(static_cast<int>(data.size()) == codec_->k());
+  ECC_CHECK(static_cast<int>(parity.size()) == codec_->m());
+  if (parity.empty()) return;
+  const std::size_t total = data[0].size();
+  if (codec_->mode() == KernelMode::kXorBitmatrix) {
+    codec_->encode(data, parity);
+    return;
+  }
+  for_each_slice(total, [&](std::size_t lo, std::size_t hi) {
+    for (int r = 0; r < codec_->m(); ++r) {
+      for (int c = 0; c < codec_->k(); ++c) {
+        codec_->encode_partial(codec_->k() + r, c,
+                               data[static_cast<std::size_t>(c)].subspan(
+                                   lo, hi - lo),
+                               parity[static_cast<std::size_t>(r)].subspan(
+                                   lo, hi - lo),
+                               /*accumulate=*/c != 0);
+      }
+    }
+  });
+}
+
+void ParallelCodec::encode_row(int row, std::span<const ByteSpan> data,
+                               MutableByteSpan acc) const {
+  ECC_CHECK(static_cast<int>(data.size()) == codec_->k());
+  if (codec_->mode() == KernelMode::kXorBitmatrix) {
+    for (int c = 0; c < codec_->k(); ++c)
+      codec_->encode_partial(row, c, data[static_cast<std::size_t>(c)], acc,
+                             c != 0);
+    return;
+  }
+  for_each_slice(acc.size(), [&](std::size_t lo, std::size_t hi) {
+    for (int c = 0; c < codec_->k(); ++c) {
+      codec_->encode_partial(
+          row, c, data[static_cast<std::size_t>(c)].subspan(lo, hi - lo),
+          acc.subspan(lo, hi - lo), /*accumulate=*/c != 0);
+    }
+  });
+}
+
+void ParallelCodec::apply_matrix(const GfMatrix& m,
+                                 std::span<const ByteSpan> in,
+                                 std::span<MutableByteSpan> out) const {
+  ECC_CHECK(static_cast<int>(in.size()) == m.cols());
+  ECC_CHECK(static_cast<int>(out.size()) == m.rows());
+  if (out.empty()) return;
+  if (codec_->mode() == KernelMode::kXorBitmatrix) {
+    codec_->apply_matrix(m, in, out);
+    return;
+  }
+  for_each_slice(out[0].size(), [&](std::size_t lo, std::size_t hi) {
+    for (int i = 0; i < m.rows(); ++i) {
+      for (int j = 0; j < m.cols(); ++j) {
+        codec_->mul_packet(m.at(i, j),
+                           in[static_cast<std::size_t>(j)].subspan(lo, hi - lo),
+                           out[static_cast<std::size_t>(i)].subspan(lo,
+                                                                    hi - lo),
+                           /*accumulate=*/j != 0);
+      }
+    }
+  });
+}
+
+}  // namespace eccheck::ec

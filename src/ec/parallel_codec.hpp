@@ -1,0 +1,50 @@
+// Thread-pool-accelerated coding (paper §IV-A "Thread Pool Technique").
+//
+// An encoding task over a contiguous buffer is split into fixed-size
+// sub-slices executed concurrently on a runtime::ThreadPool — GF(2^w)
+// region arithmetic is embarrassingly parallel across disjoint slices.
+// Results are bit-identical to the serial CrsCodec paths (asserted by
+// tests); only the kGfTable kernel is sliced — the XOR-bitmatrix layout
+// interleaves strips across the whole packet, so it falls back to serial.
+#pragma once
+
+#include <functional>
+
+#include "ec/crs_codec.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace eccheck::ec {
+
+class ParallelCodec {
+ public:
+  /// `slice_bytes` is rounded up to the codec's symbol granularity.
+  ParallelCodec(const CrsCodec& codec, runtime::ThreadPool& pool,
+                std::size_t slice_bytes = 256 * 1024);
+
+  const CrsCodec& codec() const { return *codec_; }
+
+  /// Full-stripe encode; equivalent to CrsCodec::encode.
+  void encode(std::span<const ByteSpan> data,
+              std::span<MutableByteSpan> parity) const;
+
+  /// One generator row from all k data packets: acc = Σ_j E[row][j]·data[j].
+  void encode_row(int row, std::span<const ByteSpan> data,
+                  MutableByteSpan acc) const;
+
+  /// out[i] = Σ_j M[i][j]·in[j]; equivalent to CrsCodec::apply_matrix.
+  void apply_matrix(const GfMatrix& m, std::span<const ByteSpan> in,
+                    std::span<MutableByteSpan> out) const;
+
+ private:
+  /// Invoke fn(lo, hi) over slice ranges in parallel (serial for bitmatrix
+  /// kernels or sub-slice-sized buffers).
+  void for_each_slice(
+      std::size_t total,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  const CrsCodec* codec_;
+  runtime::ThreadPool* pool_;
+  std::size_t slice_bytes_;
+};
+
+}  // namespace eccheck::ec

@@ -1,0 +1,126 @@
+#include "gf/galois.hpp"
+
+#include <mutex>
+
+namespace eccheck::gf {
+namespace {
+
+std::uint32_t poly_for(int w) {
+  switch (w) {
+    case 4:
+      return 0x13;  // x^4 + x + 1
+    case 8:
+      return 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+    case 16:
+      return 0x1100b;  // x^16 + x^12 + x^3 + x + 1
+    default:
+      ECC_CHECK_MSG(false, "unsupported GF width w=" << w);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Field::Field(int w)
+    : w_(w), order_(1u << w), poly_(poly_for(w)), log_(order_), exp_(order_) {
+  // Generate with the primitive element alpha = 2.
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order_ - 1; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & order_) x ^= poly_;
+  }
+  ECC_CHECK_MSG(x == 1, "polynomial is not primitive for w=" << w);
+}
+
+const Field& Field::get(int w) {
+  static std::once_flag flags[3];
+  static const Field* fields[3] = {nullptr, nullptr, nullptr};
+  int idx = (w == 4) ? 0 : (w == 8) ? 1 : (w == 16) ? 2 : -1;
+  ECC_CHECK_MSG(idx >= 0, "unsupported GF width w=" << w);
+  std::call_once(flags[idx], [&] { fields[idx] = new Field(w); });
+  return *fields[idx];
+}
+
+std::uint32_t Field::pow(std::uint32_t a, std::uint64_t e) const {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  std::uint64_t l = (static_cast<std::uint64_t>(log_[a]) * e) % (order_ - 1);
+  return exp_[l];
+}
+
+std::uint32_t Field::mul_slow(std::uint32_t a, std::uint32_t b) const {
+  std::uint32_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if (a & order_) a ^= poly_;
+  }
+  return r;
+}
+
+void Field::mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
+                       bool accumulate) const {
+  ECC_CHECK(src.size() == dst.size());
+  ECC_CHECK(src.size() % region_granularity() == 0);
+  const std::size_t n = src.size();
+  if (n == 0) return;
+
+  if (c == 0) {
+    if (!accumulate) std::memset(dst.data(), 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (accumulate)
+      xor_into(dst, src);
+    else
+      std::memcpy(dst.data(), src.data(), n);
+    return;
+  }
+
+  const auto* s = reinterpret_cast<const unsigned char*>(src.data());
+  auto* d = reinterpret_cast<unsigned char*>(dst.data());
+
+  if (w_ <= 8) {
+    // One 256-entry table covers a whole byte (two nibbles for w=4).
+    std::array<unsigned char, 256> tab;
+    if (w_ == 8) {
+      for (std::uint32_t b = 0; b < 256; ++b)
+        tab[b] = static_cast<unsigned char>(mul(c, b));
+    } else {  // w == 4
+      for (std::uint32_t b = 0; b < 256; ++b) {
+        std::uint32_t lo = mul(c, b & 0xf);
+        std::uint32_t hi = mul(c, b >> 4);
+        tab[b] = static_cast<unsigned char>((hi << 4) | lo);
+      }
+    }
+    if (accumulate) {
+      for (std::size_t i = 0; i < n; ++i) d[i] ^= tab[s[i]];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) d[i] = tab[s[i]];
+    }
+    return;
+  }
+
+  // w == 16: c*(hi<<8 ^ lo) = c*(hi<<8) ^ c*lo, two 256-entry uint16 tables.
+  std::array<std::uint16_t, 256> lo_tab, hi_tab;
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    lo_tab[b] = static_cast<std::uint16_t>(mul(c, b));
+    hi_tab[b] = static_cast<std::uint16_t>(mul(c, b << 8));
+  }
+  for (std::size_t i = 0; i < n; i += 2) {
+    std::uint16_t v = static_cast<std::uint16_t>(
+        lo_tab[s[i]] ^ hi_tab[s[i + 1]]);
+    if (accumulate) {
+      d[i] = static_cast<unsigned char>(d[i] ^ (v & 0xff));
+      d[i + 1] = static_cast<unsigned char>(d[i + 1] ^ (v >> 8));
+    } else {
+      d[i] = static_cast<unsigned char>(v & 0xff);
+      d[i + 1] = static_cast<unsigned char>(v >> 8);
+    }
+  }
+}
+
+}  // namespace eccheck::gf

@@ -1,0 +1,84 @@
+// GF(2^w) finite-field arithmetic for w ∈ {4, 8, 16}.
+//
+// This is the arithmetic substrate for Cauchy Reed-Solomon coding (paper
+// §IV-A). Scalars are held in uint32_t regardless of w; region kernels
+// operate on packed symbols in byte buffers:
+//   w=4  — two symbols per byte (low nibble first)
+//   w=8  — one symbol per byte
+//   w=16 — one little-endian symbol per 2 bytes (region length must be even)
+//
+// Multiplication by a constant is GF(2)-linear in the operand bits, so the
+// region kernels use per-multiplier byte-indexed tables (one for w≤8, a
+// low/high pair for w=16) built on demand — the same trick Jerasure's
+// "multtable" regions use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace eccheck::gf {
+
+/// A Galois field GF(2^w). Cheap to copy handles onto a shared table set;
+/// use Field::get(w) to obtain the process-wide instance.
+class Field {
+ public:
+  static const Field& get(int w);
+
+  int w() const { return w_; }
+  std::uint32_t order() const { return order_; }          ///< 2^w
+  std::uint32_t max_element() const { return order_ - 1; }
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const { return a ^ b; }
+  std::uint32_t sub(std::uint32_t a, std::uint32_t b) const { return a ^ b; }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
+    if (a == 0 || b == 0) return 0;
+    std::uint32_t s = log_[a] + log_[b];
+    if (s >= order_ - 1) s -= order_ - 1;
+    return exp_[s];
+  }
+
+  /// Multiplicative inverse; a must be non-zero.
+  std::uint32_t inv(std::uint32_t a) const {
+    ECC_CHECK(a != 0);
+    return exp_[(order_ - 1 - log_[a]) % (order_ - 1)];
+  }
+
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const {
+    ECC_CHECK(b != 0);
+    if (a == 0) return 0;
+    std::uint32_t s = log_[a] + (order_ - 1) - log_[b];
+    if (s >= order_ - 1) s -= order_ - 1;
+    return exp_[s];
+  }
+
+  std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+  /// Reference bitwise ("Russian peasant") multiply — used by tests to
+  /// validate the log/exp tables and by bitmatrix construction.
+  std::uint32_t mul_slow(std::uint32_t a, std::uint32_t b) const;
+
+  /// dst = c * src (accumulate=false) or dst ^= c * src (accumulate=true),
+  /// where buffers hold packed GF(2^w) symbols.
+  void mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
+                  bool accumulate) const;
+
+  /// Number of bytes per packed symbol boundary: region lengths must be a
+  /// multiple of this (1 for w=4/8, 2 for w=16).
+  std::size_t region_granularity() const { return w_ == 16 ? 2 : 1; }
+
+  std::uint32_t primitive_poly() const { return poly_; }
+
+ private:
+  explicit Field(int w);
+
+  int w_;
+  std::uint32_t order_;
+  std::uint32_t poly_;
+  std::vector<std::uint32_t> log_;   // log_[0] unused
+  std::vector<std::uint32_t> exp_;   // exp_[i] = alpha^i, i in [0, order-1)
+};
+
+}  // namespace eccheck::gf

@@ -1,0 +1,81 @@
+// Generic staged pipeline (paper §IV-C "Pipelined Execution").
+//
+// ECCheck runs encode → XOR-reduce → P2P as three threads connected by
+// bounded buffer queues: as soon as a packet finishes a stage it moves on
+// while the upstream thread continues with the next buffer. This template
+// captures that pattern for any movable item type; stage functions run on
+// dedicated threads and items flow in FIFO order.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/bounded_queue.hpp"
+
+namespace eccheck::runtime {
+
+struct PipelineStats {
+  std::vector<double> stage_busy_seconds;  ///< per-stage time in stage fn
+  double wall_seconds = 0.0;
+};
+
+/// Run `items` through `stages` (each mutates the item in place) with one
+/// thread per stage and `queue_capacity` slots between adjacent stages.
+/// Items keep their input order. Exceptions in a stage propagate to the
+/// caller after all threads are joined.
+template <typename T>
+PipelineStats run_pipeline(std::vector<T>& items,
+                           const std::vector<std::function<void(T&)>>& stages,
+                           std::size_t queue_capacity = 4) {
+  using Clock = std::chrono::steady_clock;
+  PipelineStats stats;
+  stats.stage_busy_seconds.assign(stages.size(), 0.0);
+  const auto wall_start = Clock::now();
+
+  if (stages.empty() || items.empty()) return stats;
+
+  // Queues carry item indices; the items themselves stay in `items`.
+  std::vector<std::unique_ptr<BoundedQueue<std::size_t>>> queues;
+  for (std::size_t i = 0; i + 1 < stages.size(); ++i)
+    queues.push_back(std::make_unique<BoundedQueue<std::size_t>>(queue_capacity));
+
+  std::vector<std::exception_ptr> errors(stages.size());
+  std::vector<std::thread> threads;
+  threads.reserve(stages.size());
+
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    threads.emplace_back([&, s] {
+      try {
+        auto process = [&](std::size_t idx) {
+          const auto t0 = Clock::now();
+          stages[s](items[idx]);
+          stats.stage_busy_seconds[s] +=
+              std::chrono::duration<double>(Clock::now() - t0).count();
+          if (s + 1 < stages.size()) queues[s]->push(idx);
+        };
+        if (s == 0) {
+          for (std::size_t i = 0; i < items.size(); ++i) process(i);
+        } else {
+          while (auto idx = queues[s - 1]->pop()) process(*idx);
+        }
+      } catch (...) {
+        errors[s] = std::current_exception();
+        // Unblock the upstream stage (it may be waiting on a full queue).
+        if (s > 0) queues[s - 1]->close();
+      }
+      if (s + 1 < stages.size()) queues[s]->close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  return stats;
+}
+
+}  // namespace eccheck::runtime

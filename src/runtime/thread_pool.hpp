@@ -1,0 +1,62 @@
+// Fixed-size CPU thread pool (paper §IV-A "Thread Pool Technique").
+//
+// Checkpoint encoding is split into sub-tasks over disjoint slices of the
+// buffers and executed concurrently; the pool is also reused by the staged
+// pipeline. Deliberately simple: mutex + condvar, no work stealing — encode
+// sub-tasks are uniform so a single queue balances fine.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace eccheck::runtime {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      ECC_CHECK_MSG(!stopping_, "submit on a stopped ThreadPool");
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool, blocking until all complete.
+  /// Work is split into contiguous ranges, one per worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace eccheck::runtime

@@ -1,0 +1,56 @@
+#include "sim/interval.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace eccheck::sim {
+
+std::vector<TimeInterval> normalize(std::vector<TimeInterval> intervals) {
+  std::erase_if(intervals,
+                [](const TimeInterval& i) { return i.length() <= 0; });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<TimeInterval> out;
+  for (const auto& i : intervals) {
+    if (!out.empty() && i.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, i.end);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Seconds overlap_with(const TimeInterval& x,
+                     const std::vector<TimeInterval>& calendar) {
+  Seconds total = 0;
+  for (const auto& c : calendar) {
+    if (c.end <= x.begin) continue;
+    if (c.begin >= x.end) break;
+    total += std::min(c.end, x.end) - std::max(c.begin, x.begin);
+  }
+  return total;
+}
+
+std::vector<TimeInterval> gaps_of(const std::vector<TimeInterval>& busy,
+                                  Seconds horizon_begin, Seconds horizon_end,
+                                  Seconds min_len) {
+  ECC_CHECK(horizon_end >= horizon_begin);
+  std::vector<TimeInterval> out;
+  Seconds cursor = horizon_begin;
+  for (const auto& b : busy) {
+    if (b.end <= horizon_begin) continue;
+    if (b.begin >= horizon_end) break;
+    if (b.begin > cursor && b.begin - cursor >= min_len)
+      out.push_back({cursor, b.begin});
+    cursor = std::max(cursor, b.end);
+  }
+  if (horizon_end > cursor && horizon_end - cursor >= min_len)
+    out.push_back({cursor, horizon_end});
+  return out;
+}
+
+}  // namespace eccheck::sim

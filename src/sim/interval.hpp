@@ -1,0 +1,35 @@
+// Half-open virtual-time intervals and normalisation helpers.
+//
+// Used for NIC busy calendars (training traffic reservations) and for the
+// idle-slot profiler (paper §IV-B3).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace eccheck::sim {
+
+struct TimeInterval {
+  Seconds begin = 0;
+  Seconds end = 0;  // half-open: [begin, end)
+
+  Seconds length() const { return end - begin; }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// Sort by begin and merge overlapping/adjacent intervals.
+std::vector<TimeInterval> normalize(std::vector<TimeInterval> intervals);
+
+/// Total overlap length between interval `x` and a *normalized* calendar.
+Seconds overlap_with(const TimeInterval& x,
+                     const std::vector<TimeInterval>& calendar);
+
+/// Gaps of length >= min_len between normalized `busy` intervals within
+/// [horizon_begin, horizon_end).
+std::vector<TimeInterval> gaps_of(const std::vector<TimeInterval>& busy,
+                                  Seconds horizon_begin, Seconds horizon_end,
+                                  Seconds min_len = 0);
+
+}  // namespace eccheck::sim

@@ -1,0 +1,144 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+namespace eccheck::sim {
+
+ResourceId Timeline::add_resource(std::string name) {
+  resources_.push_back(Resource{std::move(name), 0, {}, {}, 0});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void Timeline::reserve(ResourceId res, Seconds begin, Seconds end) {
+  auto& r = resources_[check_res(res)];
+  r.reserved.push_back({begin, end});
+  r.reserved = normalize(std::move(r.reserved));
+}
+
+void Timeline::set_calendar(ResourceId res, std::vector<TimeInterval> busy) {
+  resources_[check_res(res)].reserved = normalize(std::move(busy));
+}
+
+TaskId Timeline::add_task(std::string label, ResourceId res, Seconds duration,
+                          const std::vector<TaskId>& deps, TaskOptions opts) {
+  std::vector<ResourceId> rs;
+  if (res != kNoResource) rs.push_back(res);
+  return add_task(std::move(label), rs, duration, deps, opts);
+}
+
+TaskId Timeline::add_task(std::string label,
+                          const std::vector<ResourceId>& resources,
+                          Seconds duration, const std::vector<TaskId>& deps,
+                          TaskOptions opts) {
+  ECC_CHECK(duration >= 0);
+  Task t;
+  t.label = std::move(label);
+  t.resources = resources;
+  t.duration = duration;
+
+  Seconds earliest = opts.not_before;
+  for (TaskId d : deps) earliest = std::max(earliest, task(d).finish);
+
+  if (resources.empty()) {
+    // Pure delay / logical barrier: no resource contention.
+    t.start = earliest;
+    t.finish = earliest + duration;
+    if (duration > 0) t.segments.push_back({t.start, t.finish});
+  } else {
+    // Blocked calendar: the union of every resource's existing task
+    // occupancy, plus (for idle-only tasks) the reserved training windows.
+    // Scheduling backfills: the task takes the earliest gap(s) after its
+    // dependency-ready time — emission order does not impose FIFO delays,
+    // matching hardware queues that drain whatever is ready.
+    std::vector<TimeInterval> blocked;
+    for (ResourceId res : resources) {
+      const auto& r = resources_[check_res(res)];
+      blocked.insert(blocked.end(), r.busy.begin(), r.busy.end());
+      if (opts.idle_only)
+        blocked.insert(blocked.end(), r.reserved.begin(), r.reserved.end());
+    }
+    blocked = normalize(std::move(blocked));
+
+    if (duration == 0) {
+      t.start = earliest;
+      t.finish = earliest;
+    } else if (!opts.idle_only) {
+      // Contiguous slot: earliest gap of length >= duration.
+      Seconds cursor = earliest;
+      std::size_t i = 0;
+      const Seconds inf = std::numeric_limits<Seconds>::infinity();
+      for (;;) {
+        while (i < blocked.size() && blocked[i].end <= cursor) ++i;
+        Seconds gap_end = inf;
+        if (i < blocked.size()) {
+          if (blocked[i].begin <= cursor) {
+            cursor = blocked[i].end;
+            ++i;
+            continue;
+          }
+          gap_end = blocked[i].begin;
+        }
+        if (gap_end - cursor >= duration) break;
+        cursor = gap_end;
+      }
+      t.start = cursor;
+      t.finish = cursor + duration;
+      t.segments.push_back({t.start, t.finish});
+    } else {
+      // Idle-only: pack into gaps, splitting across consecutive gaps.
+      Seconds cursor = earliest;
+      Seconds remaining = duration;
+      const Seconds inf = std::numeric_limits<Seconds>::infinity();
+      std::size_t i = 0;
+      t.start = -1;
+      while (remaining > 0) {
+        while (i < blocked.size() && blocked[i].end <= cursor) ++i;
+        Seconds gap_end = inf;
+        if (i < blocked.size()) {
+          if (blocked[i].begin <= cursor) {
+            cursor = blocked[i].end;
+            ++i;
+            continue;
+          }
+          gap_end = blocked[i].begin;
+        }
+        Seconds take = std::min(remaining, gap_end - cursor);
+        if (take > 0) {
+          t.segments.push_back({cursor, cursor + take});
+          if (t.start < 0) t.start = cursor;
+          cursor += take;
+          remaining -= take;
+        }
+        if (remaining > 0) cursor = gap_end;
+      }
+      if (t.start < 0) t.start = cursor;
+      t.finish = t.segments.empty() ? cursor : t.segments.back().end;
+    }
+  }
+
+  for (ResourceId res : resources) {
+    auto& r = resources_[check_res(res)];
+    r.available = std::max(r.available, t.finish);
+    if (!t.segments.empty()) {
+      r.busy.insert(r.busy.end(), t.segments.begin(), t.segments.end());
+      r.busy = normalize(std::move(r.busy));
+    }
+    if (!opts.idle_only) {
+      for (const auto& seg : t.segments) {
+        Seconds ov = overlap_with(seg, r.reserved);
+        t.reserved_overlap += ov;
+        r.task_reserved_overlap += ov;
+      }
+    }
+  }
+
+  makespan_ = std::max(makespan_, t.finish);
+  tasks_.push_back(std::move(t));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+Seconds Timeline::reserved_overlap(ResourceId res) const {
+  return resources_[check_res(res)].task_reserved_overlap;
+}
+
+}  // namespace eccheck::sim

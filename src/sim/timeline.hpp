@@ -1,0 +1,116 @@
+// Virtual-time task graph — the timing substrate for every benchmark.
+//
+// The paper's testbed (A100 nodes, 100 Gbps fabric, 5 Gbps remote storage)
+// is replaced by this deterministic mini discrete-event simulator: engines
+// move real bytes through the in-process cluster while emitting tasks here;
+// durations come from a calibrated cost model. Tasks occupy one or more
+// *resources* (a GPU's DtoH engine, NIC TX/RX, CPU encode lanes, the shared
+// remote-storage link); a network transfer occupies sender TX and receiver
+// RX over the same window. Scheduling is backfilling list scheduling: each
+// task takes the earliest gap in its resources' occupancy after its
+// dependencies finish, so emission order never imposes artificial FIFO
+// delays (hardware queues drain whatever is ready). A resource may carry a
+// *reserved calendar* of training-traffic busy windows; idle-only tasks
+// (paper §IV-B3 communication scheduling) additionally avoid those windows,
+// splitting across consecutive gaps when needed.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/interval.hpp"
+
+namespace eccheck::sim {
+
+using ResourceId = int;
+using TaskId = int;
+
+constexpr ResourceId kNoResource = -1;
+
+struct TaskOptions {
+  bool idle_only = false;  ///< pack into gaps of the reserved calendars
+  Seconds not_before = 0;  ///< release time (e.g. "after snapshot lands")
+};
+
+struct Task {
+  std::string label;
+  std::vector<ResourceId> resources;
+  Seconds duration = 0;
+  Seconds start = 0;                   ///< first segment begin
+  Seconds finish = 0;                  ///< last segment end
+  std::vector<TimeInterval> segments;  ///< actual occupancy (≥1 if duration>0)
+  Seconds reserved_overlap = 0;  ///< time spent inside reserved windows
+                                 ///< (interference; 0 for idle-only tasks)
+};
+
+class Timeline {
+ public:
+  ResourceId add_resource(std::string name);
+
+  /// Mark [begin, end) busy with training traffic on `res` (static calendar,
+  /// not a task; idle-only tasks avoid these windows, normal tasks overlap
+  /// them and the overlap is reported as interference).
+  void reserve(ResourceId res, Seconds begin, Seconds end);
+
+  /// Replace the calendar wholesale (e.g. a profiled training pattern
+  /// repeated over many iterations).
+  void set_calendar(ResourceId res, std::vector<TimeInterval> busy);
+
+  /// Schedule a task on zero or more resources. All dependencies must
+  /// already exist; scheduling is eager and deterministic (list scheduling
+  /// in insertion order).
+  TaskId add_task(std::string label, const std::vector<ResourceId>& resources,
+                  Seconds duration, const std::vector<TaskId>& deps,
+                  TaskOptions opts = TaskOptions());
+
+  /// Single-resource convenience (kNoResource = pure delay).
+  TaskId add_task(std::string label, ResourceId res, Seconds duration,
+                  const std::vector<TaskId>& deps,
+                  TaskOptions opts = TaskOptions());
+
+  const Task& task(TaskId id) const {
+    ECC_CHECK(id >= 0 && id < static_cast<int>(tasks_.size()));
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  Seconds finish_time(TaskId id) const { return task(id).finish; }
+
+  std::size_t task_count() const { return tasks_.size(); }
+
+  /// Finish time of the latest task (0 if none).
+  Seconds makespan() const { return makespan_; }
+
+  /// Total interference: task time spent inside reserved (training) windows
+  /// on `res`. Idle-only tasks contribute 0 by construction.
+  Seconds reserved_overlap(ResourceId res) const;
+
+  /// Earliest time the resource can accept new work.
+  Seconds resource_available(ResourceId res) const {
+    return resources_[check_res(res)].available;
+  }
+
+  const std::string& resource_name(ResourceId res) const {
+    return resources_[check_res(res)].name;
+  }
+
+ private:
+  struct Resource {
+    std::string name;
+    Seconds available = 0;               // latest task finish (reporting)
+    std::vector<TimeInterval> reserved;  // normalized training calendar
+    std::vector<TimeInterval> busy;      // normalized task occupancy
+    Seconds task_reserved_overlap = 0;
+  };
+
+  std::size_t check_res(ResourceId res) const {
+    ECC_CHECK(res >= 0 && res < static_cast<int>(resources_.size()));
+    return static_cast<std::size_t>(res);
+  }
+
+  std::vector<Resource> resources_;
+  std::vector<Task> tasks_;
+  Seconds makespan_ = 0;
+};
+
+}  // namespace eccheck::sim

@@ -1,0 +1,119 @@
+#include "trainsim/train_profile.hpp"
+
+#include <algorithm>
+
+namespace eccheck::trainsim {
+
+Workload estimate_workload(const dnn::ModelSpec& model,
+                           const dnn::ParallelismSpec& par,
+                           int microbatch_size, int seq_len, double node_flops,
+                           double mfu) {
+  Workload w;
+  const double params_per_stage =
+      static_cast<double>(model.param_count()) / par.pipeline_parallel;
+  const double tokens = static_cast<double>(microbatch_size) * seq_len;
+  // Forward ≈ 2 FLOPs per parameter per token.
+  w.forward_compute = 2.0 * params_per_stage * tokens / (node_flops * mfu);
+  w.activation_bytes = static_cast<std::size_t>(tokens) *
+                       static_cast<std::size_t>(model.hidden) * 2;  // fp16
+  w.microbatches = 8;
+  w.optimizer_step = 0.25 * w.forward_compute;
+  if (par.data_parallel > 1) {
+    // Ring all-reduce moves ~2× the gradient shard per node (fp16 grads).
+    w.grad_allreduce_bytes = static_cast<std::size_t>(
+        2.0 * params_per_stage * 2.0 * (par.data_parallel - 1) /
+        par.data_parallel);
+  }
+  return w;
+}
+
+TrainProfile simulate_iteration(const Workload& w, int pipeline_stages,
+                                BytesPerSecond nic_bandwidth,
+                                int data_parallel) {
+  ECC_CHECK(pipeline_stages >= 1);
+  ECC_CHECK(w.microbatches >= 1);
+  const int P = pipeline_stages;
+  const int M = w.microbatches;
+  const Seconds tf = w.forward_compute;
+  const Seconds tb = 2 * w.forward_compute;
+  const Seconds ta = static_cast<double>(w.activation_bytes) / nic_bandwidth;
+
+  TrainProfile prof;
+  prof.node_busy.assign(static_cast<std::size_t>(P), {});
+
+  auto mark = [&](int node, Seconds begin, Seconds end) {
+    if (node < 0 || node >= P) return;
+    prof.node_busy[static_cast<std::size_t>(node)].push_back({begin, end});
+  };
+
+  // Forward wave: microbatch j finishes stage s at (s + j + 1)·(tf + ta)
+  // (the send is on the critical path of the next stage's input).
+  const Seconds fslot = tf + ta;
+  for (int j = 0; j < M; ++j) {
+    for (int s = 0; s < P; ++s) {
+      Seconds compute_end = (s + j) * fslot + tf;
+      if (s + 1 < P) {
+        // Activation send busies s's TX and (s+1)'s RX; one shared calendar
+        // per node covers both directions.
+        mark(s, compute_end, compute_end + ta);
+        mark(s + 1, compute_end, compute_end + ta);
+      }
+    }
+  }
+  const Seconds fwd_end = (P - 1 + M - 1) * fslot + tf + (P > 1 ? ta : 0);
+
+  // Backward wave (GPipe: starts after the forward flush), 2× compute,
+  // gradient sends towards stage 0.
+  const Seconds bslot = tb + ta;
+  for (int j = 0; j < M; ++j) {
+    for (int s = P - 1; s >= 0; --s) {
+      Seconds start = fwd_end + ((P - 1 - s) + j) * bslot;
+      Seconds compute_end = start + tb;
+      if (s > 0) {
+        mark(s, compute_end, compute_end + ta);
+        mark(s - 1, compute_end, compute_end + ta);
+      }
+    }
+  }
+  Seconds bwd_end = fwd_end + ((P - 1) + (M - 1)) * bslot + tb +
+                    (P > 1 ? ta : 0);
+
+  // Data-parallel gradient all-reduce busies every NIC.
+  if (data_parallel > 1 && w.grad_allreduce_bytes > 0) {
+    Seconds tar = static_cast<double>(w.grad_allreduce_bytes) / nic_bandwidth;
+    for (int s = 0; s < P; ++s) mark(s, bwd_end, bwd_end + tar);
+    bwd_end += tar;
+  }
+
+  prof.iteration_time = bwd_end + w.optimizer_step;
+  for (auto& v : prof.node_busy) v = sim::normalize(std::move(v));
+  return prof;
+}
+
+std::vector<sim::TimeInterval> TrainProfile::tiled(int node, int iters) const {
+  const auto& base = node_busy[static_cast<std::size_t>(node)];
+  std::vector<sim::TimeInterval> out;
+  out.reserve(base.size() * static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Seconds off = i * iteration_time;
+    for (const auto& b : base) out.push_back({b.begin + off, b.end + off});
+  }
+  return out;
+}
+
+double TrainProfile::idle_fraction(int node) const {
+  Seconds busy = 0;
+  for (const auto& b : node_busy[static_cast<std::size_t>(node)])
+    busy += b.length();
+  return iteration_time <= 0 ? 1.0 : 1.0 - busy / iteration_time;
+}
+
+Seconds TrainProfile::largest_gap(int node) const {
+  auto gaps = sim::gaps_of(node_busy[static_cast<std::size_t>(node)], 0,
+                           iteration_time);
+  Seconds best = 0;
+  for (const auto& g : gaps) best = std::max(best, g.length());
+  return best;
+}
+
+}  // namespace eccheck::trainsim

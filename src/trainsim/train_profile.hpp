@@ -1,0 +1,66 @@
+// Training-iteration timeline and network-idle profiling (paper §IV-B3).
+//
+// ECCheck schedules its checkpoint communication inside the network-idle
+// windows of the training communication pattern, which it profiles over the
+// first ~50 iterations. This module reproduces that pattern for hybrid
+// TP/PP training with a GPipe-style schedule:
+//   * tensor parallelism stays intra-node (NVLink) — invisible to the NIC;
+//   * each pipeline stage s (one stage per node, as on the testbed) sends
+//     activations forward / gradients backward at microbatch boundaries,
+//     producing short NIC bursts separated by compute bubbles;
+//   * with data parallelism > 1, a gradient all-reduce busies every NIC at
+//     the end of the iteration.
+// The resulting per-node busy calendars feed VirtualCluster NIC resources;
+// gaps are what idle-only checkpoint transfers get packed into.
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "dnn/model_zoo.hpp"
+#include "dnn/parallelism.hpp"
+#include "sim/interval.hpp"
+
+namespace eccheck::trainsim {
+
+/// Per-stage, per-microbatch costs of one training iteration.
+struct Workload {
+  int microbatches = 8;
+  Seconds forward_compute = 0.02;  ///< per stage per microbatch
+  std::size_t activation_bytes = mib(16);  ///< per stage boundary transfer
+  Seconds optimizer_step = 0.01;
+  std::size_t grad_allreduce_bytes = 0;  ///< per node, 0 when dp == 1
+};
+
+/// Estimate from model shape: forward FLOPs ≈ 2·P_stage·tokens, backward
+/// 2×; effective per-stage throughput is the node's aggregate GPU FLOPs
+/// discounted by an MFU factor.
+Workload estimate_workload(const dnn::ModelSpec& model,
+                           const dnn::ParallelismSpec& par,
+                           int microbatch_size = 4, int seq_len = 1024,
+                           double node_flops = 4 * 312e12,
+                           double mfu = 0.4);
+
+struct TrainProfile {
+  Seconds iteration_time = 0;
+  /// NIC busy windows of one iteration, indexed by pipeline stage (== node).
+  std::vector<std::vector<sim::TimeInterval>> node_busy;
+
+  /// Calendar for `iters` consecutive iterations starting at t=0.
+  std::vector<sim::TimeInterval> tiled(int node, int iters) const;
+
+  /// Fraction of the iteration the node's NIC is idle.
+  double idle_fraction(int node) const;
+
+  /// Largest single idle gap within one iteration.
+  Seconds largest_gap(int node) const;
+};
+
+/// Build the one-iteration profile for a GPipe-style schedule: forward wave,
+/// backward wave (2× forward compute), activation/gradient sends at stage
+/// boundaries, optional DP all-reduce, optimizer step.
+TrainProfile simulate_iteration(const Workload& w, int pipeline_stages,
+                                BytesPerSecond nic_bandwidth,
+                                int data_parallel = 1);
+
+}  // namespace eccheck::trainsim

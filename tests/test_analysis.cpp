@@ -1,0 +1,122 @@
+// Fault-tolerance analysis tests: Eqns. 1–2, Figs. 3/15 math, group sizing.
+#include <gtest/gtest.h>
+
+#include "analysis/recovery_rate.hpp"
+
+namespace eccheck::analysis {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial(4, 2), 6.0);
+  EXPECT_DOUBLE_EQ(binomial(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(4, 5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(2000, 1), 2000.0);
+}
+
+TEST(Eqn1, MatchesClosedForm) {
+  // Eqn. 1 simplifies to (1 - p²)² — two groups of 2, each surviving
+  // unless both members fail.
+  for (double p : {0.0, 0.01, 0.05, 0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(eqn1_replication_rate(p), (1 - p * p) * (1 - p * p), 1e-12)
+        << "p=" << p;
+  }
+}
+
+TEST(Eqn2, BinomialTail) {
+  for (double p : {0.0, 0.02, 0.1, 0.5}) {
+    double q = 1 - p;
+    double expect = q * q * q * q + 4 * p * q * q * q + 6 * p * p * q * q;
+    EXPECT_NEAR(eqn2_erasure_rate(p), expect, 1e-12);
+  }
+}
+
+TEST(Eqn1Vs2, GapIsTwoPSquaredQSquared) {
+  // Paper: R_era − R_rep = 2p²(1−p)².
+  for (double p : {0.01, 0.05, 0.1, 0.3}) {
+    double gap = eqn2_erasure_rate(p) - eqn1_replication_rate(p);
+    EXPECT_NEAR(gap, 2 * p * p * (1 - p) * (1 - p), 1e-12) << "p=" << p;
+  }
+}
+
+TEST(ErasureGroupRate, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(erasure_group_rate(4, 2, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(erasure_group_rate(4, 4, 1.0), 1.0);  // tolerate all
+  EXPECT_DOUBLE_EQ(erasure_group_rate(4, 0, 1.0), 0.0);
+  EXPECT_NEAR(erasure_group_rate(1, 0, 0.3), 0.7, 1e-12);
+}
+
+TEST(ErasureGroupRate, MonotoneInParityAndFailureRate) {
+  for (int m = 0; m < 4; ++m)
+    EXPECT_LT(erasure_group_rate(8, m, 0.05), erasure_group_rate(8, m + 1, 0.05));
+  EXPECT_GT(erasure_group_rate(8, 2, 0.01), erasure_group_rate(8, 2, 0.05));
+}
+
+TEST(ClusterRate, Fig3ShapeErasureBeatsReplication) {
+  // 2000 nodes in 500 sections of 4: EC strictly better for p in (0,1),
+  // diverging as p grows (Fig. 3).
+  for (double p : {0.005, 0.01, 0.02, 0.04, 0.08}) {
+    double rep = cluster_rate(eqn1_replication_rate(p), 500);
+    double era = cluster_rate(eqn2_erasure_rate(p), 500);
+    EXPECT_GT(era, rep) << "p=" << p;
+  }
+  // The gap widens with p in the operating regime (before both curves
+  // collapse towards zero).
+  double prev_gap = 0;
+  for (double p : {0.001, 0.002, 0.004, 0.008}) {
+    double gap = cluster_rate(eqn2_erasure_rate(p), 500) -
+                 cluster_rate(eqn1_replication_rate(p), 500);
+    EXPECT_GE(gap, prev_gap) << "p=" << p;
+    prev_gap = gap;
+  }
+}
+
+TEST(Fig15, EccheckDominatesAndAdvantageGrowsWithN) {
+  double prev_gap = 0;
+  for (int n : {4, 8, 16, 32}) {
+    auto c = compare_at_equal_redundancy(n, 0.05);
+    EXPECT_GT(c.eccheck_rate, c.replication_rate) << "n=" << n;
+    double gap = c.eccheck_rate - c.replication_rate;
+    EXPECT_GT(gap, prev_gap) << "n=" << n;
+    prev_gap = gap;
+  }
+}
+
+TEST(Fig15, EqualAtPZeroAndPOne) {
+  auto z = compare_at_equal_redundancy(8, 0.0);
+  EXPECT_DOUBLE_EQ(z.eccheck_rate, 1.0);
+  EXPECT_DOUBLE_EQ(z.replication_rate, 1.0);
+  auto o = compare_at_equal_redundancy(8, 1.0);
+  EXPECT_DOUBLE_EQ(o.replication_rate, 0.0);
+}
+
+TEST(GroupTradeoff, TableFiltersInvalidSizes) {
+  auto t = group_tradeoff_table(2000, 0.01, {2, 3, 4, 7, 8, 10, 2000});
+  // 3 and 7 rejected (odd), everything else divides 2000.
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].group_size, 2);
+  EXPECT_EQ(t[0].num_groups, 1000);
+  EXPECT_DOUBLE_EQ(t[0].per_device_comm_factor, 1.0);
+}
+
+TEST(GroupTradeoff, BiggerGroupsMoreReliableMoreExpensive) {
+  auto t = group_tradeoff_table(2000, 0.02, {2, 4, 8, 20});
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    EXPECT_LT(t[i].cluster_recovery_rate, t[i + 1].cluster_recovery_rate);
+    EXPECT_LT(t[i].per_device_comm_factor, t[i + 1].per_device_comm_factor);
+  }
+}
+
+TEST(GroupTradeoff, OptimalGroupSizePicksCheapestSufficient) {
+  // §VI future work: the smallest group meeting the reliability target.
+  int g = optimal_group_size(2000, 0.02, 0.99, {2, 4, 8, 20, 40});
+  EXPECT_GT(g, 2);  // groups of 2 are not reliable enough at p=0.02
+  // The chosen size meets the target...
+  auto t = group_tradeoff_table(2000, 0.02, {g});
+  EXPECT_GE(t[0].cluster_recovery_rate, 0.99);
+  // ...and impossible targets return 0.
+  EXPECT_EQ(optimal_group_size(2000, 0.5, 0.999999, {2, 4}), 0);
+}
+
+}  // namespace
+}  // namespace eccheck::analysis

@@ -1,0 +1,65 @@
+// Failure-detector semantics: suspicion timing, quorum confirmation,
+// latency bounds.
+#include <gtest/gtest.h>
+
+#include "cluster/failure_detector.hpp"
+
+namespace eccheck::cluster {
+namespace {
+
+FailureDetectorConfig cfg(Seconds hb = 1.0, Seconds to = 3.0, int q = 1) {
+  FailureDetectorConfig c;
+  c.heartbeat_interval = hb;
+  c.timeout = to;
+  c.quorum = q;
+  return c;
+}
+
+TEST(FailureDetector, SuspicionAfterLastBeatPlusTimeout) {
+  FailureDetector d(cfg());
+  // Failure at t=2.5: last beat at 2.0, suspicion at 5.0.
+  EXPECT_DOUBLE_EQ(d.suspicion_time(2.5), 5.0);
+  // Failure exactly on a beat: that beat was delivered.
+  EXPECT_DOUBLE_EQ(d.suspicion_time(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.suspicion_time(0.0), 3.0);
+}
+
+TEST(FailureDetector, DetectionAlwaysAfterFailure) {
+  FailureDetector d(cfg(0.5, 2.0, 2));
+  for (double t : {0.0, 0.1, 0.49, 1.7, 10.01}) {
+    Seconds det = d.detection_time(t, 3);
+    EXPECT_GT(det, t);
+    EXPECT_LE(det - t, d.max_latency() + 1e-9);
+  }
+}
+
+TEST(FailureDetector, QuorumDelaysConfirmation) {
+  FailureDetector d1(cfg(1.0, 3.0, 1));
+  FailureDetector d3(cfg(1.0, 3.0, 3));
+  for (double t : {0.3, 1.6, 2.2}) {
+    EXPECT_LE(d1.detection_time(t, 3), d3.detection_time(t, 3)) << t;
+  }
+}
+
+TEST(FailureDetector, StaggeredObserversDetectFasterThanOne) {
+  // With many staggered observers, the earliest suspicion approaches
+  // fail_time + timeout, beating a single unlucky observer's worst case.
+  FailureDetector d(cfg(1.0, 3.0, 1));
+  double worst_single = 0, with_eight = 0;
+  for (double t = 0.05; t < 1.0; t += 0.1) {
+    worst_single = std::max(worst_single, d.detection_time(t, 1) - t);
+    with_eight = std::max(with_eight, d.detection_time(t, 8) - t);
+  }
+  EXPECT_LT(with_eight, worst_single);
+}
+
+TEST(FailureDetector, RejectsBadConfigs) {
+  auto bad = cfg();
+  bad.timeout = 0.1;  // < heartbeat interval
+  EXPECT_THROW(FailureDetector{bad}, CheckFailure);
+  FailureDetector d(cfg(1.0, 3.0, 4));
+  EXPECT_THROW(d.detection_time(1.0, 3), CheckFailure);  // quorum > observers
+}
+
+}  // namespace
+}  // namespace eccheck::cluster

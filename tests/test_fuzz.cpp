@@ -1,0 +1,158 @@
+// Randomized integration fuzzing: deterministic pseudo-random cluster
+// shapes, codec settings, failure/corruption patterns — every recoverable
+// scenario must restore bit-exact state, every unrecoverable one must fail
+// cleanly (no exceptions, no wrong data).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/eccheck_engine.hpp"
+#include "dnn/checkpoint_gen.hpp"
+
+namespace eccheck {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::VirtualCluster;
+
+struct Scenario {
+  int nodes, gpus, k, m;
+  int gf_width;
+  ec::KernelMode kernel;
+  std::size_t packet;
+  bool pipelined, tree, flush;
+  std::vector<int> kills;
+  int corruptions;
+};
+
+Scenario random_scenario(SplitMix64& rng) {
+  Scenario s;
+  // Valid shapes: k + m == nodes, W % k == 0.
+  const std::vector<std::array<int, 4>> shapes = {
+      {4, 1, 2, 2}, {4, 2, 2, 2}, {4, 2, 1, 3}, {3, 2, 2, 1}, {6, 1, 3, 3},
+      {6, 1, 2, 4}, {6, 2, 4, 2}, {8, 1, 4, 4}, {5, 2, 2, 3}, {4, 3, 2, 2}};
+  auto sh = shapes[rng.next_below(shapes.size())];
+  s.nodes = sh[0];
+  s.gpus = sh[1];
+  s.k = sh[2];
+  s.m = sh[3];
+  const int widths[] = {4, 8, 8, 16};  // bias towards w=8
+  s.gf_width = widths[rng.next_below(4)];
+  s.kernel = rng.next_below(3) == 0 ? ec::KernelMode::kXorBitmatrix
+                                    : ec::KernelMode::kGfTable;
+  const std::size_t packets[] = {kib(4), kib(8), kib(16), kib(8) + 128};
+  s.packet = packets[rng.next_below(4)];
+  s.pipelined = rng.next_below(4) != 0;
+  s.tree = rng.next_below(3) == 0;
+  s.flush = rng.next_below(4) == 0;
+  // 0..nodes-1 failures plus occasional corruption.
+  const int fail_count = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(s.nodes)));
+  std::vector<int> all(static_cast<std::size_t>(s.nodes));
+  for (int i = 0; i < s.nodes; ++i) all[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < fail_count; ++i) {
+    auto j = i + static_cast<int>(rng.next_below(
+                     static_cast<std::uint64_t>(s.nodes - i)));
+    std::swap(all[static_cast<std::size_t>(i)],
+              all[static_cast<std::size_t>(j)]);
+    s.kills.push_back(all[static_cast<std::size_t>(i)]);
+  }
+  s.corruptions = static_cast<int>(rng.next_below(2));
+  return s;
+}
+
+TEST(Fuzz, RandomScenariosEitherRecoverExactlyOrFailCleanly) {
+  SplitMix64 rng(0xecc);
+  int recovered = 0, refused = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Scenario s = random_scenario(rng);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": n=" +
+                 std::to_string(s.nodes) + " g=" + std::to_string(s.gpus) +
+                 " k=" + std::to_string(s.k) + " m=" + std::to_string(s.m) +
+                 " w=" + std::to_string(s.gf_width) + " kills=" +
+                 std::to_string(s.kills.size()) + " corrupt=" +
+                 std::to_string(s.corruptions));
+
+    ClusterConfig ccfg;
+    ccfg.num_nodes = s.nodes;
+    ccfg.gpus_per_node = s.gpus;
+    VirtualCluster cluster(ccfg);
+
+    dnn::CheckpointGenConfig gen;
+    gen.model =
+        dnn::make_model(dnn::ModelFamily::kGPT2, 64, 1, s.nodes * s.gpus,
+                        "fuzz");
+    gen.model.vocab = 128;
+    gen.parallelism = {1, s.nodes * s.gpus, 1};
+    gen.seed = rng.next();
+    auto shards = dnn::make_sharded_checkpoint(gen);
+    std::vector<std::uint64_t> want;
+    for (const auto& sd : shards) want.push_back(sd.digest());
+
+    core::ECCheckConfig ec;
+    ec.k = s.k;
+    ec.m = s.m;
+    ec.gf_width = s.gf_width;
+    ec.kernel = s.kernel;
+    // Packet size must satisfy the codec granularity.
+    ec.packet_size = s.packet;
+    const std::size_t gran =
+        ec::CrsCodec(s.k, std::max(1, s.m), s.gf_width, s.kernel)
+            .packet_granularity();
+    if (ec.packet_size % gran != 0)
+      ec.packet_size += gran - ec.packet_size % gran;
+    ec.pipelined = s.pipelined;
+    ec.tree_reduction = s.tree;
+    ec.flush_to_remote = s.flush;
+    core::ECCheckEngine engine(ec);
+
+    ASSERT_NO_THROW(engine.save(cluster, shards, 7));
+
+    // Inject corruption on a random surviving node's chunk.
+    int erasures = static_cast<int>(s.kills.size());
+    if (s.corruptions > 0) {
+      int victim = -1;
+      for (int n = 0; n < s.nodes; ++n) {
+        if (std::find(s.kills.begin(), s.kills.end(), n) == s.kills.end()) {
+          victim = n;
+          break;
+        }
+      }
+      if (victim >= 0) {
+        auto plan = engine.plan_for(cluster);
+        std::string key = "ec/7/row/" +
+                          std::to_string(plan.generator_row_of_node(victim)) +
+                          "/0/0";
+        Buffer t = cluster.host(victim).get(key).clone();
+        t.data()[0] ^= std::byte{1};
+        cluster.host(victim).put(key, std::move(t));
+        ++erasures;
+      }
+    }
+    for (int n : s.kills) {
+      cluster.kill(n);
+      cluster.replace(n);
+    }
+
+    std::vector<dnn::StateDict> out;
+    ckpt::LoadReport load;
+    ASSERT_NO_THROW(load = engine.load(cluster, 7, out));
+
+    const bool should_recover = s.flush || erasures <= s.m;
+    if (should_recover) {
+      ASSERT_TRUE(load.success) << load.detail;
+      ASSERT_EQ(out.size(), want.size());
+      for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i].digest(), want[i]) << "worker " << i;
+      ++recovered;
+    } else {
+      ASSERT_FALSE(load.success);
+      ++refused;
+    }
+  }
+  // The mix should exercise both outcomes.
+  EXPECT_GT(recovered, 5);
+  EXPECT_GT(refused, 1);
+}
+
+}  // namespace
+}  // namespace eccheck

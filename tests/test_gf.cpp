@@ -1,0 +1,209 @@
+// GF(2^w) field-law and region-kernel tests, parameterized over w.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gf/galois.hpp"
+
+namespace eccheck::gf {
+namespace {
+
+class FieldTest : public ::testing::TestWithParam<int> {
+ protected:
+  const Field& f() const { return Field::get(GetParam()); }
+
+  /// Sampled elements: all of GF(16)/GF(256), a spread for GF(65536).
+  std::vector<std::uint32_t> sample_elements() const {
+    std::vector<std::uint32_t> out;
+    if (f().order() <= 256) {
+      for (std::uint32_t a = 0; a < f().order(); ++a) out.push_back(a);
+    } else {
+      SplitMix64 rng(99);
+      out.push_back(0);
+      out.push_back(1);
+      out.push_back(f().max_element());
+      for (int i = 0; i < 200; ++i)
+        out.push_back(static_cast<std::uint32_t>(rng.next_below(f().order())));
+    }
+    return out;
+  }
+};
+
+TEST_P(FieldTest, TablesMatchSlowMultiply) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    EXPECT_EQ(f().mul(a, b), f().mul_slow(a, b)) << a << "*" << b;
+  }
+}
+
+TEST_P(FieldTest, MultiplicationCommutesAndHasIdentity) {
+  for (std::uint32_t a : sample_elements()) {
+    EXPECT_EQ(f().mul(a, 1), a);
+    EXPECT_EQ(f().mul(1, a), a);
+    EXPECT_EQ(f().mul(a, 0), 0u);
+    for (std::uint32_t b : {std::uint32_t{3}, f().max_element()})
+      EXPECT_EQ(f().mul(a, b), f().mul(b, a));
+  }
+}
+
+TEST_P(FieldTest, Associativity) {
+  SplitMix64 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    std::uint32_t c = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    EXPECT_EQ(f().mul(f().mul(a, b), c), f().mul(a, f().mul(b, c)));
+  }
+}
+
+TEST_P(FieldTest, Distributivity) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    std::uint32_t c = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    EXPECT_EQ(f().mul(a, f().add(b, c)),
+              f().add(f().mul(a, b), f().mul(a, c)));
+  }
+}
+
+TEST_P(FieldTest, InverseRoundTrip) {
+  for (std::uint32_t a : sample_elements()) {
+    if (a == 0) continue;
+    EXPECT_EQ(f().mul(a, f().inv(a)), 1u) << "a=" << a;
+    EXPECT_EQ(f().div(f().mul(a, 7 % f().order() ? 7 : 3), a),
+              7 % f().order() ? 7u : 3u);
+  }
+}
+
+TEST_P(FieldTest, InverseOfZeroThrows) {
+  EXPECT_THROW(f().inv(0), CheckFailure);
+  EXPECT_THROW(f().div(1, 0), CheckFailure);
+}
+
+TEST_P(FieldTest, PowMatchesRepeatedMultiplication) {
+  for (std::uint32_t a : {std::uint32_t{2}, std::uint32_t{5}}) {
+    std::uint32_t acc = 1;
+    for (std::uint64_t e = 0; e < 40; ++e) {
+      EXPECT_EQ(f().pow(a, e), acc) << "a=" << a << " e=" << e;
+      acc = f().mul(acc, a);
+    }
+  }
+  EXPECT_EQ(f().pow(0, 0), 1u);
+  EXPECT_EQ(f().pow(0, 5), 0u);
+}
+
+TEST_P(FieldTest, PrimitiveElementHasFullOrder) {
+  // alpha = 2 generates the multiplicative group.
+  std::uint32_t x = 1;
+  std::uint32_t steps = 0;
+  do {
+    x = f().mul(x, 2);
+    ++steps;
+  } while (x != 1 && steps <= f().order());
+  EXPECT_EQ(steps, f().order() - 1);
+}
+
+TEST_P(FieldTest, MulRegionMatchesScalar) {
+  const std::size_t n = 1024;
+  Buffer src(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 5);
+  SplitMix64 rng(6);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::uint32_t c = static_cast<std::uint32_t>(rng.next_below(f().order()));
+    Buffer dst(n, Buffer::Init::kUninitialized);
+    f().mul_region(c, src.span(), dst.span(), /*accumulate=*/false);
+
+    // Scalar reference on packed symbols.
+    const int w = f().w();
+    const auto* s = reinterpret_cast<const unsigned char*>(src.data());
+    const auto* d = reinterpret_cast<const unsigned char*>(dst.data());
+    if (w == 8) {
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(d[i], f().mul(c, s[i])) << i;
+    } else if (w == 4) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(d[i] & 0xf, f().mul(c, s[i] & 0xf));
+        ASSERT_EQ(d[i] >> 4, f().mul(c, s[i] >> 4));
+      }
+    } else {
+      for (std::size_t i = 0; i < n; i += 2) {
+        std::uint32_t sv = s[i] | (s[i + 1] << 8);
+        std::uint32_t dv = d[i] | (d[i + 1] << 8);
+        ASSERT_EQ(dv, f().mul(c, sv));
+      }
+    }
+  }
+}
+
+TEST_P(FieldTest, MulRegionAccumulate) {
+  const std::size_t n = 512;
+  Buffer src(n, Buffer::Init::kUninitialized);
+  Buffer dst(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 7);
+  fill_random(dst.span(), 8);
+
+  Buffer expect(n, Buffer::Init::kUninitialized);
+  f().mul_region(13 % f().order(), src.span(), expect.span(), false);
+  xor_into(expect.span(), dst.span());
+
+  f().mul_region(13 % f().order(), src.span(), dst.span(), true);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST_P(FieldTest, MulRegionSpecialConstants) {
+  const std::size_t n = 256;
+  Buffer src(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 9);
+
+  Buffer zero(n, Buffer::Init::kUninitialized);
+  fill_random(zero.span(), 10);
+  f().mul_region(0, src.span(), zero.span(), false);
+  EXPECT_EQ(zero, Buffer(n));  // all zeros
+
+  Buffer one(n, Buffer::Init::kUninitialized);
+  f().mul_region(1, src.span(), one.span(), false);
+  EXPECT_EQ(one, src);
+}
+
+TEST_P(FieldTest, MulRegionLinearity) {
+  // c·(x ⊕ y) == c·x ⊕ c·y — the property the whole XOR-reduction
+  // protocol rests on.
+  const std::size_t n = 256;
+  Buffer x(n, Buffer::Init::kUninitialized), y(n, Buffer::Init::kUninitialized);
+  fill_random(x.span(), 11);
+  fill_random(y.span(), 12);
+  std::uint32_t c = f().max_element();
+
+  Buffer xy = x.clone();
+  xor_into(xy.span(), y.span());
+  Buffer lhs(n);
+  f().mul_region(c, xy.span(), lhs.span(), false);
+
+  Buffer rhs(n), cy(n);
+  f().mul_region(c, x.span(), rhs.span(), false);
+  f().mul_region(c, y.span(), cy.span(), false);
+  xor_into(rhs.span(), cy.span());
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(FieldTest, RegionGranularityEnforced) {
+  if (f().w() != 16) return;
+  Buffer src(15, Buffer::Init::kUninitialized);
+  Buffer dst(15, Buffer::Init::kUninitialized);
+  EXPECT_THROW(f().mul_region(3, src.span(), dst.span(), false),
+               CheckFailure);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, FieldTest, ::testing::Values(4, 8, 16),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Field, UnsupportedWidthThrows) {
+  EXPECT_THROW(Field::get(7), CheckFailure);
+}
+
+}  // namespace
+}  // namespace eccheck::gf

@@ -1,0 +1,180 @@
+// Group-based ECCheck (§VI): independent per-group protocols, failure
+// isolation, remote-flush namespacing, and flat scale-out timing.
+#include <gtest/gtest.h>
+
+#include "core/grouped_engine.hpp"
+#include "dnn/checkpoint_gen.hpp"
+
+namespace eccheck {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::VirtualCluster;
+
+ClusterConfig cluster_config(int nodes, int gpus = 1) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.gpus_per_node = gpus;
+  return cfg;
+}
+
+std::vector<dnn::StateDict> make_shards(int world, std::uint64_t seed = 9) {
+  dnn::CheckpointGenConfig cfg;
+  cfg.model = dnn::make_model(dnn::ModelFamily::kT5, 64, 1, world, "grp");
+  cfg.model.vocab = 256;
+  cfg.parallelism = {1, world, 1};
+  cfg.seed = seed;
+  return dnn::make_sharded_checkpoint(cfg);
+}
+
+core::GroupedConfig grouped_config(int group_size = 4) {
+  core::GroupedConfig cfg;
+  cfg.group_size = group_size;
+  cfg.per_group.k = group_size / 2;
+  cfg.per_group.m = group_size - group_size / 2;
+  cfg.per_group.packet_size = kib(8);
+  return cfg;
+}
+
+std::vector<std::uint64_t> digests_of(const std::vector<dnn::StateDict>& v) {
+  std::vector<std::uint64_t> out;
+  for (const auto& sd : v) out.push_back(sd.digest());
+  return out;
+}
+
+TEST(Grouped, SaveLoadRoundTrip) {
+  VirtualCluster cluster(cluster_config(8));
+  auto shards = make_shards(8);
+  auto want = digests_of(shards);
+  core::GroupedECCheckEngine engine(grouped_config(4));
+  EXPECT_EQ(engine.num_groups(cluster), 2);
+
+  auto save = engine.save(cluster, shards, 1);
+  EXPECT_GT(save.total_time, 0.0);
+  std::vector<dnn::StateDict> out;
+  auto load = engine.load(cluster, 1, out);
+  ASSERT_TRUE(load.success) << load.detail;
+  EXPECT_EQ(digests_of(out), want);
+}
+
+TEST(Grouped, ToleratesMFailuresPerGroupSimultaneously) {
+  VirtualCluster cluster(cluster_config(8));
+  auto shards = make_shards(8);
+  auto want = digests_of(shards);
+  core::GroupedECCheckEngine engine(grouped_config(4));
+  engine.save(cluster, shards, 1);
+
+  // Two failures in EACH group at once: 4 concurrent failures total.
+  for (int v : {0, 1, 4, 5}) {
+    cluster.kill(v);
+    cluster.replace(v);
+  }
+  std::vector<dnn::StateDict> out;
+  auto load = engine.load(cluster, 1, out);
+  ASSERT_TRUE(load.success) << load.detail;
+  EXPECT_EQ(digests_of(out), want);
+}
+
+TEST(Grouped, FailsWhenOneGroupLosesTooMany) {
+  VirtualCluster cluster(cluster_config(8));
+  auto shards = make_shards(8);
+  core::GroupedECCheckEngine engine(grouped_config(4));
+  engine.save(cluster, shards, 1);
+
+  // Three failures concentrated in group 0 (> m = 2): unrecoverable, even
+  // though the same count spread across groups would be fine.
+  for (int v : {0, 1, 2}) {
+    cluster.kill(v);
+    cluster.replace(v);
+  }
+  std::vector<dnn::StateDict> out;
+  auto load = engine.load(cluster, 1, out);
+  EXPECT_FALSE(load.success);
+  EXPECT_NE(load.detail.find("group 0"), std::string::npos);
+}
+
+TEST(Grouped, SameCountSpreadAcrossGroupsRecovers) {
+  VirtualCluster cluster(cluster_config(8));
+  auto shards = make_shards(8);
+  auto want = digests_of(shards);
+  core::GroupedECCheckEngine engine(grouped_config(4));
+  engine.save(cluster, shards, 1);
+
+  for (int v : {0, 2, 5}) {  // 2 in group 0, 1 in group 1
+    cluster.kill(v);
+    cluster.replace(v);
+  }
+  std::vector<dnn::StateDict> out;
+  auto load = engine.load(cluster, 1, out);
+  ASSERT_TRUE(load.success) << load.detail;
+  EXPECT_EQ(digests_of(out), want);
+}
+
+TEST(Grouped, RemoteFlushNamespacesDoNotCollide) {
+  VirtualCluster cluster(cluster_config(8));
+  auto shards = make_shards(8);
+  auto want = digests_of(shards);
+  auto cfg = grouped_config(4);
+  cfg.per_group.flush_to_remote = true;
+  core::GroupedECCheckEngine engine(cfg);
+  engine.save(cluster, shards, 1);
+
+  // Wipe group 0 completely (3 > m failures): only the remote flush of
+  // *its own* chunks can rescue it.
+  for (int v : {0, 1, 2, 3}) {
+    cluster.kill(v);
+    cluster.replace(v);
+  }
+  std::vector<dnn::StateDict> out;
+  auto load = engine.load(cluster, 1, out);
+  ASSERT_TRUE(load.success) << load.detail;
+  EXPECT_EQ(digests_of(out), want);
+}
+
+TEST(Grouped, ScaleOutKeepsSaveTimeFlat) {
+  // §VI: adding groups must not lengthen checkpointing — groups use
+  // disjoint nodes and overlap in time.
+  double t2 = 0, t8 = 0;
+  for (int groups : {2, 8}) {
+    const int nodes = 4 * groups;
+    VirtualCluster cluster(cluster_config(nodes));
+    auto shards = make_shards(nodes);
+    core::GroupedECCheckEngine engine(grouped_config(4));
+    double t = engine.save(cluster, shards, 1).total_time;
+    (groups == 2 ? t2 : t8) = t;
+  }
+  EXPECT_NEAR(t8, t2, t2 * 0.05);
+}
+
+TEST(Grouped, MatchesUngroupedWhenSingleGroup) {
+  VirtualCluster c1(cluster_config(4));
+  VirtualCluster c2(cluster_config(4));
+  auto shards = make_shards(4);
+  core::GroupedECCheckEngine grouped(grouped_config(4));
+  core::ECCheckConfig plain_cfg;
+  plain_cfg.k = 2;
+  plain_cfg.m = 2;
+  plain_cfg.packet_size = kib(8);
+  core::ECCheckEngine plain(plain_cfg);
+
+  auto rg = grouped.save(c1, shards, 1);
+  auto rp = plain.save(c2, shards, 1);
+  EXPECT_NEAR(rg.total_time, rp.total_time, rp.total_time * 1e-9);
+  EXPECT_EQ(rg.network_bytes, rp.network_bytes);
+}
+
+TEST(Grouped, RejectsBadConfigs) {
+  core::GroupedConfig bad;
+  bad.group_size = 4;
+  bad.per_group.k = 2;
+  bad.per_group.m = 1;  // k + m != group_size
+  EXPECT_THROW(core::GroupedECCheckEngine{bad}, CheckFailure);
+
+  VirtualCluster cluster(cluster_config(6));
+  core::GroupedECCheckEngine engine(grouped_config(4));
+  auto shards = make_shards(6);
+  EXPECT_THROW(engine.save(cluster, shards, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace eccheck

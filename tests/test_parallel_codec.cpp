@@ -1,0 +1,140 @@
+// ParallelCodec: thread-pool sliced coding must be bit-identical to the
+// serial CrsCodec paths.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ec/parallel_codec.hpp"
+
+namespace eccheck::ec {
+namespace {
+
+std::vector<Buffer> make_packets(int n, std::size_t size,
+                                 std::uint64_t seed = 1) {
+  std::vector<Buffer> v;
+  for (int i = 0; i < n; ++i) {
+    v.emplace_back(size, Buffer::Init::kUninitialized);
+    fill_random(v.back().span(), seed + static_cast<std::uint64_t>(i));
+  }
+  return v;
+}
+
+struct Case {
+  int k, m, w;
+  KernelMode mode;
+  std::size_t packet;
+  std::size_t slice;
+};
+
+class ParallelCodecTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ParallelCodecTest, EncodeMatchesSerial) {
+  const auto c = GetParam();
+  CrsCodec codec(c.k, c.m, c.w, c.mode);
+  runtime::ThreadPool pool(4);
+  ParallelCodec pc(codec, pool, c.slice);
+
+  auto data = make_packets(c.k, c.packet);
+  std::vector<ByteSpan> in;
+  for (auto& d : data) in.push_back(d.span());
+
+  auto serial = make_packets(c.m, c.packet, 100);
+  auto parallel = make_packets(c.m, c.packet, 200);
+  std::vector<MutableByteSpan> so, po;
+  for (auto& p : serial) so.push_back(p.span());
+  for (auto& p : parallel) po.push_back(p.span());
+
+  codec.encode(in, so);
+  pc.encode(in, po);
+  for (int r = 0; r < c.m; ++r)
+    EXPECT_EQ(serial[static_cast<std::size_t>(r)],
+              parallel[static_cast<std::size_t>(r)])
+        << "row " << r;
+}
+
+TEST_P(ParallelCodecTest, EncodeRowMatchesAccumulation) {
+  const auto c = GetParam();
+  CrsCodec codec(c.k, c.m, c.w, c.mode);
+  runtime::ThreadPool pool(3);
+  ParallelCodec pc(codec, pool, c.slice);
+
+  auto data = make_packets(c.k, c.packet, 7);
+  std::vector<ByteSpan> in;
+  for (auto& d : data) in.push_back(d.span());
+
+  for (int row : {0, c.k, c.k + c.m - 1}) {
+    Buffer serial(c.packet, Buffer::Init::kUninitialized);
+    for (int j = 0; j < c.k; ++j)
+      codec.encode_partial(row, j, in[static_cast<std::size_t>(j)],
+                           serial.span(), j != 0);
+    Buffer parallel(c.packet, Buffer::Init::kUninitialized);
+    pc.encode_row(row, in, parallel.span());
+    EXPECT_EQ(serial, parallel) << "row " << row;
+  }
+}
+
+TEST_P(ParallelCodecTest, ApplyMatrixMatchesSerial) {
+  const auto c = GetParam();
+  CrsCodec codec(c.k, c.m, c.w, c.mode);
+  runtime::ThreadPool pool(4);
+  ParallelCodec pc(codec, pool, c.slice);
+
+  auto data = make_packets(c.k, c.packet, 11);
+  std::vector<ByteSpan> in;
+  for (auto& d : data) in.push_back(d.span());
+
+  // Any interesting matrix: the inverse used by decode.
+  std::vector<int> rows;
+  for (int r = 0; r < c.k; ++r) rows.push_back(c.m > 0 ? c.k + r % c.m : r);
+  std::vector<int> unique_rows;
+  for (int r = 0; r < c.k + c.m && static_cast<int>(unique_rows.size()) < c.k;
+       ++r)
+    unique_rows.push_back(c.k + c.m - 1 - r);
+  GfMatrix t = codec.reconstruction_matrix(unique_rows, {0, 1});
+
+  auto serial = make_packets(2, c.packet, 300);
+  auto parallel = make_packets(2, c.packet, 400);
+  std::vector<MutableByteSpan> so{serial[0].span(), serial[1].span()};
+  std::vector<MutableByteSpan> po{parallel[0].span(), parallel[1].span()};
+  std::vector<ByteSpan> chunk_in;
+  for (int i = 0; i < c.k; ++i) chunk_in.push_back(in[static_cast<std::size_t>(i)]);
+  codec.apply_matrix(t, chunk_in, so);
+  pc.apply_matrix(t, chunk_in, po);
+  EXPECT_EQ(serial[0], parallel[0]);
+  EXPECT_EQ(serial[1], parallel[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParallelCodecTest,
+    ::testing::Values(
+        Case{2, 2, 8, KernelMode::kGfTable, 64 * 1024, 4096},
+        Case{4, 2, 8, KernelMode::kGfTable, 64 * 1024, 7777},  // odd slice
+        Case{4, 4, 16, KernelMode::kGfTable, 32 * 1024, 1001}, // w=16 rounding
+        Case{3, 2, 8, KernelMode::kXorBitmatrix, 64 * 1024, 4096},  // fallback
+        Case{2, 2, 8, KernelMode::kGfTable, 1024, 64 * 1024}),  // < one slice
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "k" + std::to_string(c.k) + "m" + std::to_string(c.m) + "w" +
+             std::to_string(c.w) +
+             (c.mode == KernelMode::kGfTable ? "_table" : "_xor") + "_s" +
+             std::to_string(c.slice);
+    });
+
+TEST(ParallelCodec, SliceRoundedToGranularity) {
+  CrsCodec codec(2, 2, 16);
+  runtime::ThreadPool pool(2);
+  // Odd slice size on a 2-byte-symbol field must still produce exact
+  // results (constructor rounds it up).
+  ParallelCodec pc(codec, pool, 1001);
+  auto data = make_packets(2, 8192, 5);
+  std::vector<ByteSpan> in{data[0].span(), data[1].span()};
+  Buffer serial(8192, Buffer::Init::kUninitialized);
+  for (int j = 0; j < 2; ++j)
+    codec.encode_partial(2, j, in[static_cast<std::size_t>(j)], serial.span(),
+                         j != 0);
+  Buffer parallel(8192, Buffer::Init::kUninitialized);
+  pc.encode_row(2, in, parallel.span());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace eccheck::ec

@@ -1,0 +1,270 @@
+// Placement planner tests: sweep-line pairing vs brute force, §IV-B target
+// rules, and the m·s·W communication-volume law of §V-F.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/placement.hpp"
+
+namespace eccheck::core {
+namespace {
+
+/// Reference: greedy maximum-overlap assignment by exhaustive search.
+std::vector<int> brute_force_pairing(const std::vector<IndexInterval>& origin,
+                                     const std::vector<IndexInterval>& data) {
+  struct Cand {
+    int ov, d, o;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t d = 0; d < data.size(); ++d)
+    for (std::size_t o = 0; o < origin.size(); ++o) {
+      int ov = overlap(origin[o], data[d]);
+      if (ov > 0)
+        cands.push_back({ov, static_cast<int>(d), static_cast<int>(o)});
+    }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.ov != b.ov) return a.ov > b.ov;
+    if (a.d != b.d) return a.d < b.d;
+    return a.o < b.o;
+  });
+  std::vector<int> assign(data.size(), -1);
+  std::vector<bool> used(origin.size(), false);
+  for (const auto& c : cands) {
+    if (assign[static_cast<std::size_t>(c.d)] >= 0 ||
+        used[static_cast<std::size_t>(c.o)])
+      continue;
+    assign[static_cast<std::size_t>(c.d)] = c.o;
+    used[static_cast<std::size_t>(c.o)] = true;
+  }
+  for (auto& a : assign) {
+    if (a >= 0) continue;
+    for (std::size_t o = 0; o < origin.size(); ++o)
+      if (!used[o]) {
+        a = static_cast<int>(o);
+        used[o] = true;
+        break;
+      }
+  }
+  return assign;
+}
+
+TEST(SweepLine, MatchesBruteForceAcrossTopologies) {
+  for (int n : {2, 3, 4, 6, 8, 12}) {
+    for (int g : {1, 2, 4}) {
+      const int W = n * g;
+      for (int k = 1; k <= n; ++k) {
+        if (W % k != 0) continue;
+        std::vector<IndexInterval> origin, data;
+        for (int i = 0; i < n; ++i) origin.push_back({i * g, (i + 1) * g});
+        for (int c = 0; c < k; ++c)
+          data.push_back({c * (W / k), (c + 1) * (W / k)});
+        EXPECT_EQ(max_overlap_pairing(origin, data),
+                  brute_force_pairing(origin, data))
+            << "n=" << n << " g=" << g << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SweepLine, PaperFig9Example) {
+  // 3 nodes × 2 GPUs, k=2, m=1: nodes 0 and 2 become data nodes, node 1 the
+  // parity node (Fig. 9a is the cheaper choice).
+  PlacementConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.gpus_per_node = 2;
+  cfg.k = 2;
+  cfg.m = 1;
+  Placement p = plan_placement(cfg);
+  EXPECT_EQ(p.data_nodes, (std::vector<int>{0, 2}));
+  EXPECT_EQ(p.parity_nodes, (std::vector<int>{1}));
+}
+
+TEST(Placement, RolesPartitionNodes) {
+  for (auto [n, g, k] : std::vector<std::array<int, 3>>{
+           {4, 4, 2}, {4, 1, 2}, {6, 2, 3}, {8, 2, 4}, {6, 2, 2}, {5, 2, 2}}) {
+    PlacementConfig cfg;
+    cfg.num_nodes = n;
+    cfg.gpus_per_node = g;
+    cfg.k = k;
+    cfg.m = n - k;
+    if ((n * g) % k != 0) continue;
+    Placement p = plan_placement(cfg);
+    std::set<int> all;
+    for (int d : p.data_nodes) all.insert(d);
+    for (int q : p.parity_nodes) all.insert(q);
+    EXPECT_EQ(static_cast<int>(all.size()), n);
+    EXPECT_EQ(static_cast<int>(p.data_nodes.size()), k);
+    EXPECT_EQ(static_cast<int>(p.parity_nodes.size()), n - k);
+    // Role lookups agree.
+    for (int node = 0; node < n; ++node) {
+      EXPECT_NE(p.is_data_node(node), p.is_parity_node(node));
+      int row = p.generator_row_of_node(node);
+      if (p.is_data_node(node))
+        EXPECT_EQ(p.data_nodes[static_cast<std::size_t>(row)], node);
+      else
+        EXPECT_EQ(p.parity_nodes[static_cast<std::size_t>(row - k)], node);
+    }
+  }
+}
+
+TEST(Placement, ReductionCountIsWOverKTimesM) {
+  PlacementConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 4;
+  cfg.k = 2;
+  cfg.m = 2;
+  Placement p = plan_placement(cfg);
+  // W/k · m = 16/2 · 2 = 16 reduction ops (§IV-B2).
+  EXPECT_EQ(p.reductions.size(), 16u);
+  for (const auto& op : p.reductions) {
+    EXPECT_EQ(op.participants.size(), 2u);
+    // The target is one of the participants.
+    EXPECT_NE(std::find(op.participants.begin(), op.participants.end(),
+                        op.target_worker),
+              op.participants.end());
+    // Participants come one from each data chunk, same relative index.
+    EXPECT_EQ(op.participants[0] % p.workers_per_chunk(),
+              op.participants[1] % p.workers_per_chunk());
+  }
+}
+
+TEST(Placement, TargetsPreferParityNodes) {
+  PlacementConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 4;
+  cfg.k = 2;
+  cfg.m = 2;
+  Placement p = plan_placement(cfg);
+  int on_parity = 0;
+  for (const auto& op : p.reductions) {
+    bool group_has_parity_worker = false;
+    for (int w : op.participants)
+      if (node_of(cfg, w) == op.dest_node) group_has_parity_worker = true;
+    if (group_has_parity_worker) {
+      // Rule: such groups must place the result directly on the parity node.
+      EXPECT_EQ(node_of(cfg, op.target_worker), op.dest_node);
+      ++on_parity;
+    }
+  }
+  EXPECT_GT(on_parity, 0);
+}
+
+TEST(Placement, CommVolumeLawMsW) {
+  // §V-F: total communication volume per checkpoint is m·s·W (unit shard).
+  for (auto [n, g, k] : std::vector<std::array<int, 3>>{
+           {4, 4, 2}, {4, 1, 2}, {6, 2, 3}, {8, 4, 4}, {8, 2, 6}, {6, 3, 2}}) {
+    PlacementConfig cfg;
+    cfg.num_nodes = n;
+    cfg.gpus_per_node = g;
+    cfg.k = k;
+    cfg.m = n - k;
+    const int W = n * g;
+    if (W % k != 0) continue;
+    Placement p = plan_placement(cfg);
+    CommVolume v = nominal_comm_volume(p, 1.0);
+    EXPECT_DOUBLE_EQ(v.total(), static_cast<double>(cfg.m) * W)
+        << "n=" << n << " g=" << g << " k=" << k;
+    // Co-location can only reduce traffic.
+    CommVolume a = actual_comm_volume(p, 1.0);
+    EXPECT_LE(a.total(), v.total() + 1e-9);
+  }
+}
+
+TEST(Placement, ReductionPairsNeverCoLocated) {
+  // Participants of a reduction group come from different data chunks whose
+  // worker ranges are at least per_chunk ≥ g apart, so every chain hop is
+  // inter-node and the actual volume equals the paper's nominal accounting.
+  PlacementConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 4;
+  cfg.k = 2;
+  cfg.m = 2;
+  Placement p = plan_placement(cfg);
+  for (const auto& op : p.reductions) {
+    std::set<int> nodes;
+    for (int w : op.participants) nodes.insert(node_of(cfg, w));
+    EXPECT_EQ(nodes.size(), op.participants.size());
+  }
+  EXPECT_DOUBLE_EQ(actual_comm_volume(p, 1.0).total(),
+                   nominal_comm_volume(p, 1.0).total());
+}
+
+TEST(Placement, PerDeviceVolumeIndependentOfClusterSize) {
+  // §V-F scalability claim: per-device volume = m·s, constant in n.
+  for (int n : {4, 8, 16, 32}) {
+    PlacementConfig cfg;
+    cfg.num_nodes = n;
+    cfg.gpus_per_node = 2;
+    cfg.k = n / 2;
+    cfg.m = n / 2;
+    Placement p = plan_placement(cfg);
+    double per_device =
+        nominal_comm_volume(p, 1.0).total() / (n * cfg.gpus_per_node);
+    EXPECT_DOUBLE_EQ(per_device, static_cast<double>(cfg.m));
+  }
+}
+
+TEST(Placement, KGreaterThanMSpacing) {
+  PlacementConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.gpus_per_node = 2;  // W = 12, divisible by k = 4
+  cfg.k = 4;
+  cfg.m = 2;
+  Placement p = plan_placement(cfg);
+  // Groups without a parity worker spread targets at ⌊k/m⌋ = 2 intervals.
+  for (const auto& op : p.reductions) {
+    bool has_parity_worker = false;
+    for (int w : op.participants)
+      if (node_of(cfg, w) == op.dest_node) has_parity_worker = true;
+    if (!has_parity_worker) {
+      auto it = std::find(op.participants.begin(), op.participants.end(),
+                          op.target_worker);
+      int idx = static_cast<int>(it - op.participants.begin());
+      EXPECT_EQ(idx, op.parity_row * 2);
+    }
+  }
+}
+
+TEST(Placement, KLessThanMRoundRobin) {
+  PlacementConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.gpus_per_node = 1;
+  cfg.k = 2;
+  cfg.m = 4;
+  Placement p = plan_placement(cfg);
+  for (const auto& op : p.reductions) {
+    bool has_parity_worker = false;
+    for (int w : op.participants)
+      if (node_of(cfg, w) == op.dest_node) has_parity_worker = true;
+    if (!has_parity_worker) {
+      auto it = std::find(op.participants.begin(), op.participants.end(),
+                          op.target_worker);
+      EXPECT_EQ(static_cast<int>(it - op.participants.begin()),
+                op.parity_row % cfg.k);
+    }
+  }
+}
+
+TEST(Placement, InvalidConfigsRejected) {
+  PlacementConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 1;
+  cfg.k = 3;
+  cfg.m = 2;  // k+m != n
+  EXPECT_THROW(plan_placement(cfg), CheckFailure);
+  cfg.m = 1;  // W=4 not divisible by k=3
+  EXPECT_THROW(plan_placement(cfg), CheckFailure);
+}
+
+TEST(Placement, TransfersAreAllInterNode) {
+  PlacementConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 4;
+  cfg.k = 2;
+  cfg.m = 2;
+  Placement p = plan_placement(cfg);
+  for (const auto& t : p.transfers) EXPECT_NE(t.src_node, t.dst_node);
+}
+
+}  // namespace
+}  // namespace eccheck::core

@@ -1,0 +1,189 @@
+// Runtime tests: thread pool, bounded queue, staged pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "runtime/bounded_queue.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace eccheck::runtime {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&] { count.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSmall) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+  std::atomic<int> c{0};
+  pool.parallel_for(2, [&](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 2);
+}
+
+TEST(ThreadPool, ParallelEncodeMatchesSequential) {
+  // The paper's thread-pool encode: disjoint slices processed concurrently
+  // must equal a single-threaded pass.
+  const std::size_t n = 1 << 16;
+  Buffer src(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 77);
+  Buffer seq(n), par(n);
+  auto kernel = [&](MutableByteSpan dst, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      dst[i] = src.span()[i] ^ std::byte{0x5a};
+  };
+  kernel(seq.span(), 0, n);
+  ThreadPool pool(4);
+  const std::size_t kSlice = 4096;
+  pool.parallel_for(n / kSlice, [&](std::size_t s) {
+    kernel(par.span(), s * kSlice, (s + 1) * kSlice);
+  });
+  EXPECT_EQ(seq, par);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, BlocksProducerAtCapacity) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.push(3);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  q.pop();
+  t.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(Pipeline, AppliesStagesInOrder) {
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<std::function<void(int&)>> stages = {
+      [](int& x) { x = x * 2; },
+      [](int& x) { x = x + 1; },
+      [](int& x) { x = x * 10; },
+  };
+  run_pipeline(items, stages, 4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(items[static_cast<std::size_t>(i)], (i * 2 + 1) * 10);
+}
+
+TEST(Pipeline, MatchesSequentialOnBuffers) {
+  // encode → xor-reduce → "send" staged pipeline equals sequential result.
+  struct Item {
+    Buffer data;
+    Buffer out;
+  };
+  auto make_items = [] {
+    std::vector<Item> items;
+    for (int i = 0; i < 16; ++i) {
+      Item it;
+      it.data = Buffer(1024, Buffer::Init::kUninitialized);
+      fill_random(it.data.span(), static_cast<std::uint64_t>(i));
+      it.out = Buffer(1024);
+      items.push_back(std::move(it));
+    }
+    return items;
+  };
+  auto stage1 = [](Item& it) {
+    for (std::size_t i = 0; i < it.data.size(); ++i)
+      it.out.span()[i] = it.data.span()[i] ^ std::byte{0x33};
+  };
+  auto stage2 = [](Item& it) { xor_into(it.out.span(), it.data.span()); };
+
+  auto seq = make_items();
+  for (auto& it : seq) {
+    stage1(it);
+    stage2(it);
+  }
+  auto par = make_items();
+  std::vector<std::function<void(Item&)>> stages = {stage1, stage2};
+  run_pipeline(par, stages, 2);
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(seq[i].out, par[i].out) << i;
+}
+
+TEST(Pipeline, ReportsStats) {
+  std::vector<int> items(10, 0);
+  std::vector<std::function<void(int&)>> stages = {
+      [](int&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      },
+      [](int&) {},
+  };
+  auto stats = run_pipeline(items, stages);
+  ASSERT_EQ(stats.stage_busy_seconds.size(), 2u);
+  EXPECT_GT(stats.stage_busy_seconds[0], 0.005);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(Pipeline, PropagatesStageExceptions) {
+  std::vector<int> items(8, 0);
+  std::vector<std::function<void(int&)>> stages = {
+      [](int& x) { x += 1; },
+      [](int& x) {
+        if (x == 1) throw std::runtime_error("stage failure");
+      },
+  };
+  EXPECT_THROW(run_pipeline(items, stages, 1), std::runtime_error);
+}
+
+TEST(Pipeline, EmptyInputsAreFine) {
+  std::vector<int> none;
+  std::vector<std::function<void(int&)>> stages = {[](int&) {}};
+  auto stats = run_pipeline(none, stages);
+  EXPECT_EQ(stats.wall_seconds, 0.0);
+  std::vector<int> items(3, 1);
+  std::vector<std::function<void(int&)>> no_stages;
+  EXPECT_NO_THROW(run_pipeline(items, no_stages));
+}
+
+}  // namespace
+}  // namespace eccheck::runtime

@@ -1,0 +1,181 @@
+// Virtual-time substrate tests: intervals and the task-graph timeline.
+#include <gtest/gtest.h>
+
+#include "sim/interval.hpp"
+#include "sim/timeline.hpp"
+
+namespace eccheck::sim {
+namespace {
+
+TEST(Interval, NormalizeMergesAndSorts) {
+  auto v = normalize({{5, 7}, {1, 2}, {6, 9}, {2, 3}, {10, 10}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], (TimeInterval{1, 3}));
+  EXPECT_EQ(v[1], (TimeInterval{5, 9}));
+}
+
+TEST(Interval, OverlapWithCalendar) {
+  auto cal = normalize({{1, 3}, {5, 8}});
+  EXPECT_DOUBLE_EQ(overlap_with({0, 10}, cal), 5.0);
+  EXPECT_DOUBLE_EQ(overlap_with({2, 6}, cal), 2.0);
+  EXPECT_DOUBLE_EQ(overlap_with({3, 5}, cal), 0.0);
+}
+
+TEST(Interval, GapsWithinHorizon) {
+  auto busy = normalize({{2, 4}, {6, 7}});
+  auto gaps = gaps_of(busy, 0, 10);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (TimeInterval{0, 2}));
+  EXPECT_EQ(gaps[1], (TimeInterval{4, 6}));
+  EXPECT_EQ(gaps[2], (TimeInterval{7, 10}));
+  auto big = gaps_of(busy, 0, 10, 2.5);
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0], (TimeInterval{7, 10}));
+}
+
+TEST(Timeline, FifoOnSingleResource) {
+  Timeline tl;
+  auto r = tl.add_resource("nic");
+  auto t1 = tl.add_task("a", r, 2.0, {});
+  auto t2 = tl.add_task("b", r, 3.0, {});
+  EXPECT_DOUBLE_EQ(tl.finish_time(t1), 2.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t2), 5.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 5.0);
+}
+
+TEST(Timeline, DependenciesDelayStart) {
+  Timeline tl;
+  auto r1 = tl.add_resource("a");
+  auto r2 = tl.add_resource("b");
+  auto t1 = tl.add_task("x", r1, 4.0, {});
+  auto t2 = tl.add_task("y", r2, 1.0, {t1});
+  EXPECT_DOUBLE_EQ(tl.task(t2).start, 4.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t2), 5.0);
+}
+
+TEST(Timeline, MultiResourceOccupiesBoth) {
+  Timeline tl;
+  auto tx = tl.add_resource("tx");
+  auto rx = tl.add_resource("rx");
+  auto t = tl.add_task("send", {tx, rx}, 2.0, {});
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 2.0);
+  // Both resources are busy until 2.0.
+  auto t2 = tl.add_task("next_tx", tx, 1.0, {});
+  auto t3 = tl.add_task("next_rx", rx, 1.0, {});
+  EXPECT_DOUBLE_EQ(tl.task(t2).start, 2.0);
+  EXPECT_DOUBLE_EQ(tl.task(t3).start, 2.0);
+}
+
+TEST(Timeline, ParallelResourcesOverlap) {
+  Timeline tl;
+  auto a = tl.add_resource("a");
+  auto b = tl.add_resource("b");
+  auto t1 = tl.add_task("x", a, 5.0, {});
+  auto t2 = tl.add_task("y", b, 5.0, {});
+  EXPECT_DOUBLE_EQ(tl.finish_time(t1), 5.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t2), 5.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 5.0);
+}
+
+TEST(Timeline, NoResourceTaskIsPureDelay) {
+  Timeline tl;
+  auto r = tl.add_resource("r");
+  auto t1 = tl.add_task("work", r, 3.0, {});
+  auto barrier = tl.add_task("barrier", kNoResource, 0.0, {t1});
+  EXPECT_DOUBLE_EQ(tl.finish_time(barrier), 3.0);
+  auto delay = tl.add_task("delay", kNoResource, 2.0, {barrier});
+  EXPECT_DOUBLE_EQ(tl.finish_time(delay), 5.0);
+}
+
+TEST(Timeline, NotBeforeRespected) {
+  Timeline tl;
+  auto r = tl.add_resource("r");
+  TaskOptions opts;
+  opts.not_before = 7.5;
+  auto t = tl.add_task("late", r, 1.0, {}, opts);
+  EXPECT_DOUBLE_EQ(tl.task(t).start, 7.5);
+}
+
+TEST(Timeline, IdleOnlyPacksIntoGaps) {
+  Timeline tl;
+  auto r = tl.add_resource("nic");
+  tl.reserve(r, 1.0, 2.0);
+  tl.reserve(r, 3.0, 4.0);
+  TaskOptions idle;
+  idle.idle_only = true;
+  // 1.5s of work: [0,1) gap gives 1.0, [2,3) gap gives remaining 0.5.
+  auto t = tl.add_task("ckpt", r, 1.5, {}, idle);
+  const auto& task = tl.task(t);
+  ASSERT_EQ(task.segments.size(), 2u);
+  EXPECT_EQ(task.segments[0], (TimeInterval{0.0, 1.0}));
+  EXPECT_EQ(task.segments[1], (TimeInterval{2.0, 2.5}));
+  EXPECT_DOUBLE_EQ(task.finish, 2.5);
+  EXPECT_DOUBLE_EQ(task.reserved_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(tl.reserved_overlap(r), 0.0);
+}
+
+TEST(Timeline, IdleOnlyStartsInsideBusyWindowJumpsOut) {
+  Timeline tl;
+  auto r = tl.add_resource("nic");
+  tl.reserve(r, 0.0, 5.0);
+  TaskOptions idle;
+  idle.idle_only = true;
+  auto t = tl.add_task("ckpt", r, 1.0, {}, idle);
+  EXPECT_DOUBLE_EQ(tl.task(t).start, 5.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 6.0);
+}
+
+TEST(Timeline, NonIdleTaskReportsInterference) {
+  Timeline tl;
+  auto r = tl.add_resource("nic");
+  tl.reserve(r, 1.0, 3.0);
+  auto t = tl.add_task("rude", r, 4.0, {});
+  EXPECT_DOUBLE_EQ(tl.task(t).reserved_overlap, 2.0);
+  EXPECT_DOUBLE_EQ(tl.reserved_overlap(r), 2.0);
+}
+
+TEST(Timeline, IdleOnlyMergedCalendarsAcrossResources) {
+  Timeline tl;
+  auto tx = tl.add_resource("tx");
+  auto rx = tl.add_resource("rx");
+  tl.reserve(tx, 0.0, 1.0);
+  tl.reserve(rx, 1.5, 2.5);
+  TaskOptions idle;
+  idle.idle_only = true;
+  auto t = tl.add_task("send", {tx, rx}, 1.0, {}, idle);
+  // gap [1.0, 1.5) gives 0.5; remainder after 2.5.
+  const auto& task = tl.task(t);
+  ASSERT_EQ(task.segments.size(), 2u);
+  EXPECT_EQ(task.segments[0], (TimeInterval{1.0, 1.5}));
+  EXPECT_EQ(task.segments[1], (TimeInterval{2.5, 3.0}));
+}
+
+TEST(Timeline, IdleOnlyRespectsResourceAvailability) {
+  Timeline tl;
+  auto r = tl.add_resource("nic");
+  tl.add_task("first", r, 2.0, {});
+  TaskOptions idle;
+  idle.idle_only = true;
+  auto t = tl.add_task("second", r, 1.0, {}, idle);
+  EXPECT_DOUBLE_EQ(tl.task(t).start, 2.0);
+}
+
+TEST(Timeline, ZeroDurationTask) {
+  Timeline tl;
+  auto r = tl.add_resource("r");
+  auto t0 = tl.add_task("work", r, 1.0, {});
+  auto t = tl.add_task("marker", r, 0.0, {t0});
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 1.0);
+  EXPECT_TRUE(tl.task(t).segments.empty());
+}
+
+TEST(Timeline, ResourceNamesAndAvailability) {
+  Timeline tl;
+  auto r = tl.add_resource("node0/tx");
+  EXPECT_EQ(tl.resource_name(r), "node0/tx");
+  tl.add_task("t", r, 1.5, {});
+  EXPECT_DOUBLE_EQ(tl.resource_available(r), 1.5);
+}
+
+}  // namespace
+}  // namespace eccheck::sim

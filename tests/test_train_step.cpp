@@ -1,0 +1,195 @@
+// Numeric training substrate: half-float conversion laws, Adam step
+// determinism, and the gold-standard checkpoint property — training through
+// a failure + recovery produces bit-identical state to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/session.hpp"
+#include "dnn/checkpoint_gen.hpp"
+#include "dnn/half.hpp"
+#include "dnn/train_step.hpp"
+
+namespace eccheck {
+namespace {
+
+using dnn::float_to_half;
+using dnn::half_to_float;
+
+TEST(Half, RoundTripAllHalfValues) {
+  // Every finite half value must survive h -> f -> h exactly.
+  for (std::uint32_t h = 0; h <= 0xffff; ++h) {
+    const auto hu = static_cast<std::uint16_t>(h);
+    const std::uint32_t exp = (hu >> 10) & 0x1f;
+    const std::uint32_t mant = hu & 0x3ff;
+    if (exp == 0x1f && mant != 0) continue;  // NaN payloads may differ
+    EXPECT_EQ(float_to_half(half_to_float(hu)), hu) << "h=" << h;
+  }
+}
+
+TEST(Half, KnownValues) {
+  EXPECT_EQ(float_to_half(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half(1.0f), 0x3c00);
+  EXPECT_EQ(float_to_half(-2.0f), 0xc000);
+  EXPECT_EQ(float_to_half(65504.0f), 0x7bff);  // max finite half
+  EXPECT_EQ(float_to_half(65536.0f), 0x7c00);  // overflow -> inf
+  EXPECT_EQ(float_to_half(1e-8f), 0x0000);     // underflow -> zero
+  EXPECT_FLOAT_EQ(half_to_float(0x3555), 0.33325195f);  // ~1/3
+}
+
+TEST(Half, SubnormalsExact) {
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(float_to_half(std::ldexp(1.0f, -24)), 0x0001);
+  EXPECT_FLOAT_EQ(half_to_float(0x0001), std::ldexp(1.0f, -24));
+  // Largest subnormal: (1023/1024) * 2^-14.
+  EXPECT_FLOAT_EQ(half_to_float(0x03ff), 1023.0f / 1024.0f / 16384.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // ties round to the even mantissa (1.0).
+  EXPECT_EQ(float_to_half(1.0f + std::ldexp(1.0f, -11)), 0x3c00);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(float_to_half(1.0f + std::ldexp(1.0f, -11) * 1.01f), 0x3c01);
+}
+
+TEST(Half, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(float_to_half(inf), 0x7c00);
+  EXPECT_EQ(float_to_half(-inf), 0xfc00);
+  EXPECT_TRUE(std::isinf(half_to_float(0x7c00)));
+  EXPECT_TRUE(std::isnan(half_to_float(0x7e00)));
+  EXPECT_NE(float_to_half(std::nanf("")) & 0x3ff, 0);
+}
+
+// --- training steps ---------------------------------------------------------
+
+dnn::CheckpointGenConfig gen_config() {
+  dnn::CheckpointGenConfig cfg;
+  cfg.model = dnn::make_model(dnn::ModelFamily::kGPT2, 64, 1, 4, "train");
+  cfg.model.vocab = 128;
+  cfg.parallelism = {2, 2, 1};
+  cfg.seed = 5;
+  cfg.iteration = 0;
+  return cfg;
+}
+
+std::vector<dnn::StateDict> fresh_shards() {
+  auto shards = dnn::make_sharded_checkpoint(gen_config());
+  for (std::size_t w = 0; w < shards.size(); ++w)
+    dnn::sanitize_for_training(shards[w], 1000 + w);
+  return shards;
+}
+
+TEST(TrainStep, Deterministic) {
+  auto a = fresh_shards();
+  auto b = fresh_shards();
+  for (int i = 0; i < 3; ++i) {
+    dnn::train_step_all(a, 42);
+    dnn::train_step_all(b, 42);
+  }
+  for (std::size_t w = 0; w < a.size(); ++w)
+    EXPECT_EQ(a[w].digest(), b[w].digest()) << "worker " << w;
+}
+
+TEST(TrainStep, ChangesWeightsAndIteration) {
+  auto shards = fresh_shards();
+  auto before = shards[0].digest();
+  dnn::train_step_all(shards, 42);
+  EXPECT_NE(shards[0].digest(), before);
+  EXPECT_EQ(std::get<std::int64_t>(shards[0].metadata().at("iteration")), 1);
+  // Weights stay finite after sanitisation.
+  for (const auto& e : shards[0].tensors()) {
+    if (e.key.rfind("model.", 0) != 0 || e.tensor.dtype() != dnn::DType::kF16)
+      continue;
+    for (std::size_t i = 0; i < std::min<std::size_t>(e.tensor.numel(), 64);
+         ++i) {
+      std::uint16_t h;
+      std::memcpy(&h, e.tensor.bytes().data() + i * 2, 2);
+      EXPECT_TRUE(std::isfinite(half_to_float(h))) << e.key << " " << i;
+    }
+  }
+}
+
+TEST(TrainStep, DifferentSeedsDiverge) {
+  auto a = fresh_shards();
+  auto b = fresh_shards();
+  dnn::train_step_all(a, 1);
+  dnn::train_step_all(b, 2);
+  EXPECT_NE(a[0].digest(), b[0].digest());
+}
+
+TEST(TrainStep, GoldStandardFailureEquivalence) {
+  // Reference: 10 uninterrupted steps.
+  auto reference = fresh_shards();
+  for (int i = 0; i < 10; ++i) dnn::train_step_all(reference, 42);
+
+  // Interrupted run: checkpoint at step 5, lose two nodes, recover, finish.
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = 4;
+  ccfg.gpus_per_node = 1;
+  cluster::VirtualCluster cluster(ccfg);
+  auto gen = gen_config();
+  core::SessionConfig scfg;
+  scfg.ec.k = 2;
+  scfg.ec.m = 2;
+  scfg.ec.packet_size = kib(8);
+  auto session =
+      core::Session::initialize(cluster, gen.model, gen.parallelism, scfg);
+
+  auto live = fresh_shards();
+  for (int i = 0; i < 5; ++i) dnn::train_step_all(live, 42);
+  session.save(live);
+
+  for (int i = 5; i < 8; ++i) dnn::train_step_all(live, 42);
+  // Crash: in-GPU state gone, two hosts gone with their memory.
+  live.clear();
+  cluster.kill(0);
+  cluster.kill(3);
+  cluster.replace(0);
+  cluster.replace(3);
+
+  auto result = session.load(live);
+  ASSERT_TRUE(result.report.success) << result.report.detail;
+  EXPECT_EQ(std::get<std::int64_t>(live[0].metadata().at("iteration")), 5);
+
+  for (int i = 5; i < 10; ++i) dnn::train_step_all(live, 42);
+
+  ASSERT_EQ(live.size(), reference.size());
+  for (std::size_t w = 0; w < live.size(); ++w)
+    EXPECT_EQ(live[w].digest(), reference[w].digest())
+        << "worker " << w << " diverged after recovery";
+}
+
+TEST(TrainStep, DpReplicasStayIdentical) {
+  auto cfg = gen_config();
+  cfg.parallelism = {2, 2, 2};  // two dp replicas
+  auto shards = dnn::make_sharded_checkpoint(cfg);
+  for (std::size_t w = 0; w < shards.size(); ++w) {
+    // Same sanitisation seed for dp counterparts.
+    auto rc = dnn::rank_coords(cfg.parallelism, static_cast<int>(w));
+    rc.dp_rank = 0;
+    dnn::sanitize_for_training(
+        shards[w],
+        9000 + static_cast<std::uint64_t>(
+                   dnn::worker_of(cfg.parallelism, rc)));
+  }
+  for (int i = 0; i < 3; ++i) dnn::train_step_all(shards, 7);
+  // Model tensors of dp counterparts stay byte-identical.
+  int a = dnn::worker_of(cfg.parallelism, {1, 0, 0});
+  int b = dnn::worker_of(cfg.parallelism, {1, 0, 1});
+  const auto& sa = shards[static_cast<std::size_t>(a)];
+  const auto& sb = shards[static_cast<std::size_t>(b)];
+  for (std::size_t i = 0; i < sa.tensors().size(); ++i) {
+    const auto& ta = sa.tensors()[i];
+    if (ta.key.rfind("rng.", 0) == 0) continue;
+    EXPECT_EQ(0, std::memcmp(ta.tensor.bytes().data(),
+                             sb.tensors()[i].tensor.bytes().data(),
+                             ta.tensor.nbytes()))
+        << ta.key;
+  }
+}
+
+}  // namespace
+}  // namespace eccheck

@@ -1,0 +1,110 @@
+// Training-profile tests: pipeline communication pattern, idle windows.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trainsim/train_profile.hpp"
+
+namespace eccheck::trainsim {
+namespace {
+
+Workload small_workload() {
+  Workload w;
+  w.microbatches = 4;
+  w.forward_compute = 0.1;
+  w.activation_bytes = 1000;
+  w.optimizer_step = 0.05;
+  return w;
+}
+
+TEST(TrainProfile, IterationContainsAllBusyWindows) {
+  auto prof = simulate_iteration(small_workload(), 4, 1e5);
+  ASSERT_EQ(prof.node_busy.size(), 4u);
+  for (int n = 0; n < 4; ++n) {
+    for (const auto& b : prof.node_busy[static_cast<std::size_t>(n)]) {
+      EXPECT_GE(b.begin, 0.0);
+      EXPECT_LE(b.end, prof.iteration_time);
+      EXPECT_GT(b.length(), 0.0);
+    }
+  }
+}
+
+TEST(TrainProfile, MiddleStagesTalkMoreThanEdges) {
+  auto prof = simulate_iteration(small_workload(), 4, 1e5);
+  auto busy_time = [&](int n) {
+    Seconds t = 0;
+    for (const auto& b : prof.node_busy[static_cast<std::size_t>(n)])
+      t += b.length();
+    return t;
+  };
+  // Stage 0 only exchanges with stage 1; stage 1 with both neighbours.
+  EXPECT_GT(busy_time(1), busy_time(0) * 1.2);
+  EXPECT_GT(busy_time(2), busy_time(3) * 1.2);
+}
+
+TEST(TrainProfile, PipelineHasRealIdleFraction) {
+  // The §II-C claim ECCheck relies on: plenty of NIC idle time exists.
+  auto prof = simulate_iteration(small_workload(), 4, 1e5);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(prof.idle_fraction(n), 0.5) << "node " << n;
+    EXPECT_LT(prof.idle_fraction(n), 1.0) << "node " << n;
+    EXPECT_GT(prof.largest_gap(n), 0.0);
+  }
+}
+
+TEST(TrainProfile, SinglestageHasNoPipelineTraffic) {
+  auto prof = simulate_iteration(small_workload(), 1, 1e5);
+  EXPECT_TRUE(prof.node_busy[0].empty());
+  EXPECT_DOUBLE_EQ(prof.idle_fraction(0), 1.0);
+}
+
+TEST(TrainProfile, DataParallelAddsAllReduceOnEveryNode) {
+  Workload w = small_workload();
+  w.grad_allreduce_bytes = 5000;
+  auto dp1 = simulate_iteration(w, 4, 1e5, /*data_parallel=*/1);
+  auto dp2 = simulate_iteration(w, 4, 1e5, /*data_parallel=*/2);
+  EXPECT_GT(dp2.iteration_time, dp1.iteration_time);
+  for (int n = 0; n < 4; ++n)
+    EXPECT_LT(dp2.idle_fraction(n), dp1.idle_fraction(n));
+}
+
+TEST(TrainProfile, TiledRepeatsPattern) {
+  auto prof = simulate_iteration(small_workload(), 4, 1e5);
+  auto base = prof.node_busy[1];
+  auto tiled = prof.tiled(1, 3);
+  ASSERT_EQ(tiled.size(), base.size() * 3);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tiled[i + base.size()].begin,
+                     base[i].begin + prof.iteration_time);
+  }
+}
+
+TEST(TrainProfile, SlowerNetworkMeansLongerBusyWindows) {
+  auto fast = simulate_iteration(small_workload(), 4, 1e6);
+  auto slow = simulate_iteration(small_workload(), 4, 1e4);
+  EXPECT_LT(fast.node_busy[1][0].length(), slow.node_busy[1][0].length());
+  EXPECT_GT(slow.iteration_time, fast.iteration_time);
+}
+
+TEST(Workload, EstimateScalesWithModelAndParallelism) {
+  dnn::ParallelismSpec par{4, 4, 1};
+  auto small = estimate_workload(dnn::gpt2_345m(), par);
+  auto big = estimate_workload(dnn::table1_models()[2], par);  // 20B
+  EXPECT_GT(big.forward_compute, small.forward_compute * 10);
+  EXPECT_GT(big.activation_bytes, small.activation_bytes);
+
+  dnn::ParallelismSpec deeper{4, 8, 1};
+  auto shallower_stage = estimate_workload(dnn::table1_models()[2], deeper);
+  EXPECT_LT(shallower_stage.forward_compute, big.forward_compute);
+}
+
+TEST(Workload, DataParallelismTriggersAllReduceBytes) {
+  dnn::ParallelismSpec nodp{4, 4, 1};
+  dnn::ParallelismSpec dp{4, 2, 2};
+  EXPECT_EQ(estimate_workload(dnn::gpt2_345m(), nodp).grad_allreduce_bytes,
+            0u);
+  EXPECT_GT(estimate_workload(dnn::gpt2_345m(), dp).grad_allreduce_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace eccheck::trainsim

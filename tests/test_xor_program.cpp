@@ -1,0 +1,129 @@
+// XOR-program optimization: the CSE'd program must be bit-exact with the
+// naive schedule and strictly cheaper on real Cauchy matrices.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ec/cauchy.hpp"
+#include "ec/xor_program.hpp"
+
+namespace eccheck::ec {
+namespace {
+
+using gf::Field;
+
+BitMatrix parity_bitmatrix(int k, int m, int w, bool normalized = true) {
+  const auto& f = Field::get(w);
+  return expand_to_bitmatrix(normalized ? normalized_cauchy_matrix(k, m, f)
+                                        : cauchy_matrix(k, m, f));
+}
+
+std::vector<Buffer> rand_packets(int n, std::size_t size,
+                                 std::uint64_t seed) {
+  std::vector<Buffer> v;
+  for (int i = 0; i < n; ++i) {
+    v.emplace_back(size, Buffer::Init::kUninitialized);
+    fill_random(v.back().span(), seed + static_cast<std::uint64_t>(i));
+  }
+  return v;
+}
+
+struct Shape {
+  int k, m, w;
+};
+
+class XorProgramTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(XorProgramTest, OptimizedMatchesNaive) {
+  const auto [k, m, w] = GetParam();
+  BitMatrix bm = parity_bitmatrix(k, m, w);
+  XorProgram naive = naive_xor_program(bm, k, m, w);
+  XorProgram opt = optimize_xor_program(bm, k, m, w);
+
+  const std::size_t P = static_cast<std::size_t>(w) * 8 * 16;
+  auto data = rand_packets(k, P, 42);
+  std::vector<ByteSpan> in;
+  for (auto& d : data) in.push_back(d.span());
+
+  auto out_naive = rand_packets(m, P, 100);
+  auto out_opt = rand_packets(m, P, 200);
+  std::vector<MutableByteSpan> on, oo;
+  for (auto& b : out_naive) on.push_back(b.span());
+  for (auto& b : out_opt) oo.push_back(b.span());
+
+  run_xor_program(naive, in, on);
+  run_xor_program(opt, in, oo);
+  for (int r = 0; r < m; ++r)
+    ASSERT_EQ(out_naive[static_cast<std::size_t>(r)],
+              out_opt[static_cast<std::size_t>(r)])
+        << "row " << r;
+}
+
+TEST_P(XorProgramTest, OptimizationNeverCostsMore) {
+  const auto [k, m, w] = GetParam();
+  BitMatrix bm = parity_bitmatrix(k, m, w);
+  XorProgram naive = naive_xor_program(bm, k, m, w);
+  XorProgram opt = optimize_xor_program(bm, k, m, w);
+  EXPECT_LE(opt.xor_count(), naive.xor_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, XorProgramTest,
+                         ::testing::Values(Shape{2, 2, 8}, Shape{4, 2, 8},
+                                           Shape{6, 3, 8}, Shape{3, 3, 4},
+                                           Shape{4, 4, 8}),
+                         [](const auto& info) {
+                           const auto& s = info.param;
+                           return "k" + std::to_string(s.k) + "m" +
+                                  std::to_string(s.m) + "w" +
+                                  std::to_string(s.w);
+                         });
+
+TEST(XorProgram, RealCauchyMatricesActuallyShrink) {
+  // Dense parity matrices have many shared pairs — expect real savings.
+  BitMatrix bm = parity_bitmatrix(6, 3, 8, /*normalized=*/false);
+  XorProgram naive = naive_xor_program(bm, 6, 3, 8);
+  XorProgram opt = optimize_xor_program(bm, 6, 3, 8);
+  EXPECT_LT(opt.xor_count(), naive.xor_count() * 0.8)
+      << "naive=" << naive.xor_count() << " opt=" << opt.xor_count();
+}
+
+TEST(XorProgram, NaiveCountEqualsScheduleOnes) {
+  BitMatrix bm = parity_bitmatrix(4, 2, 8);
+  XorProgram naive = naive_xor_program(bm, 4, 2, 8);
+  // ones(B) ops total; first op per row is a copy, so XORs = ones - rows.
+  EXPECT_EQ(naive.xor_count(), bm.ones() - bm.rows());
+}
+
+TEST(XorProgram, NaiveEqualsRunXorSchedule) {
+  const int k = 3, m = 2, w = 8;
+  BitMatrix bm = parity_bitmatrix(k, m, w);
+  const std::size_t P = 512;
+
+  auto data = rand_packets(k, P, 7);
+  std::vector<ByteSpan> in;
+  for (auto& d : data) in.push_back(d.span());
+
+  auto a = rand_packets(m, P, 300);
+  auto b = rand_packets(m, P, 400);
+  std::vector<MutableByteSpan> oa, ob;
+  for (auto& x : a) oa.push_back(x.span());
+  for (auto& x : b) ob.push_back(x.span());
+
+  run_xor_schedule(make_xor_schedule(bm, k, m, w), w, in, oa);
+  run_xor_program(naive_xor_program(bm, k, m, w), in, ob);
+  for (int r = 0; r < m; ++r)
+    EXPECT_EQ(a[static_cast<std::size_t>(r)], b[static_cast<std::size_t>(r)]);
+}
+
+TEST(XorProgram, RejectsBadPacketSizes) {
+  BitMatrix bm = parity_bitmatrix(2, 1, 8);
+  XorProgram prog = naive_xor_program(bm, 2, 1, 8);
+  Buffer in1(60, Buffer::Init::kUninitialized);
+  Buffer in2(60, Buffer::Init::kUninitialized);
+  Buffer out(60);
+  std::vector<ByteSpan> in{in1.span(), in2.span()};
+  std::vector<MutableByteSpan> o{out.span()};
+  EXPECT_THROW(run_xor_program(prog, in, o), CheckFailure);
+}
+
+}  // namespace
+}  // namespace eccheck::ec
