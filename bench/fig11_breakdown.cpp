@@ -22,6 +22,8 @@ int main() {
     cluster::VirtualCluster cluster(cfg);
     auto engines = bench::make_engines();
     auto rep = engines.eccheck->save(cluster, workload.shards, 1);
+    bench::maybe_append_bench_json("fig11_breakdown", model.label,
+                                   bench::save_report_json(rep));
     Seconds s1 = rep.breakdown.at("step1_snapshot");
     Seconds s2 = rep.breakdown.at("step2_metadata_broadcast") - s1;
     Seconds s3 = rep.breakdown.at("step3_encode_pipeline");

@@ -52,6 +52,11 @@ int main() {
         cluster.replace(f2);
         std::vector<dnn::StateDict> out;
         auto rep = e->load(cluster, 1, out);
+        bench::maybe_append_bench_json(
+            "fig13_recovery_time",
+            model.label + "/" + e->name() + "/scenario_" +
+                std::string(1, static_cast<char>('a' + scenario)),
+            bench::load_report_json(rep));
         row[i] = rep.success ? human_seconds(rep.resume_time) : "FAIL";
         if (i == 0) b1_time = rep.resume_time;
         if (i == 3) ec_time = rep.resume_time;

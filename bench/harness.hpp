@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "ckpt/base_remote.hpp"
 #include "core/eccheck_engine.hpp"
 #include "dnn/checkpoint_gen.hpp"
+#include "obs/stats.hpp"
 #include "trainsim/train_profile.hpp"
 
 namespace eccheck::bench {
@@ -113,6 +117,67 @@ inline void print_header(const std::string& title,
                          const std::string& subtitle = "") {
   std::printf("\n=== %s ===\n", title.c_str());
   if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+}
+
+// ---- machine-readable per-stage output ------------------------------------
+// Reports carry a breakdown (named stage finish times) and a stats map
+// (per-edge-kind byte/task counters); these helpers serialize them so
+// BENCH_*.json entries can record breakdowns, not just totals.
+
+template <typename Map>
+inline std::string map_json(const Map& m) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(k) << "\":" << v;
+  }
+  os << "}";
+  return os.str();
+}
+
+inline std::string save_report_json(const ckpt::SaveReport& r) {
+  std::ostringstream os;
+  os << "{\"stall_time_s\":" << r.stall_time
+     << ",\"total_time_s\":" << r.total_time
+     << ",\"network_bytes\":" << r.network_bytes
+     << ",\"remote_bytes\":" << r.remote_bytes
+     << ",\"breakdown\":" << map_json(r.breakdown)
+     << ",\"stats\":" << map_json(r.stats) << "}";
+  return os.str();
+}
+
+inline std::string load_report_json(const ckpt::LoadReport& r) {
+  std::ostringstream os;
+  os << "{\"success\":" << (r.success ? "true" : "false")
+     << ",\"resume_time_s\":" << r.resume_time
+     << ",\"total_time_s\":" << r.total_time << ",\"detail\":\""
+     << obs::json_escape(r.detail) << "\",\"stats\":" << map_json(r.stats)
+     << "}";
+  return os.str();
+}
+
+/// Append one JSON-lines record {"bench":...,"label":...,"report":<payload>}
+/// to `path` (creating it if needed).
+inline void append_bench_json(const std::string& path, const std::string& bench,
+                              const std::string& label,
+                              const std::string& payload) {
+  std::ofstream f(path, std::ios::app);
+  if (!f) return;
+  f << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"label\":\""
+    << obs::json_escape(label) << "\",\"report\":" << payload << "}\n";
+}
+
+/// Like append_bench_json, but only when ECCHECK_BENCH_JSON names a path —
+/// benches call this unconditionally, so any run can be made machine-
+/// readable without touching the bench source.
+inline void maybe_append_bench_json(const std::string& bench,
+                                    const std::string& label,
+                                    const std::string& payload) {
+  const char* path = std::getenv("ECCHECK_BENCH_JSON");
+  if (path && *path) append_bench_json(path, bench, label, payload);
 }
 
 }  // namespace eccheck::bench

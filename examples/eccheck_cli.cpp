@@ -10,11 +10,13 @@
 //   eccheck_cli --model 20b --flush --fail 0,1,2  # remote rescue
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
 #include "bench/harness.hpp"
 #include "core/grouped_engine.hpp"
+#include "obs/chrome_trace.hpp"
 
 using namespace eccheck;
 
@@ -34,6 +36,8 @@ struct Options {
   std::vector<int> failures;
   std::uint64_t seed = 42;
   std::size_t packet_kib = 128;
+  std::string trace_out;   // Chrome-trace JSON of the save/load timelines
+  std::string stats_json;  // per-stage counters/gauges/histograms JSON
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -49,7 +53,11 @@ struct Options {
       "  --flush                   ECCheck step 4: flush chunks to remote\n"
       "  --fail a,b,c              nodes to kill after save\n"
       "  --packet-kib P            coding buffer size (default 128)\n"
-      "  --seed S                  payload seed\n",
+      "  --seed S                  payload seed\n"
+      "  --trace-out FILE          write Chrome-trace JSON (chrome://tracing,\n"
+      "                            Perfetto) of the save + load timelines\n"
+      "  --stats-json FILE         write per-stage stats (byte counters per\n"
+      "                            edge kind, resource busy time) as JSON\n",
       argv0);
   std::exit(2);
 }
@@ -76,6 +84,8 @@ Options parse(int argc, char** argv) {
       o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
     else if (!std::strcmp(a, "--packet-kib"))
       o.packet_kib = static_cast<std::size_t>(std::atoll(need(i)));
+    else if (!std::strcmp(a, "--trace-out")) o.trace_out = need(i);
+    else if (!std::strcmp(a, "--stats-json")) o.stats_json = need(i);
     else if (!std::strcmp(a, "--fail")) {
       std::stringstream ss(need(i));
       std::string part;
@@ -183,7 +193,46 @@ int main(int argc, char** argv) {
   auto engine = pick_engine(o);
   std::printf("engine  : %s\n\n", engine->name().c_str());
 
-  auto save = engine->save(cluster, workload.shards, 1);
+  obs::ChromeTraceWriter tracer;
+  ckpt::SaveReport save;
+  ckpt::LoadReport load;
+  bool loaded = false;
+
+  // Flush observability outputs on every exit path. The trace writer
+  // serializes each timeline when added, so save is captured before load
+  // resets the cluster's timeline.
+  auto finish = [&](int rc) {
+    if (!o.trace_out.empty()) {
+      if (tracer.write_file(o.trace_out))
+        std::printf("trace   : %zu events -> %s\n", tracer.event_count(),
+                    o.trace_out.c_str());
+      else
+        std::printf("trace   : FAILED to write %s\n", o.trace_out.c_str());
+    }
+    if (!o.stats_json.empty()) {
+      std::ofstream f(o.stats_json);
+      if (f) {
+        f << "{\"save\":" << bench::save_report_json(save) << ",\"load\":";
+        if (loaded)
+          f << bench::load_report_json(load);
+        else
+          f << "null";
+        f << ",\"cluster\":" << cluster.stats().to_json() << "}\n";
+        std::printf("stats   : %s\n", o.stats_json.c_str());
+      } else {
+        std::printf("stats   : FAILED to write %s\n", o.stats_json.c_str());
+      }
+    }
+    return rc;
+  };
+
+  save = engine->save(cluster, workload.shards, 1);
+  if (!o.trace_out.empty()) {
+    tracer.add_timeline(cluster.timeline(), "save");
+    save.trace_path = o.trace_out;
+  }
+  if (!o.stats_json.empty())
+    obs::collect_timeline_stats(cluster.timeline(), cluster.stats(), "save.");
   std::printf("save    : stall %s, durable after %s, network %s%s\n",
               human_seconds(save.stall_time).c_str(),
               human_seconds(save.total_time).c_str(),
@@ -192,7 +241,7 @@ int main(int argc, char** argv) {
 
   if (o.failures.empty()) {
     std::printf("no failures requested; done.\n");
-    return 0;
+    return finish(0);
   }
 
   std::printf("failing : nodes");
@@ -204,10 +253,17 @@ int main(int argc, char** argv) {
   for (int f : o.failures) cluster.replace(f);
 
   std::vector<dnn::StateDict> out;
-  auto load = engine->load(cluster, 1, out);
+  load = engine->load(cluster, 1, out);
+  loaded = true;
+  if (!o.trace_out.empty()) {
+    tracer.add_timeline(cluster.timeline(), "load");
+    load.trace_path = o.trace_out;
+  }
+  if (!o.stats_json.empty())
+    obs::collect_timeline_stats(cluster.timeline(), cluster.stats(), "load.");
   if (!load.success) {
     std::printf("recover : FAILED — %s\n", load.detail.c_str());
-    return 1;
+    return finish(1);
   }
   std::printf("recover : %s; resume after %s, redundancy restored by %s\n",
               load.detail.c_str(), human_seconds(load.resume_time).c_str(),
@@ -216,9 +272,9 @@ int main(int argc, char** argv) {
   for (std::size_t w = 0; w < out.size(); ++w) {
     if (out[w].digest() != digests[w]) {
       std::printf("verify  : worker %zu MISMATCH\n", w);
-      return 1;
+      return finish(1);
     }
   }
   std::printf("verify  : all %zu worker state_dicts bit-exact\n", out.size());
-  return 0;
+  return finish(0);
 }

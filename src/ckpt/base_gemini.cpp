@@ -2,6 +2,7 @@
 
 #include "cluster/collectives.hpp"
 #include "dnn/serializer.hpp"
+#include "obs/stats.hpp"
 
 namespace eccheck::ckpt {
 
@@ -26,6 +27,7 @@ SaveReport GeminiReplicationEngine::save(
   ECC_CHECK(static_cast<int>(shards.size()) == cluster.world_size());
   cluster.reset_timeline();
   SaveReport rep;
+  const auto stats_base = cluster.stats().counters();
 
   const int g = cluster.gpus_per_node();
   std::vector<cluster::TaskId> snapshot(
@@ -72,6 +74,8 @@ SaveReport GeminiReplicationEngine::save(
   rep.breakdown["broadcast"] = bcast_finish;
   rep.stall_time = snap_finish;
   rep.total_time = bcast_finish;
+  rep.stats =
+      obs::StatsRegistry::delta(cluster.stats().counters(), stats_base);
   return rep;
 }
 
@@ -80,6 +84,11 @@ LoadReport GeminiReplicationEngine::load(cluster::VirtualCluster& cluster,
                                          std::vector<dnn::StateDict>& out) {
   cluster.reset_timeline();
   LoadReport rep;
+  const auto stats_base = cluster.stats().counters();
+  auto finalize_stats = [&]() {
+    rep.stats =
+        obs::StatsRegistry::delta(cluster.stats().counters(), stats_base);
+  };
   out.clear();
   out.resize(static_cast<std::size_t>(cluster.world_size()));
 
@@ -105,6 +114,7 @@ LoadReport GeminiReplicationEngine::load(cluster::VirtualCluster& cluster,
         rep.success = false;
         rep.detail = "replication group of node " + std::to_string(node) +
                      " lost all copies of worker " + std::to_string(w);
+        finalize_stats();
         return rep;
       }
       cluster::TaskId t =
@@ -133,6 +143,7 @@ LoadReport GeminiReplicationEngine::load(cluster::VirtualCluster& cluster,
   rep.success = true;
   rep.resume_time = resume_finish;
   rep.total_time = total_finish;
+  finalize_stats();
   return rep;
 }
 

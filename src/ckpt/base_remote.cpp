@@ -1,6 +1,7 @@
 #include "ckpt/base_remote.hpp"
 
 #include "dnn/serializer.hpp"
+#include "obs/stats.hpp"
 
 namespace eccheck::ckpt {
 namespace {
@@ -18,6 +19,7 @@ SaveReport remote_save(cluster::VirtualCluster& cluster,
   ECC_CHECK(static_cast<int>(shards.size()) == cluster.world_size());
   cluster.reset_timeline();
   SaveReport rep;
+  const auto stats_base = cluster.stats().counters();
 
   std::vector<cluster::TaskId> snapshot_done, persist_done;
   Seconds serialize_finish = 0;
@@ -56,6 +58,8 @@ SaveReport remote_save(cluster::VirtualCluster& cluster,
   rep.breakdown["persist"] = persist_finish;
   rep.total_time = persist_finish;
   rep.stall_time = synchronous ? persist_finish : snap_finish;
+  rep.stats =
+      obs::StatsRegistry::delta(cluster.stats().counters(), stats_base);
   return rep;
 }
 
@@ -63,6 +67,7 @@ LoadReport remote_load(cluster::VirtualCluster& cluster, std::int64_t version,
                        std::vector<dnn::StateDict>& out) {
   cluster.reset_timeline();
   LoadReport rep;
+  const auto stats_base = cluster.stats().counters();
   out.clear();
   out.resize(static_cast<std::size_t>(cluster.world_size()));
 
@@ -72,6 +77,8 @@ LoadReport remote_load(cluster::VirtualCluster& cluster, std::int64_t version,
     if (!cluster.remote().contains(key)) {
       rep.success = false;
       rep.detail = "missing remote shard for worker " + std::to_string(w);
+      rep.stats =
+          obs::StatsRegistry::delta(cluster.stats().counters(), stats_base);
       return rep;
     }
     const int node = node_of_worker(cluster, w);
@@ -84,6 +91,8 @@ LoadReport remote_load(cluster::VirtualCluster& cluster, std::int64_t version,
   rep.success = true;
   rep.resume_time = finish;
   rep.total_time = finish;
+  rep.stats =
+      obs::StatsRegistry::delta(cluster.stats().counters(), stats_base);
   return rep;
 }
 

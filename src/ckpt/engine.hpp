@@ -12,6 +12,7 @@
 // timeline so reports are measured from t = 0.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,6 +31,12 @@ struct SaveReport {
   std::map<std::string, Seconds> breakdown;
   std::size_t network_bytes = 0;  ///< inter-node traffic (virtual bytes)
   std::size_t remote_bytes = 0;   ///< remote-storage traffic (virtual bytes)
+  /// Per-edge-kind counters for this save alone (delta of the cluster's
+  /// StatsRegistry): "net.<kind>.bytes" entries sum to network_bytes,
+  /// "remote.write.bytes" to remote_bytes.
+  std::map<std::string, std::uint64_t> stats;
+  /// Where a Chrome trace of this operation was written, if anywhere.
+  std::string trace_path;
 };
 
 struct LoadReport {
@@ -39,6 +46,9 @@ struct LoadReport {
   /// Time until full fault-tolerance is restored (>= resume_time).
   Seconds total_time = 0;
   std::string detail;
+  /// Per-edge-kind counters for this load alone (see SaveReport::stats).
+  std::map<std::string, std::uint64_t> stats;
+  std::string trace_path;
 };
 
 class CheckpointEngine {

@@ -73,6 +73,8 @@ std::vector<int> VirtualCluster::alive_nodes() const {
 TaskId VirtualCluster::dtoh(int node, int gpu, std::size_t bytes,
                             const std::vector<TaskId>& deps) {
   ECC_CHECK(gpu >= 0 && gpu < cfg_.gpus_per_node);
+  stats_.add("gpu.dtoh.bytes", vbytes(bytes));
+  stats_.add("gpu.dtoh.count");
   return timeline_.add_task(
       "dtoh", dtoh_[check_node(node)][static_cast<std::size_t>(gpu)],
       virt(bytes, cfg_.dtoh_bandwidth), deps);
@@ -80,6 +82,8 @@ TaskId VirtualCluster::dtoh(int node, int gpu, std::size_t bytes,
 
 TaskId VirtualCluster::host_copy(int node, std::size_t bytes,
                                  const std::vector<TaskId>& deps) {
+  stats_.add("cpu.host_copy.bytes", vbytes(bytes));
+  stats_.add("cpu.host_copy.count");
   return timeline_.add_task("host_copy", cpu(node),
                             virt(bytes, cfg_.host_memcpy_bandwidth), deps);
 }
@@ -88,17 +92,23 @@ TaskId VirtualCluster::cpu_code(int node, std::size_t bytes,
                                 const std::vector<TaskId>& deps) {
   BytesPerSecond bw =
       cfg_.encode_bandwidth_per_thread * std::max(1, cfg_.encode_threads);
+  stats_.add("cpu.code.bytes", vbytes(bytes));
+  stats_.add("cpu.code.count");
   return timeline_.add_task("code", cpu(node), virt(bytes, bw), deps);
 }
 
 TaskId VirtualCluster::cpu_xor(int node, std::size_t bytes,
                                const std::vector<TaskId>& deps) {
+  stats_.add("cpu.xor.bytes", vbytes(bytes));
+  stats_.add("cpu.xor.count");
   return timeline_.add_task("xor", xor_lane(node),
                             virt(bytes, cfg_.xor_bandwidth), deps);
 }
 
 TaskId VirtualCluster::cpu_serialize(int node, std::size_t bytes,
                                      const std::vector<TaskId>& deps) {
+  stats_.add("cpu.serialize.bytes", vbytes(bytes));
+  stats_.add("cpu.serialize.count");
   return timeline_.add_task("serialize", cpu(node),
                             virt(bytes, cfg_.serialize_bandwidth), deps);
 }
@@ -107,6 +117,11 @@ TaskId VirtualCluster::net_send(int src, int dst, std::size_t bytes,
                                 const std::vector<TaskId>& deps,
                                 bool idle_only, const std::string& label) {
   ECC_CHECK_MSG(src != dst, "net_send to self");
+  // Edge kind = label up to the first ':' (send_buffer embeds the store key
+  // after the colon; that must not explode counter cardinality).
+  const std::string kind = label.substr(0, label.find(':'));
+  stats_.add("net." + kind + ".bytes", vbytes(bytes));
+  stats_.add("net." + kind + ".count");
   sim::TaskOptions opts;
   opts.idle_only = idle_only;
   return timeline_.add_task(label, {nic_tx(src), nic_rx(dst)},
@@ -115,6 +130,8 @@ TaskId VirtualCluster::net_send(int src, int dst, std::size_t bytes,
 
 TaskId VirtualCluster::remote_write(int node, std::size_t bytes,
                                     const std::vector<TaskId>& deps) {
+  stats_.add("remote.write.bytes", vbytes(bytes));
+  stats_.add("remote.write.count");
   // The shared storage resource serialises all writers: aggregate bandwidth.
   return timeline_.add_task("remote_write", {nic_tx(node), storage_},
                             virt(bytes, cfg_.remote_storage_bandwidth), deps);
@@ -122,6 +139,8 @@ TaskId VirtualCluster::remote_write(int node, std::size_t bytes,
 
 TaskId VirtualCluster::remote_read(int node, std::size_t bytes,
                                    const std::vector<TaskId>& deps) {
+  stats_.add("remote.read.bytes", vbytes(bytes));
+  stats_.add("remote.read.count");
   return timeline_.add_task("remote_read", {nic_rx(node), storage_},
                             virt(bytes, cfg_.remote_storage_bandwidth), deps);
 }

@@ -19,6 +19,7 @@
 
 #include "cluster/config.hpp"
 #include "cluster/store.hpp"
+#include "obs/stats.hpp"
 #include "sim/timeline.hpp"
 
 namespace eccheck::cluster {
@@ -36,6 +37,14 @@ class VirtualCluster {
 
   sim::Timeline& timeline() { return timeline_; }
   const sim::Timeline& timeline() const { return timeline_; }
+
+  /// Cumulative observability counters for this cluster's lifetime: every
+  /// fabric helper records the (virtual) bytes it moved under an edge-kind
+  /// key ("net.p2p_data.bytes", "remote.write.bytes", ...). NOT cleared by
+  /// reset_timeline() — engines snapshot counters() around an operation and
+  /// report the delta.
+  obs::StatsRegistry& stats() { return stats_; }
+  const obs::StatsRegistry& stats() const { return stats_; }
 
   /// Drop all scheduled tasks and reset resource availability to 0, keeping
   /// stores and NIC calendars. Engines call this so each measured operation
@@ -146,8 +155,16 @@ class VirtualCluster {
 
   void build_resources();
 
+  /// Virtual bytes charged for `bytes` real bytes, with the same rounding
+  /// the engines' report accounting uses (so stats sums match reports).
+  std::size_t vbytes(std::size_t bytes) const {
+    return static_cast<std::size_t>(static_cast<double>(bytes) *
+                                    cfg_.size_scale);
+  }
+
   ClusterConfig cfg_;
   sim::Timeline timeline_;
+  obs::StatsRegistry stats_;
   std::vector<bool> alive_;
   std::vector<Store> hosts_;
   Store remote_;

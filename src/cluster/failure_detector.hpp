@@ -55,10 +55,14 @@ class FailureDetector {
     std::vector<Seconds> suspicions;
     for (int i = 0; i < observers; ++i) {
       const Seconds phase = i * stagger;
-      const Seconds last_beat =
-          std::floor((fail_time - phase) / cfg_.heartbeat_interval) *
-              cfg_.heartbeat_interval +
-          phase;
+      // An observer whose first beat at `phase` lands after the failure has
+      // received nothing yet: its silence clock starts at process start
+      // (t = 0), never before — a negative last_beat would yield suspicion
+      // times earlier than physically possible.
+      const Seconds last_beat = std::max(
+          0.0, std::floor((fail_time - phase) / cfg_.heartbeat_interval) *
+                       cfg_.heartbeat_interval +
+                   phase);
       suspicions.push_back(last_beat + cfg_.timeout);
     }
     std::sort(suspicions.begin(), suspicions.end());

@@ -37,6 +37,8 @@ class ClusterSlice {
   const ClusterConfig& config() const { return c_->config(); }
   sim::Timeline& timeline() { return c_->timeline(); }
   const sim::Timeline& timeline() const { return c_->timeline(); }
+  obs::StatsRegistry& stats() { return c_->stats(); }
+  const obs::StatsRegistry& stats() const { return c_->stats(); }
 
   void reset_timeline() {
     if (owns_timeline_) c_->reset_timeline();

@@ -54,6 +54,7 @@ ckpt::SaveReport GroupedECCheckEngine::save(
     merged.remote_bytes += rep.remote_bytes;
     for (const auto& [k, v] : rep.breakdown)
       merged.breakdown[k] = std::max(merged.breakdown[k], v);
+    for (const auto& [k, v] : rep.stats) merged.stats[k] += v;
   }
   return merged;
 }
@@ -88,6 +89,7 @@ ckpt::LoadReport GroupedECCheckEngine::load(cluster::VirtualCluster& cluster,
           std::move(group_out[static_cast<std::size_t>(w)]);
     merged.resume_time = std::max(merged.resume_time, rep.resume_time);
     merged.total_time = std::max(merged.total_time, rep.total_time);
+    for (const auto& [k, v] : rep.stats) merged.stats[k] += v;
   }
   merged.detail = "recovered across " + std::to_string(groups) + " groups";
   return merged;

@@ -46,6 +46,12 @@ void Session::prune(std::int64_t oldest_to_keep) {
         any = true;
       }
     }
+    // Remote-flushed copies live under the same namespace; without this the
+    // persistent store accumulates every retired version forever.
+    for (const auto& key : cluster_->remote().keys_with_prefix(prefix)) {
+      cluster_->remote().erase(key);
+      any = true;
+    }
     if (!any) break;  // older versions were already pruned
   }
 }
@@ -53,6 +59,12 @@ void Session::prune(std::int64_t oldest_to_keep) {
 Session::RecoverResult Session::load(std::vector<dnn::StateDict>& out) {
   RecoverResult result;
   const std::int64_t newest = latest_version();
+  if (newest < 1) {
+    result.version = 0;
+    result.report.detail =
+        "no checkpoint has been saved in this session yet (latest version 0)";
+    return result;
+  }
   const std::int64_t oldest =
       cfg_.retain_versions > 0
           ? std::max<std::int64_t>(1, newest - cfg_.retain_versions + 1)
@@ -65,6 +77,9 @@ Session::RecoverResult Session::load(std::vector<dnn::StateDict>& out) {
     }
   }
   result.version = 0;
+  result.report.detail = "no retained version (" + std::to_string(oldest) +
+                         ".." + std::to_string(newest) +
+                         ") is recoverable; last error: " + result.report.detail;
   return result;
 }
 

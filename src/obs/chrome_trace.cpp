@@ -1,0 +1,134 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace eccheck::obs {
+namespace {
+
+// Trace timestamps are microseconds; virtual time is seconds.
+constexpr double kUsPerSecond = 1e6;
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+// Track a task renders on: its first resource, or the virtual track (tid 0)
+// for resourceless delays/barriers.
+int anchor_tid(const sim::Task& t) {
+  return t.resources.empty() ? 0 : t.resources.front() + 1;
+}
+
+std::string meta_event(int pid, int tid, const std::string& what,
+                       const std::string& name) {
+  std::ostringstream os;
+  os << "{\"ph\":\"M\",\"name\":\"" << what << "\",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
+     << "\"}}";
+  return os.str();
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add_timeline(const sim::Timeline& tl,
+                                     const std::string& process_name) {
+  const int pid = next_pid_++;
+  events_.push_back(meta_event(pid, 0, "process_name", process_name));
+  events_.push_back(meta_event(pid, 0, "thread_name", "(virtual)"));
+  for (std::size_t r = 0; r < tl.resource_count(); ++r)
+    events_.push_back(meta_event(pid, static_cast<int>(r) + 1, "thread_name",
+                                 tl.resource_name(static_cast<int>(r))));
+
+  for (std::size_t id = 0; id < tl.task_count(); ++id) {
+    const sim::Task& t = tl.task(static_cast<sim::TaskId>(id));
+    if (t.segments.empty()) {
+      // Zero-duration task (barrier/gate): an instant marker keeps it
+      // visible without occupying any track.
+      std::ostringstream os;
+      os << "{\"name\":\"" << json_escape(t.label)
+         << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+         << ",\"tid\":" << anchor_tid(t)
+         << ",\"ts\":" << fmt(t.start * kUsPerSecond) << ",\"args\":{\"task\":"
+         << id << "}}";
+      events_.push_back(os.str());
+    } else {
+      for (sim::ResourceId res : t.resources) {
+        for (const auto& seg : t.segments) {
+          std::ostringstream os;
+          os << "{\"name\":\"" << json_escape(t.label)
+             << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << res + 1
+             << ",\"ts\":" << fmt(seg.begin * kUsPerSecond)
+             << ",\"dur\":" << fmt(seg.length() * kUsPerSecond)
+             << ",\"args\":{\"task\":" << id
+             << ",\"reserved_overlap_s\":" << t.reserved_overlap << "}}";
+          events_.push_back(os.str());
+        }
+      }
+    }
+  }
+
+  // Dependency flow arrows: producer finish → consumer start.
+  for (std::size_t id = 0; id < tl.task_count(); ++id) {
+    const sim::Task& t = tl.task(static_cast<sim::TaskId>(id));
+    for (sim::TaskId dep : t.deps) {
+      const sim::Task& d = tl.task(dep);
+      const std::uint64_t flow = next_flow_id_++;
+      {
+        std::ostringstream os;
+        os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":" << flow
+           << ",\"pid\":" << pid << ",\"tid\":" << anchor_tid(d)
+           << ",\"ts\":" << fmt(d.finish * kUsPerSecond) << "}";
+        events_.push_back(os.str());
+      }
+      {
+        std::ostringstream os;
+        os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\","
+           << "\"id\":" << flow << ",\"pid\":" << pid
+           << ",\"tid\":" << anchor_tid(t)
+           << ",\"ts\":" << fmt(t.start * kUsPerSecond) << "}";
+        events_.push_back(os.str());
+      }
+    }
+  }
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    os << events_[i];
+    if (i + 1 < events_.size()) os << ",";
+    os << "\n";
+  }
+  os << "]}\n";
+}
+
+bool ChromeTraceWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write(f);
+  return static_cast<bool>(f);
+}
+
+void collect_timeline_stats(const sim::Timeline& tl, StatsRegistry& reg,
+                            const std::string& prefix) {
+  for (std::size_t r = 0; r < tl.resource_count(); ++r) {
+    const auto res = static_cast<sim::ResourceId>(r);
+    reg.set_gauge(prefix + "res." + tl.resource_name(res) + ".busy_s",
+                  tl.busy_time(res));
+  }
+  reg.set_gauge(prefix + "timeline.makespan_s", tl.makespan());
+  for (std::size_t id = 0; id < tl.task_count(); ++id) {
+    const sim::Task& t = tl.task(static_cast<sim::TaskId>(id));
+    // Stage key: the label up to the first ':' (send_buffer labels embed the
+    // store key after the colon, which would explode cardinality).
+    const std::string stage = t.label.substr(0, t.label.find(':'));
+    reg.add(prefix + "task." + stage + ".count");
+    reg.observe(prefix + "task." + stage + ".duration_s", t.duration);
+  }
+}
+
+}  // namespace eccheck::obs

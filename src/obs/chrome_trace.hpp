@@ -1,0 +1,49 @@
+// Chrome-trace (chrome://tracing / Perfetto) exporter for sim::Timeline.
+//
+// Renders a finished virtual-time schedule as a trace viewers can load
+// directly: one process per added timeline (so a save and the following
+// load can live side by side in one file), one named thread per resource
+// (node0/tx, node0/cpu, remote_storage, ...), one complete ("X") event per
+// occupied task segment, and flow arrows ("s"/"f") along task dependency
+// edges so the critical path is visible. Virtual seconds map to trace
+// microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "sim/timeline.hpp"
+
+namespace eccheck::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Append every task of `tl` as one process named `process_name`.
+  void add_timeline(const sim::Timeline& tl, const std::string& process_name);
+
+  void write(std::ostream& os) const;
+
+  /// Write to `path`; returns false (and writes nothing) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  // Pre-serialized JSON objects, one per trace event.
+  std::vector<std::string> events_;
+  int next_pid_ = 1;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+/// Fold a finished timeline into `reg`:
+///  * gauge  res.<resource>.busy_s   — occupied seconds per resource;
+///  * gauge  timeline.makespan_s;
+///  * counter task.<label>.count     — tasks per stage label;
+///  * hist   task.<label>.duration_s — duration distribution per stage.
+/// `prefix` namespaces every key (e.g. "save." / "load.").
+void collect_timeline_stats(const sim::Timeline& tl, StatsRegistry& reg,
+                            const std::string& prefix = "");
+
+}  // namespace eccheck::obs

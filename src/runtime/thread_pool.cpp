@@ -4,6 +4,8 @@
 
 namespace eccheck::runtime {
 
+thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
+
 ThreadPool::ThreadPool(unsigned num_threads) {
   ECC_CHECK(num_threads >= 1);
   workers_.reserve(num_threads);
@@ -21,6 +23,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -37,6 +40,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Re-entrant call from one of our own workers: blocking in future::get()
+    // would wait on chunks queued *behind* the current task — with every
+    // worker busy that never drains (single-thread pools deadlock
+    // immediately). The caller already owns a worker, so run inline.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t chunks = std::min<std::size_t>(n, size());
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);

@@ -45,12 +45,22 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until all complete.
-  /// Work is split into contiguous ranges, one per worker.
+  /// Work is split into contiguous ranges, one per worker. Safe to call
+  /// from inside a pool task: a pool-resident caller runs the loop inline
+  /// instead of blocking on chunks queued behind its own task (which would
+  /// deadlock a saturated pool).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn);
 
+  /// True when the calling thread is one of *this* pool's workers.
+  bool on_worker_thread() const { return current_pool_ == this; }
+
  private:
   void worker_loop();
+
+  // Which pool (if any) the current thread is a worker of; lets
+  // parallel_for detect re-entrant calls from its own workers.
+  static thread_local const ThreadPool* current_pool_;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -34,6 +34,7 @@ TaskId Timeline::add_task(std::string label,
   Task t;
   t.label = std::move(label);
   t.resources = resources;
+  t.deps = deps;
   t.duration = duration;
 
   Seconds earliest = opts.not_before;
@@ -139,6 +140,12 @@ TaskId Timeline::add_task(std::string label,
 
 Seconds Timeline::reserved_overlap(ResourceId res) const {
   return resources_[check_res(res)].task_reserved_overlap;
+}
+
+Seconds Timeline::busy_time(ResourceId res) const {
+  Seconds total = 0;
+  for (const auto& iv : resources_[check_res(res)].busy) total += iv.length();
+  return total;
 }
 
 }  // namespace eccheck::sim

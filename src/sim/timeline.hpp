@@ -37,6 +37,7 @@ struct TaskOptions {
 struct Task {
   std::string label;
   std::vector<ResourceId> resources;
+  std::vector<TaskId> deps;  ///< scheduling dependencies (for trace export)
   Seconds duration = 0;
   Seconds start = 0;                   ///< first segment begin
   Seconds finish = 0;                  ///< last segment end
@@ -77,6 +78,11 @@ class Timeline {
   Seconds finish_time(TaskId id) const { return task(id).finish; }
 
   std::size_t task_count() const { return tasks_.size(); }
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Total occupied time on `res` (union of task segments, so overlapping
+  /// multi-resource tasks are not double-counted).
+  Seconds busy_time(ResourceId res) const;
 
   /// Finish time of the latest task (0 if none).
   Seconds makespan() const { return makespan_; }

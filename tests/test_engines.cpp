@@ -222,6 +222,40 @@ TEST(ECCheck, RemoteFlushRescuesCatastrophicFailure) {
   expect_bit_exact(out, want);
 }
 
+TEST(ECCheck, RemoteFallbackTimingTracksRemoteBandwidth) {
+  // Regression: the catastrophic-recovery path used to discard the
+  // fetch_from_remote task ids, so resume_time/total_time never charged the
+  // remote transfers — recovery looked equally fast at any remote
+  // bandwidth. The fetch finish times must gate reconstruction.
+  auto shards = dnn::make_sharded_checkpoint(shard_config(8));
+  auto run = [&](double remote_bw) {
+    auto ccfg = test_cluster_config();
+    ccfg.remote_storage_bandwidth = remote_bw;
+    VirtualCluster cluster(ccfg);
+    auto cfg = eccheck_config(2, 2);
+    cfg.flush_to_remote = true;
+    core::ECCheckEngine engine(cfg);
+    engine.save(cluster, shards, 1);
+    for (int n : {0, 1, 2}) {  // > m failures → remote fallback
+      cluster.kill(n);
+      cluster.replace(n);
+    }
+    std::vector<dnn::StateDict> out;
+    auto load = engine.load(cluster, 1, out);
+    EXPECT_TRUE(load.success) << load.detail;
+    EXPECT_NE(load.detail.find("remote fallback"), std::string::npos)
+        << load.detail;
+    EXPECT_GE(load.total_time, load.resume_time);
+    return load;
+  };
+  auto fast = run(gbps(5));
+  auto slow = run(gbps(5) / 10.0);
+  // 10× less remote bandwidth must show up in the recovery clock.
+  EXPECT_GT(fast.resume_time, 0.0);
+  EXPECT_GT(slow.resume_time, fast.resume_time * 2);
+  EXPECT_GT(slow.total_time, fast.total_time * 1.5);
+}
+
 TEST(ECCheck, WorkflowAReportedWhenDataNodesSurvive) {
   VirtualCluster cluster(test_cluster_config());
   auto shards = dnn::make_sharded_checkpoint(shard_config(8));

@@ -44,13 +44,38 @@ TEST(FailureDetector, QuorumDelaysConfirmation) {
 TEST(FailureDetector, StaggeredObserversDetectFasterThanOne) {
   // With many staggered observers, the earliest suspicion approaches
   // fail_time + timeout, beating a single unlucky observer's worst case.
+  // Sampled past the first heartbeat interval: during startup every
+  // observer's silence clock is pinned to process start, so staggering
+  // only pays off once each observer has delivered its first beat.
   FailureDetector d(cfg(1.0, 3.0, 1));
   double worst_single = 0, with_eight = 0;
-  for (double t = 0.05; t < 1.0; t += 0.1) {
+  for (double t = 1.05; t < 2.0; t += 0.1) {
     worst_single = std::max(worst_single, d.detection_time(t, 1) - t);
     with_eight = std::max(with_eight, d.detection_time(t, 8) - t);
   }
   EXPECT_LT(with_eight, worst_single);
+}
+
+TEST(FailureDetector, StartupFailureClampsSilenceClockToProcessStart) {
+  // A node that dies at t=0 has delivered no beats; every observer's
+  // silence clock starts at process start, so suspicion fires exactly at
+  // `timeout` — never earlier (a negative last_beat would claim detection
+  // before any observation was possible).
+  FailureDetector d(cfg(1.0, 3.0, 1));
+  EXPECT_DOUBLE_EQ(d.detection_time(0.0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d.detection_time(0.0, 8), 3.0);
+  // Death inside the first interval: observers whose first beat would land
+  // after the failure still clamp to t=0; the earliest suspicion is either
+  // `timeout` (clamped) or phase + timeout (one beat received) — both ≥
+  // timeout, and detection stays within max_latency of the failure.
+  for (double t : {0.1, 0.4, 0.9}) {
+    for (int obs : {1, 3, 8}) {
+      Seconds det = d.detection_time(t, obs);
+      EXPECT_GE(det, d.config().timeout) << t << " obs=" << obs;
+      EXPECT_GT(det, t);
+      EXPECT_LE(det - t, d.max_latency() + 1e-9);
+    }
+  }
 }
 
 TEST(FailureDetector, RejectsBadConfigs) {

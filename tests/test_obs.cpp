@@ -1,0 +1,454 @@
+// Observability tests: StatsRegistry semantics, Chrome-trace export
+// validity, and exactness of the per-edge-kind byte counters attached to
+// engine reports.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ckpt/base_gemini.hpp"
+#include "ckpt/base_remote.hpp"
+#include "core/eccheck_engine.hpp"
+#include "dnn/checkpoint_gen.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/stats.hpp"
+
+namespace eccheck {
+namespace {
+
+// --- a minimal JSON syntax checker ------------------------------------------
+// Enough of RFC 8259 to prove the exporters emit loadable documents without
+// pulling in a parser dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip();
+    if (!value()) return false;
+    skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip();
+      if (!string()) return false;
+      skip();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip();
+      if (!value()) return false;
+      skip();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip();
+      if (!value()) return false;
+      skip();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  void skip() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(pat); p != std::string::npos;
+       p = hay.find(pat, p + pat.size()))
+    ++n;
+  return n;
+}
+
+/// Distinct values of `"name":"<value>"` in a serialized trace.
+std::set<std::string> trace_names(const std::string& json) {
+  std::set<std::string> names;
+  const std::string pat = "\"name\":\"";
+  for (std::size_t p = json.find(pat); p != std::string::npos;
+       p = json.find(pat, p + 1)) {
+    const std::size_t start = p + pat.size();
+    const std::size_t end = json.find('"', start);
+    if (end != std::string::npos) names.insert(json.substr(start, end - start));
+  }
+  return names;
+}
+
+// --- StatsRegistry -----------------------------------------------------------
+
+TEST(StatsRegistry, CountersGaugesHistograms) {
+  obs::StatsRegistry reg;
+  reg.add("net.p2p_data.bytes", 100);
+  reg.add("net.p2p_data.bytes", 28);
+  reg.add("net.p2p_data.count");
+  EXPECT_EQ(reg.counter("net.p2p_data.bytes"), 128u);
+  EXPECT_EQ(reg.counter("net.p2p_data.count"), 1u);
+  EXPECT_EQ(reg.counter("never.touched"), 0u);
+
+  reg.set_gauge("res.nic0.busy_s", 1.5);
+  reg.set_gauge("res.nic0.busy_s", 2.5);  // last write wins
+  EXPECT_DOUBLE_EQ(reg.gauge("res.nic0.busy_s"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("never.touched"), 0.0);
+
+  reg.observe("task.encode.duration_s", 1.0);
+  reg.observe("task.encode.duration_s", 3.0);
+  reg.observe("task.encode.duration_s", 2.0);
+  auto h = reg.histograms().at("task.encode.duration_s");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 6.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+
+  reg.clear();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST(StatsRegistry, DeltaReportsOnlyMovedKeys) {
+  obs::StatsRegistry reg;
+  reg.add("a.bytes", 10);
+  reg.add("b.bytes", 5);
+  auto before = reg.counters();
+  reg.add("a.bytes", 7);
+  reg.add("c.bytes", 3);
+  auto d = obs::StatsRegistry::delta(reg.counters(), before);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.at("a.bytes"), 7u);
+  EXPECT_EQ(d.at("c.bytes"), 3u);
+  EXPECT_EQ(d.count("b.bytes"), 0u);  // unchanged → dropped
+}
+
+TEST(StatsRegistry, JsonOutputIsValid) {
+  obs::StatsRegistry reg;
+  reg.add("net.p2p_data.bytes", 42);
+  reg.set_gauge("timeline.makespan_s", 0.125);
+  reg.observe("task.decode.duration_s", 0.5);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // An empty registry is still a valid document.
+  reg.clear();
+  EXPECT_TRUE(JsonChecker(reg.to_json()).valid()) << reg.to_json();
+}
+
+TEST(StatsRegistry, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  const std::string escaped = obs::json_escape("a\"b\\c\nd\te");
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  const std::string doc = "{\"k\":\"" + escaped + "\"}";
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+}
+
+// --- Chrome-trace exporter ---------------------------------------------------
+
+TEST(ChromeTrace, HandBuiltTimelineRendersTracksFlowsAndInstants) {
+  sim::Timeline tl;
+  auto nic = tl.add_resource("node0/tx");
+  auto cpu = tl.add_resource("node0/cpu");
+  auto a = tl.add_task("encode:r0", cpu, 1.0, {});
+  auto b = tl.add_task("p2p_data:chunk", nic, 2.0, {a});
+  tl.add_task("gate", sim::kNoResource, 0.0, {b});
+
+  obs::ChromeTraceWriter w;
+  w.add_timeline(tl, "unit");
+  std::ostringstream os;
+  w.write(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // One named thread per resource plus the virtual track (tid 0).
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""),
+            tl.resource_count() + 1);
+  EXPECT_NE(json.find("node0/tx"), std::string::npos);
+  EXPECT_NE(json.find("node0/cpu"), std::string::npos);
+  // Two occupied tasks → two complete events; the barrier is an instant.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  // Two dependency edges → two matched flow start/finish pairs.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 2u);
+}
+
+TEST(ChromeTrace, WriteFileFailsCleanlyOnBadPath) {
+  obs::ChromeTraceWriter w;
+  EXPECT_FALSE(w.write_file("/nonexistent-dir-xyz/trace.json"));
+}
+
+TEST(ChromeTrace, CollectTimelineStatsFoldsResourcesAndStages) {
+  sim::Timeline tl;
+  auto nic = tl.add_resource("nic");
+  tl.add_task("send:key/1", nic, 1.0, {});
+  tl.add_task("send:key/2", nic, 3.0, {});
+  obs::StatsRegistry reg;
+  obs::collect_timeline_stats(tl, reg, "save.");
+  // Labels collapse to the stage before ':' — no per-key cardinality.
+  EXPECT_EQ(reg.counter("save.task.send.count"), 2u);
+  auto h = reg.histograms().at("save.task.send.duration_s");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("save.res.nic.busy_s"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("save.timeline.makespan_s"), tl.makespan());
+}
+
+// --- end-to-end: engines populate report stats -------------------------------
+
+cluster::ClusterConfig obs_cluster_config() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 2;
+  cfg.nic_bandwidth = gbps(100);
+  cfg.remote_storage_bandwidth = gbps(5);
+  // Fractional scale stresses the per-event rounding that the counters must
+  // reproduce exactly.
+  cfg.size_scale = 3.7;
+  return cfg;
+}
+
+std::vector<dnn::StateDict> obs_shards() {
+  dnn::CheckpointGenConfig cfg;
+  cfg.model = dnn::make_model(dnn::ModelFamily::kGPT2, 128, 2, 8, "obs");
+  cfg.model.vocab = 512;
+  cfg.parallelism = {2, 4, 1};
+  cfg.seed = 19;
+  return dnn::make_sharded_checkpoint(cfg);
+}
+
+std::uint64_t sum_with(const std::map<std::string, std::uint64_t>& stats,
+                       const std::string& prefix, const std::string& suffix) {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : stats) {
+    if (k.size() < prefix.size() + suffix.size()) continue;
+    if (k.compare(0, prefix.size(), prefix) != 0) continue;
+    if (k.compare(k.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    total += v;
+  }
+  return total;
+}
+
+TEST(EngineStats, NetworkByteCountersSumExactlyToReport) {
+  cluster::VirtualCluster cluster(obs_cluster_config());
+  auto shards = obs_shards();
+  core::ECCheckConfig cfg;
+  cfg.k = 2;
+  cfg.m = 2;
+  cfg.packet_size = kib(64);
+  cfg.flush_to_remote = true;
+  core::ECCheckEngine engine(cfg);
+
+  auto save = engine.save(cluster, shards, 1);
+  EXPECT_FALSE(save.stats.empty());
+  EXPECT_EQ(sum_with(save.stats, "net.", ".bytes"), save.network_bytes);
+  EXPECT_EQ(save.stats.at("remote.write.bytes"), save.remote_bytes);
+  // The protocol's edge kinds are individually visible.
+  EXPECT_GT(save.stats.at("net.p2p_data.bytes"), 0u);
+  EXPECT_GT(save.stats.at("net.xor_reduce.bytes"), 0u);
+  EXPECT_GT(save.stats.at("net.meta_bcast.bytes"), 0u);
+
+  cluster.kill(1);
+  cluster.replace(1);
+  std::vector<dnn::StateDict> out;
+  auto load = engine.load(cluster, 1, out);
+  ASSERT_TRUE(load.success) << load.detail;
+  EXPECT_FALSE(load.stats.empty());
+  EXPECT_GT(sum_with(load.stats, "net.", ".bytes"), 0u);
+}
+
+TEST(EngineStats, SecondSaveReportsOnlyItsOwnDelta) {
+  // The registry is cumulative for the cluster's lifetime; reports must
+  // still describe exactly one operation.
+  cluster::VirtualCluster cluster(obs_cluster_config());
+  auto shards = obs_shards();
+  core::ECCheckConfig cfg;
+  cfg.k = 2;
+  cfg.m = 2;
+  cfg.packet_size = kib(64);
+  core::ECCheckEngine engine(cfg);
+  auto first = engine.save(cluster, shards, 1);
+  auto second = engine.save(cluster, shards, 2);
+  EXPECT_EQ(sum_with(second.stats, "net.", ".bytes"), second.network_bytes);
+  EXPECT_EQ(first.stats.at("net.p2p_data.bytes"),
+            second.stats.at("net.p2p_data.bytes"));
+  // The cluster-lifetime counter holds both saves.
+  EXPECT_EQ(cluster.stats().counter("net.p2p_data.bytes"),
+            2 * first.stats.at("net.p2p_data.bytes"));
+}
+
+TEST(EngineStats, BaselineEnginesPopulateStatsToo) {
+  auto shards = obs_shards();
+  {
+    cluster::VirtualCluster cluster(obs_cluster_config());
+    ckpt::RemoteSyncEngine base1;
+    auto rep = base1.save(cluster, shards, 1);
+    EXPECT_EQ(sum_with(rep.stats, "net.", ".bytes"), rep.network_bytes);
+    EXPECT_EQ(sum_with(rep.stats, "remote.write", ".bytes"), rep.remote_bytes);
+  }
+  {
+    cluster::VirtualCluster cluster(obs_cluster_config());
+    ckpt::GeminiReplicationEngine base3(2);
+    auto rep = base3.save(cluster, shards, 1);
+    EXPECT_EQ(sum_with(rep.stats, "net.", ".bytes"), rep.network_bytes);
+    std::vector<dnn::StateDict> out;
+    // A failure-free load moves nothing — the delta must be empty, not a
+    // replay of the cumulative registry.
+    auto idle = base3.load(cluster, 1, out);
+    ASSERT_TRUE(idle.success) << idle.detail;
+    EXPECT_EQ(sum_with(idle.stats, "net.", ".bytes"), 0u);
+    // Refilling a replaced node does move bytes.
+    cluster.kill(1);
+    cluster.replace(1);
+    auto load = base3.load(cluster, 1, out);
+    ASSERT_TRUE(load.success) << load.detail;
+    EXPECT_GT(sum_with(load.stats, "net.", ".bytes"), 0u);
+  }
+}
+
+TEST(EngineStats, SaveLoadTraceIsValidWithTrackPerResource) {
+  // The acceptance shape of `eccheck_cli --trace-out`: save + kill + load,
+  // both timelines in one file, a named track per resource, and at least
+  // four distinct protocol task names.
+  cluster::VirtualCluster cluster(obs_cluster_config());
+  auto shards = obs_shards();
+  core::ECCheckConfig cfg;
+  cfg.k = 2;
+  cfg.m = 2;
+  cfg.packet_size = kib(64);
+  core::ECCheckEngine engine(cfg);
+
+  obs::ChromeTraceWriter w;
+  engine.save(cluster, shards, 1);
+  w.add_timeline(cluster.timeline(), "save");
+  const std::size_t resources = cluster.timeline().resource_count();
+
+  cluster.kill(2);
+  cluster.replace(2);
+  std::vector<dnn::StateDict> out;
+  ASSERT_TRUE(engine.load(cluster, 1, out).success);
+  w.add_timeline(cluster.timeline(), "load");
+
+  std::ostringstream os;
+  w.write(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Both processes name every resource track (plus one virtual track each).
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), 2 * (resources + 1));
+  EXPECT_GT(count_occurrences(json, "\"pid\":2"), 0u);
+
+  auto names = trace_names(json);
+  names.erase("dep");
+  names.erase("process_name");
+  names.erase("thread_name");
+  EXPECT_GE(names.size(), 4u) << [&] {
+    std::string all;
+    for (const auto& n : names) all += n + " ";
+    return all;
+  }();
+}
+
+}  // namespace
+}  // namespace eccheck

@@ -110,13 +110,28 @@ INSTANTIATE_TEST_SUITE_P(
         Case{4, 2, 8, KernelMode::kGfTable, 64 * 1024, 7777},  // odd slice
         Case{4, 4, 16, KernelMode::kGfTable, 32 * 1024, 1001}, // w=16 rounding
         Case{3, 2, 8, KernelMode::kXorBitmatrix, 64 * 1024, 4096},  // fallback
-        Case{2, 2, 8, KernelMode::kGfTable, 1024, 64 * 1024}),  // < one slice
+        Case{2, 2, 8, KernelMode::kGfTable, 1024, 64 * 1024},  // < one slice
+        // Odd / prime packet sizes straddling the slice boundary: the last
+        // slice is a short remainder (1 or 3 bytes), which exercises the
+        // lo/hi clamp in for_each_slice.
+        Case{2, 2, 8, KernelMode::kGfTable, 4095, 4096},   // slice − 1
+        Case{2, 2, 8, KernelMode::kGfTable, 4097, 4096},   // slice + 1
+        Case{4, 2, 8, KernelMode::kGfTable, 4099, 4096},   // prime, + 3
+        Case{3, 3, 8, KernelMode::kGfTable, 12289, 4096},  // prime, 3 slices
+        Case{2, 2, 8, KernelMode::kGfTable, 101, 4096},    // prime < 1 slice
+        // w=16 symbols are 2 bytes: smallest legal straddles are ± 2.
+        Case{2, 2, 16, KernelMode::kGfTable, 4094, 4096},  // slice − 2
+        Case{4, 4, 16, KernelMode::kGfTable, 4098, 4096},  // slice + 2
+        // Bitmatrix granularity is w·8 = 64 bytes; the serial fallback must
+        // still accept non-slice-aligned packet counts.
+        Case{3, 2, 8, KernelMode::kXorBitmatrix, 4096 + 64, 4096},
+        Case{3, 2, 8, KernelMode::kXorBitmatrix, 192, 4096}),
     [](const auto& info) {
       const auto& c = info.param;
       return "k" + std::to_string(c.k) + "m" + std::to_string(c.m) + "w" +
              std::to_string(c.w) +
-             (c.mode == KernelMode::kGfTable ? "_table" : "_xor") + "_s" +
-             std::to_string(c.slice);
+             (c.mode == KernelMode::kGfTable ? "_table" : "_xor") + "_p" +
+             std::to_string(c.packet) + "_s" + std::to_string(c.slice);
     });
 
 TEST(ParallelCodec, SliceRoundedToGranularity) {

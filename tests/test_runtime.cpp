@@ -50,6 +50,41 @@ TEST(ThreadPool, ParallelForEmptyAndSmall) {
   EXPECT_EQ(c.load(), 2);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // parallel_for called from inside a pool task must not block on chunks
+  // queued behind the caller's own task: on a 1-thread pool that deadlocks
+  // (the sole worker waits for work only it could run). A pool-resident
+  // caller runs the loop inline instead.
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::vector<std::atomic<int>> hits(64);
+  auto done = pool.submit([&] {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  EXPECT_EQ(done.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  done.get();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForInsideParallelFor) {
+  // Two levels of nesting on a saturated pool: the outer chunks occupy all
+  // workers, so every inner parallel_for must run inline.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  auto fut = pool.submit([&] {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  fut.get();
+  EXPECT_EQ(total.load(), 32);
+}
+
 TEST(ThreadPool, ParallelEncodeMatchesSequential) {
   // The paper's thread-pool encode: disjoint slices processed concurrently
   // must equal a single-threaded pass.

@@ -132,6 +132,52 @@ TEST(Session, ReportsFailureWhenNothingLoadable) {
   auto r = s.load(out);
   EXPECT_FALSE(r.report.success);
   EXPECT_EQ(r.version, 0);
+  // The detail names the version range that was tried, not just the last
+  // engine error.
+  EXPECT_NE(r.report.detail.find("no retained version"), std::string::npos)
+      << r.report.detail;
+}
+
+TEST(Session, LoadBeforeAnySaveReportsEmptyHistory) {
+  Fixture f;
+  auto s = core::Session::initialize(f.cluster, f.model, f.par,
+                                     f.session_config());
+  std::vector<dnn::StateDict> out;
+  auto r = s.load(out);
+  EXPECT_FALSE(r.report.success);
+  EXPECT_EQ(r.version, 0);
+  // Must say "nothing saved yet", not leave detail empty or probe version 0.
+  EXPECT_NE(r.report.detail.find("no checkpoint has been saved"),
+            std::string::npos)
+      << r.report.detail;
+}
+
+TEST(Session, RetentionPrunesRemoteFlushedCopies) {
+  // With step-4 remote flush on, retired versions must also be erased from
+  // the remote store — otherwise it accumulates every version forever.
+  Fixture f;
+  auto cfg = f.session_config();
+  cfg.retain_versions = 2;
+  cfg.ec.flush_to_remote = true;
+  auto s = core::Session::initialize(f.cluster, f.model, f.par, cfg);
+  s.save(f.shards(1));
+  ASSERT_FALSE(f.cluster.remote().keys_with_prefix("ec/1/").empty());
+  s.save(f.shards(2));
+  s.save(f.shards(3));
+
+  EXPECT_TRUE(f.cluster.remote().keys_with_prefix("ec/1/").empty());
+  EXPECT_FALSE(f.cluster.remote().keys_with_prefix("ec/2/").empty());
+  EXPECT_FALSE(f.cluster.remote().keys_with_prefix("ec/3/").empty());
+
+  // The surviving remote copy still rescues a catastrophic failure.
+  for (int n : {0, 1, 2}) {
+    f.cluster.kill(n);
+    f.cluster.replace(n);
+  }
+  std::vector<dnn::StateDict> out;
+  auto r = s.load(out);
+  ASSERT_TRUE(r.report.success) << r.report.detail;
+  EXPECT_EQ(r.version, 3);
 }
 
 TEST(Session, IdleCalendarsInstalledOnNics) {
