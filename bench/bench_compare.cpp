@@ -1,0 +1,93 @@
+// bench_compare — baseline / regression gate over BENCH JSON-lines.
+//
+//   # record current numbers as the baseline (checked into bench/baselines/)
+//   ECCHECK_BENCH_JSON=run.jsonl ./fig11_breakdown
+//   ./bench_compare --update --baselines ../bench/baselines run.jsonl
+//
+//   # later: fail if exact byte counters drift, warn on slow timings
+//   ./bench_compare --check --warn-only-time
+//        --baselines ../bench/baselines run.jsonl
+//
+// Exit codes: 0 pass (warnings allowed), 1 regression, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/compare.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--update|--check) [options] FILE...\n"
+      "  FILE...               BENCH JSON-lines files (ECCHECK_BENCH_JSON "
+      "output)\n"
+      "  --update              write/overwrite baselines from FILE...\n"
+      "  --check               compare FILE... against baselines\n"
+      "  --baselines DIR       baseline directory (default bench/baselines)\n"
+      "  --time-threshold F    relative tolerance for time metrics "
+      "(default 0.25)\n"
+      "  --warn-only-time      time regressions warn instead of fail\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eccheck::bench;
+  bool update = false, check = false;
+  CompareOptions opt;
+  std::string dir = "bench/baselines";
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(a, "--update")) update = true;
+    else if (!std::strcmp(a, "--check")) check = true;
+    else if (!std::strcmp(a, "--baselines")) dir = need();
+    else if (!std::strcmp(a, "--time-threshold")) opt.time_threshold = std::atof(need());
+    else if (!std::strcmp(a, "--warn-only-time")) opt.warn_only_time = true;
+    else if (a[0] == '-') usage(argv[0]);
+    else files.push_back(a);
+  }
+  if (update == check || files.empty()) usage(argv[0]);
+
+  BenchMap current;
+  for (const auto& f : files)
+    if (!load_jsonl(f, current)) return 2;
+  if (current.empty()) {
+    std::fprintf(stderr, "bench_compare: no records in input file(s)\n");
+    return 2;
+  }
+
+  if (update) {
+    if (!write_baselines(dir, current)) return 2;
+    std::size_t labels = 0;
+    for (const auto& [bench, lm] : current) labels += lm.size();
+    std::printf("bench_compare: wrote %zu bench baseline(s), %zu label(s) "
+                "under %s\n",
+                current.size(), labels, dir.c_str());
+    return 0;
+  }
+
+  std::vector<std::string> benches, missing;
+  for (const auto& [bench, lm] : current) benches.push_back(bench);
+  BenchMap baseline = load_baselines(dir, benches, &missing);
+  for (const auto& bench : missing)
+    std::fprintf(stderr,
+                 "bench_compare: no baseline for '%s' under %s (run "
+                 "--update first)\n",
+                 bench.c_str(), dir.c_str());
+  if (baseline.empty()) return 2;
+
+  CompareReport rep = compare(baseline, current, opt);
+  print_table(rep);
+  return rep.ok() ? 0 : 1;
+}

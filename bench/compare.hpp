@@ -1,0 +1,305 @@
+// Benchmark baseline / regression comparison (bench_compare tool).
+//
+// Input is the BENCH JSON-lines format every bench emits under
+// ECCHECK_BENCH_JSON: one {"bench":...,"label":...,"report":{...}} object
+// per line. Reports are flattened to dotted metric paths
+// ("breakdown.step3_encode_pipeline", "stats.save.bytes.net_send") and held
+// as doubles; baselines are one <bench>.json file per bench under a
+// directory, mapping label → {metric → value}.
+//
+// Two metric classes, told apart by the metric name alone:
+//   * exact  — last dotted segment ends in "bytes" or "count", or is
+//     "success". These are deterministic outputs of the virtual cost model;
+//     any drift is a real behaviour change and compares with strict
+//     equality.
+//   * time   — everything else (wall-clock seconds, bytes_per_second, ...).
+//     Noisy on shared CI hardware; compares with a relative threshold and
+//     can be demoted to warnings (--warn-only-time).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/stats.hpp"  // json_escape
+
+namespace eccheck::bench {
+
+using MetricMap = std::map<std::string, double>;           // metric → value
+using LabelMap = std::map<std::string, MetricMap>;         // label → metrics
+using BenchMap = std::map<std::string, LabelMap>;          // bench → labels
+
+/// Deterministic metrics regress with strict equality; see file comment.
+inline bool metric_is_exact(const std::string& metric) {
+  const std::size_t dot = metric.rfind('.');
+  const std::string last =
+      dot == std::string::npos ? metric : metric.substr(dot + 1);
+  if (last == "success") return true;
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return last.size() >= s.size() &&
+           last.compare(last.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("bytes") || ends_with("count");
+}
+
+/// Flatten a parsed JSON report into dotted numeric metrics. Booleans map to
+/// 0/1, strings and nulls are skipped (labels/details aren't comparable).
+inline void flatten_metrics(const obs::JsonValue& v, const std::string& prefix,
+                            MetricMap& out) {
+  if (v.is_number()) {
+    out[prefix] = v.as_number();
+  } else if (v.is_bool()) {
+    out[prefix] = v.as_bool() ? 1.0 : 0.0;
+  } else if (v.is_object()) {
+    for (const auto& [k, child] : v.as_object())
+      flatten_metrics(child, prefix.empty() ? k : prefix + "." + k, out);
+  } else if (v.is_array()) {
+    const auto& elems = v.as_array();
+    for (std::size_t i = 0; i < elems.size(); ++i)
+      flatten_metrics(elems[i], prefix + "[" + std::to_string(i) + "]", out);
+  }
+  // null / string: skipped (labels and details aren't comparable)
+}
+
+/// Read BENCH JSON-lines file(s); malformed lines are reported to stderr and
+/// skipped (a crashed bench must not take the whole comparison down).
+/// Repeated (bench, label) pairs keep the last record.
+inline bool load_jsonl(const std::string& path, BenchMap& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_compare: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string err;
+    auto v = obs::JsonValue::parse(line, &err);
+    if (!v || !v->is_object()) {
+      std::fprintf(stderr, "bench_compare: %s:%zu: bad JSON (%s), skipped\n",
+                   path.c_str(), lineno, err.c_str());
+      continue;
+    }
+    const obs::JsonValue* bench = v->find("bench");
+    const obs::JsonValue* label = v->find("label");
+    const obs::JsonValue* report = v->find("report");
+    if (!bench || !bench->is_string() || !label || !label->is_string() ||
+        !report) {
+      std::fprintf(stderr,
+                   "bench_compare: %s:%zu: missing bench/label/report, "
+                   "skipped\n",
+                   path.c_str(), lineno);
+      continue;
+    }
+    MetricMap metrics;
+    flatten_metrics(*report, "", metrics);
+    out[bench->as_string()][label->as_string()] = std::move(metrics);
+  }
+  return true;
+}
+
+// ---- baseline files -------------------------------------------------------
+
+inline std::string baseline_path(const std::string& dir,
+                                 const std::string& bench) {
+  return (std::filesystem::path(dir) / (bench + ".json")).string();
+}
+
+/// Write/overwrite one <bench>.json per bench present in `data`.
+inline bool write_baselines(const std::string& dir, const BenchMap& data) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  for (const auto& [bench, labels] : data) {
+    std::ofstream f(baseline_path(dir, bench));
+    if (!f) {
+      std::fprintf(stderr, "bench_compare: cannot write '%s'\n",
+                   baseline_path(dir, bench).c_str());
+      return false;
+    }
+    f << "{\n";
+    bool first_label = true;
+    for (const auto& [label, metrics] : labels) {
+      if (!first_label) f << ",\n";
+      first_label = false;
+      f << "  \"" << obs::json_escape(label) << "\": {\n";
+      bool first_metric = true;
+      for (const auto& [metric, value] : metrics) {
+        if (!first_metric) f << ",\n";
+        first_metric = false;
+        f << "    \"" << obs::json_escape(metric)
+          << "\": " << obs::json_number(value);
+      }
+      f << "\n  }";
+    }
+    f << "\n}\n";
+  }
+  return true;
+}
+
+/// Load baselines for exactly the benches named in `benches`; a bench with
+/// no baseline file is reported by the caller (missing_benches).
+inline BenchMap load_baselines(const std::string& dir,
+                               const std::vector<std::string>& benches,
+                               std::vector<std::string>* missing_benches) {
+  BenchMap out;
+  for (const auto& bench : benches) {
+    const std::string path = baseline_path(dir, bench);
+    std::ifstream f(path);
+    if (!f) {
+      if (missing_benches) missing_benches->push_back(bench);
+      continue;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string err;
+    auto v = obs::JsonValue::parse(ss.str(), &err);
+    if (!v || !v->is_object()) {
+      std::fprintf(stderr, "bench_compare: %s: bad JSON (%s)\n", path.c_str(),
+                   err.c_str());
+      if (missing_benches) missing_benches->push_back(bench);
+      continue;
+    }
+    for (const auto& [label, metrics] : v->as_object()) {
+      if (!metrics.is_object()) continue;
+      for (const auto& [metric, value] : metrics.as_object())
+        if (value.is_number()) out[bench][label][metric] = value.as_number();
+    }
+  }
+  return out;
+}
+
+// ---- comparison -----------------------------------------------------------
+
+struct CompareOptions {
+  double time_threshold = 0.25;  ///< relative tolerance for time metrics
+  bool warn_only_time = false;   ///< demote time regressions to warnings
+};
+
+struct CompareRow {
+  enum class Status { kPass, kWarn, kFail };
+  Status status = Status::kPass;
+  std::string bench, label, metric;
+  double baseline = 0, current = 0;
+  std::string note;
+};
+
+struct CompareReport {
+  std::vector<CompareRow> rows;
+  std::size_t passed = 0, warned = 0, failed = 0;
+  bool ok() const { return failed == 0; }
+};
+
+/// Compare `current` against `baseline`. Every baseline metric must be
+/// present and within tolerance; metrics new in `current` are pass-through
+/// notes (the baseline is updated explicitly, not implicitly).
+inline CompareReport compare(const BenchMap& baseline, const BenchMap& current,
+                             const CompareOptions& opt = {}) {
+  CompareReport rep;
+  auto add = [&](CompareRow row) {
+    switch (row.status) {
+      case CompareRow::Status::kPass: ++rep.passed; break;
+      case CompareRow::Status::kWarn: ++rep.warned; break;
+      case CompareRow::Status::kFail: ++rep.failed; break;
+    }
+    rep.rows.push_back(std::move(row));
+  };
+  for (const auto& [bench, labels] : baseline) {
+    auto cb = current.find(bench);
+    for (const auto& [label, metrics] : labels) {
+      const MetricMap* cur_metrics = nullptr;
+      if (cb != current.end()) {
+        auto cl = cb->second.find(label);
+        if (cl != cb->second.end()) cur_metrics = &cl->second;
+      }
+      if (!cur_metrics) {
+        CompareRow row;
+        row.status = CompareRow::Status::kFail;
+        row.bench = bench;
+        row.label = label;
+        row.note = "label missing from current run";
+        add(std::move(row));
+        continue;
+      }
+      for (const auto& [metric, base_value] : metrics) {
+        CompareRow row;
+        row.bench = bench;
+        row.label = label;
+        row.metric = metric;
+        row.baseline = base_value;
+        auto cm = cur_metrics->find(metric);
+        if (cm == cur_metrics->end()) {
+          row.status = CompareRow::Status::kFail;
+          row.note = "metric missing from current run";
+          add(std::move(row));
+          continue;
+        }
+        row.current = cm->second;
+        if (metric_is_exact(metric)) {
+          if (row.current != row.baseline) {
+            row.status = CompareRow::Status::kFail;
+            row.note = "exact metric drifted";
+          }
+        } else {
+          const double denom = std::max(std::fabs(row.baseline), 1e-12);
+          const double rel = std::fabs(row.current - row.baseline) / denom;
+          if (rel > opt.time_threshold) {
+            row.status = opt.warn_only_time ? CompareRow::Status::kWarn
+                                            : CompareRow::Status::kFail;
+            std::ostringstream os;
+            os << "off by " << static_cast<int>(rel * 100 + 0.5)
+               << "% (threshold " << static_cast<int>(opt.time_threshold * 100)
+               << "%)";
+            row.note = os.str();
+          }
+        }
+        add(std::move(row));
+      }
+    }
+  }
+  // Surface (but never fail on) labels the baseline has not seen yet.
+  for (const auto& [bench, labels] : current) {
+    auto bb = baseline.find(bench);
+    for (const auto& [label, metrics] : labels) {
+      if (bb != baseline.end() && bb->second.count(label)) continue;
+      CompareRow row;
+      row.status = CompareRow::Status::kWarn;
+      row.bench = bench;
+      row.label = label;
+      row.note = "new label (not in baseline; run --update to record)";
+      add(std::move(row));
+    }
+  }
+  return rep;
+}
+
+/// Human-readable pass/warn/fail table; passes are summarized, not listed.
+inline void print_table(const CompareReport& rep, FILE* out = stdout) {
+  for (const auto& row : rep.rows) {
+    if (row.status == CompareRow::Status::kPass) continue;
+    const char* tag =
+        row.status == CompareRow::Status::kFail ? "FAIL" : "warn";
+    if (row.metric.empty()) {
+      std::fprintf(out, "%s  %s/%s: %s\n", tag, row.bench.c_str(),
+                   row.label.c_str(), row.note.c_str());
+    } else {
+      std::fprintf(out, "%s  %s/%s %s: baseline %s, current %s%s%s\n", tag,
+                   row.bench.c_str(), row.label.c_str(), row.metric.c_str(),
+                   obs::json_number(row.baseline).c_str(),
+                   obs::json_number(row.current).c_str(),
+                   row.note.empty() ? "" : " — ", row.note.c_str());
+    }
+  }
+  std::fprintf(out, "bench_compare: %zu passed, %zu warned, %zu failed\n",
+               rep.passed, rep.warned, rep.failed);
+}
+
+}  // namespace eccheck::bench

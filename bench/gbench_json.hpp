@@ -1,0 +1,70 @@
+// Google-Benchmark → BENCH JSON-lines bridge.
+//
+// BENCHMARK_MAIN() prints a console table and throws the numbers away;
+// gbench_main() keeps the table but, when ECCHECK_BENCH_JSON names a path,
+// also appends one {"bench":...,"label":...,"report":{...}} record per run —
+// the same JSON-lines format the figure benches emit via
+// maybe_append_bench_json, so bench_compare can diff micro- and macro-
+// benchmarks against checked-in baselines uniformly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "obs/json.hpp"
+
+namespace eccheck::bench {
+
+/// ConsoleReporter that mirrors every successful per-iteration run into the
+/// JSON-lines file. Aggregates (mean/median/stddev from --benchmark_repetitions)
+/// are skipped — baselines hold one record per benchmark instance.
+class JsonLinesReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ::benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // Per-iteration times only: the iteration count itself is gbench's
+      // auto-tuned stopping decision, pure noise for regression purposes.
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      std::ostringstream os;
+      os << "{\"real_time_s\":"
+         << obs::json_number(run.real_accumulated_time / iters)
+         << ",\"cpu_time_s\":"
+         << obs::json_number(run.cpu_accumulated_time / iters);
+      // Finalized user counters — includes bytes_per_second/items_per_second.
+      for (const auto& [name, counter] : run.counters)
+        os << ",\"" << obs::json_escape(name)
+           << "\":" << obs::json_number(counter.value);
+      os << "}";
+      maybe_append_bench_json(bench_name_, run.benchmark_name(), os.str());
+    }
+  }
+
+ private:
+  std::string bench_name_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body:
+///   int main(int argc, char** argv) {
+///     return eccheck::bench::gbench_main("micro_gf", argc, argv);
+///   }
+inline int gbench_main(const std::string& bench_name, int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLinesReporter reporter(bench_name);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace eccheck::bench

@@ -8,18 +8,22 @@
 // what reproduces the paper's figures. See EXPERIMENTS.md.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "ckpt/base_gemini.hpp"
 #include "ckpt/base_remote.hpp"
 #include "core/eccheck_engine.hpp"
 #include "dnn/checkpoint_gen.hpp"
+#include "obs/json.hpp"
 #include "obs/stats.hpp"
 #include "trainsim/train_profile.hpp"
 
@@ -124,6 +128,17 @@ inline void print_header(const std::string& title,
 // (per-edge-kind byte/task counters); these helpers serialize them so
 // BENCH_*.json entries can record breakdowns, not just totals.
 
+/// One JSON scalar: floating-point values go through obs::json_number so
+/// they round-trip exactly (ostream's default 6 significant digits silently
+/// truncated sub-microsecond timings and large byte counts before).
+template <typename V>
+inline std::string json_value(V v) {
+  if constexpr (std::is_floating_point_v<V>)
+    return obs::json_number(static_cast<double>(v));
+  else
+    return std::to_string(v);
+}
+
 template <typename Map>
 inline std::string map_json(const Map& m) {
   std::ostringstream os;
@@ -132,7 +147,7 @@ inline std::string map_json(const Map& m) {
   for (const auto& [k, v] : m) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << obs::json_escape(k) << "\":" << v;
+    os << "\"" << obs::json_escape(k) << "\":" << json_value(v);
   }
   os << "}";
   return os.str();
@@ -140,8 +155,8 @@ inline std::string map_json(const Map& m) {
 
 inline std::string save_report_json(const ckpt::SaveReport& r) {
   std::ostringstream os;
-  os << "{\"stall_time_s\":" << r.stall_time
-     << ",\"total_time_s\":" << r.total_time
+  os << "{\"stall_time_s\":" << obs::json_number(r.stall_time)
+     << ",\"total_time_s\":" << obs::json_number(r.total_time)
      << ",\"network_bytes\":" << r.network_bytes
      << ",\"remote_bytes\":" << r.remote_bytes
      << ",\"breakdown\":" << map_json(r.breakdown)
@@ -152,10 +167,10 @@ inline std::string save_report_json(const ckpt::SaveReport& r) {
 inline std::string load_report_json(const ckpt::LoadReport& r) {
   std::ostringstream os;
   os << "{\"success\":" << (r.success ? "true" : "false")
-     << ",\"resume_time_s\":" << r.resume_time
-     << ",\"total_time_s\":" << r.total_time << ",\"detail\":\""
-     << obs::json_escape(r.detail) << "\",\"stats\":" << map_json(r.stats)
-     << "}";
+     << ",\"resume_time_s\":" << obs::json_number(r.resume_time)
+     << ",\"total_time_s\":" << obs::json_number(r.total_time)
+     << ",\"detail\":\"" << obs::json_escape(r.detail)
+     << "\",\"stats\":" << map_json(r.stats) << "}";
   return os.str();
 }
 
@@ -165,7 +180,18 @@ inline void append_bench_json(const std::string& path, const std::string& bench,
                               const std::string& label,
                               const std::string& payload) {
   std::ofstream f(path, std::ios::app);
-  if (!f) return;
+  if (!f) {
+    // Warn once: a typo'd ECCHECK_BENCH_JSON path otherwise silently drops
+    // every record of the run.
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "eccheck: cannot append bench JSON to '%s': %s\n",
+                   path.c_str(), std::strerror(errno));
+    }
+    return;
+  }
   f << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"label\":\""
     << obs::json_escape(label) << "\",\"report\":" << payload << "}\n";
 }

@@ -2,6 +2,7 @@
 // code shape and kernel mode, plus thread-pool encode scaling.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.hpp"
 #include "common/rng.hpp"
 #include "ec/crs_codec.hpp"
 #include "runtime/thread_pool.hpp"
@@ -117,4 +118,6 @@ BENCHMARK(BM_ThreadPoolEncode)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return eccheck::bench::gbench_main("micro_crs", argc, argv);
+}

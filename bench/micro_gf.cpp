@@ -2,6 +2,7 @@
 // arithmetic inner loops of checkpoint encoding.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.hpp"
 #include "common/rng.hpp"
 #include "gf/galois.hpp"
 
@@ -69,4 +70,6 @@ BENCHMARK(BM_GfScalarMul);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return eccheck::bench::gbench_main("micro_gf", argc, argv);
+}

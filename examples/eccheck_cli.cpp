@@ -17,6 +17,7 @@
 #include "bench/harness.hpp"
 #include "core/grouped_engine.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/tracer.hpp"
 
 using namespace eccheck;
 
@@ -38,6 +39,7 @@ struct Options {
   std::size_t packet_kib = 128;
   std::string trace_out;   // Chrome-trace JSON of the save/load timelines
   std::string stats_json;  // per-stage counters/gauges/histograms JSON
+  std::string profile_out;  // Chrome-trace JSON of real wall-clock spans
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -57,7 +59,11 @@ struct Options {
       "  --trace-out FILE          write Chrome-trace JSON (chrome://tracing,\n"
       "                            Perfetto) of the save + load timelines\n"
       "  --stats-json FILE         write per-stage stats (byte counters per\n"
-      "                            edge kind, resource busy time) as JSON\n",
+      "                            edge kind, resource busy time) as JSON\n"
+      "  --profile-out FILE        write wall-clock Chrome-trace JSON of the\n"
+      "                            real data plane (pool workers, pipeline\n"
+      "                            stages, codec slices); same FILE as\n"
+      "                            --trace-out merges both into one trace\n",
       argv0);
   std::exit(2);
 }
@@ -86,6 +92,7 @@ Options parse(int argc, char** argv) {
       o.packet_kib = static_cast<std::size_t>(std::atoll(need(i)));
     else if (!std::strcmp(a, "--trace-out")) o.trace_out = need(i);
     else if (!std::strcmp(a, "--stats-json")) o.stats_json = need(i);
+    else if (!std::strcmp(a, "--profile-out")) o.profile_out = need(i);
     else if (!std::strcmp(a, "--fail")) {
       std::stringstream ss(need(i));
       std::string part;
@@ -197,11 +204,33 @@ int main(int argc, char** argv) {
   ckpt::SaveReport save;
   ckpt::LoadReport load;
   bool loaded = false;
+  if (!o.profile_out.empty()) {
+    obs::Tracer::set_thread_name("main");
+    obs::Tracer::global().enable();
+  }
 
   // Flush observability outputs on every exit path. The trace writer
   // serializes each timeline when added, so save is captured before load
   // resets the cluster's timeline.
   auto finish = [&](int rc) {
+    if (!o.profile_out.empty()) {
+      auto& prof = obs::Tracer::global();
+      prof.disable();
+      if (o.profile_out == o.trace_out) {
+        // Merged view: virtual timelines and real threads side by side.
+        prof.export_to(tracer, "real threads");
+        std::printf("profile : %zu spans merged into %s\n", prof.span_count(),
+                    o.trace_out.c_str());
+      } else {
+        obs::ChromeTraceWriter w;
+        prof.export_to(w, "real threads");
+        if (w.write_file(o.profile_out))
+          std::printf("profile : %zu spans -> %s\n", prof.span_count(),
+                      o.profile_out.c_str());
+        else
+          std::printf("profile : FAILED to write %s\n", o.profile_out.c_str());
+      }
+    }
     if (!o.trace_out.empty()) {
       if (tracer.write_file(o.trace_out))
         std::printf("trace   : %zu events -> %s\n", tracer.event_count(),

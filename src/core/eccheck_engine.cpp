@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "cluster/slice.hpp"
+#include "common/bytes.hpp"
 #include "ec/parallel_codec.hpp"
 #include "obs/stats.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace eccheck::core {
 namespace {
@@ -217,18 +220,83 @@ ckpt::SaveReport ECCheckEngine::save_slice(
     encode_barrier = cluster.barrier(all_encodes);
   }
 
+  // Real data plane (§IV-C): with a thread pool and pipelining enabled the
+  // actual parity bytes are produced by the paper's three-stage pipeline —
+  // per-participant partial products (encode), XOR-reduction of the partials,
+  // and the commit hand-off into the destination store (the in-process stand-
+  // in for the P2P hop) — one real thread per stage with bounded queues, so
+  // packets overlap across stages exactly like the virtual schedule emitted
+  // below. Input spans are gathered up front and each stage touches only its
+  // own item, so the stages never race the stores; XOR-combining the partials
+  // is bit-identical to the serial accumulate path (GF addition is XOR).
+  struct RealStripe {
+    std::vector<ByteSpan> inputs;  ///< the k source packets
+    int row = 0;                   ///< generator row k+r
+    std::string key;               ///< destination row key
+    int dest_node = 0;
+    std::vector<Buffer> partials;  ///< encode → xor_reduce hand-off
+    Buffer acc;                    ///< the finished parity packet
+  };
+  const bool real_pipeline = pcodec != nullptr && cfg_.pipelined;
+  if (real_pipeline) {
+    std::vector<RealStripe> real(stripes.size() *
+                                 static_cast<std::size_t>(cfg_.m));
+    for (std::size_t si = 0; si < stripes.size(); ++si) {
+      const auto& s = stripes[si];
+      for (int r = 0; r < cfg_.m; ++r) {
+        const auto& op =
+            plan.reductions[static_cast<std::size_t>(s.j * cfg_.m + r)];
+        RealStripe& rs = real[si * static_cast<std::size_t>(cfg_.m) +
+                              static_cast<std::size_t>(r)];
+        rs.row = cfg_.k + r;
+        rs.key = row_key(cfg_.key_namespace, version, cfg_.k + r, s.j, s.b);
+        rs.dest_node = op.dest_node;
+        rs.inputs.reserve(static_cast<std::size_t>(cfg_.k));
+        for (int c = 0; c < cfg_.k; ++c) {
+          const int pw = op.participants[static_cast<std::size_t>(c)];
+          rs.inputs.push_back(
+              cluster.host(cluster::slice_node_of_worker(cluster, pw))
+                  .get(local_key(cfg_.key_namespace, version, pw, s.b))
+                  .span());
+        }
+      }
+    }
+    std::vector<std::function<void(RealStripe&)>> real_stages;
+    real_stages.push_back([&](RealStripe& rs) {
+      rs.partials.reserve(rs.inputs.size());
+      for (std::size_t c = 0; c < rs.inputs.size(); ++c) {
+        rs.partials.emplace_back(P, Buffer::Init::kUninitialized);
+        pcodec->encode_partial(rs.row, static_cast<int>(c), rs.inputs[c],
+                               rs.partials[c].span(), /*accumulate=*/false);
+      }
+    });
+    real_stages.push_back([](RealStripe& rs) {
+      rs.acc = std::move(rs.partials[0]);
+      for (std::size_t c = 1; c < rs.partials.size(); ++c)
+        xor_into(rs.acc.span(), rs.partials[c].span());
+      rs.partials.clear();
+    });
+    real_stages.push_back([&](RealStripe& rs) {
+      cluster.host(rs.dest_node).put(rs.key, std::move(rs.acc));
+    });
+    runtime::run_pipeline(real, real_stages, /*queue_capacity=*/4,
+                          {"encode", "xor_reduce", "p2p_commit"});
+  }
+
   // Stage 3c: XOR-reduction chains ending at each target, then the final
-  // P2P hop to the parity node; real parity bytes are produced here.
+  // P2P hop to the parity node; real parity bytes are produced here when the
+  // pipeline above did not already commit them.
   for (std::size_t si = 0; si < stripes.size(); ++si) {
     const auto& s = stripes[si];
     for (int r = 0; r < cfg_.m; ++r) {
       const auto& op =
           plan.reductions[static_cast<std::size_t>(s.j * cfg_.m + r)];
 
-      // Data plane: accumulate partial products over chunk indices —
-      // thread-pool sliced when data_plane_threads > 0 (§IV-A).
-      Buffer acc(P, Buffer::Init::kUninitialized);
-      {
+      // Data plane: the pipeline above already committed the parity packet;
+      // otherwise accumulate partial products serially here — thread-pool
+      // sliced when data_plane_threads > 0 (§IV-A).
+      if (!real_pipeline) {
+        Buffer acc(P, Buffer::Init::kUninitialized);
         std::vector<ByteSpan> packet_spans;
         packet_spans.reserve(static_cast<std::size_t>(cfg_.k));
         for (int c = 0; c < cfg_.k; ++c) {
@@ -246,6 +314,9 @@ ckpt::SaveReport ECCheckEngine::save_slice(
                                  packet_spans[static_cast<std::size_t>(c)],
                                  acc.span(), /*accumulate=*/c != 0);
         }
+        cluster.host(op.dest_node).put(
+            row_key(cfg_.key_namespace, version, cfg_.k + r, s.j, s.b),
+            std::move(acc));
       }
 
       auto enc_of = [&](int c) {
@@ -314,8 +385,6 @@ ckpt::SaveReport ECCheckEngine::save_slice(
                                 "p2p_parity");
         count_net(P);
       }
-      cluster.host(op.dest_node).put(row_key(cfg_.key_namespace, version, cfg_.k + r, s.j, s.b),
-                                     std::move(acc));
       row_finish[static_cast<std::size_t>(cfg_.k + r)] =
           std::max(row_finish[static_cast<std::size_t>(cfg_.k + r)],
                    cluster.timeline().finish_time(done));

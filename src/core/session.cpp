@@ -1,5 +1,7 @@
 #include "core/session.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace eccheck::core {
 
 Session Session::initialize(cluster::VirtualCluster& cluster,
@@ -27,6 +29,9 @@ Session Session::initialize(cluster::VirtualCluster& cluster,
 }
 
 ckpt::SaveReport Session::save(const std::vector<dnn::StateDict>& shards) {
+  std::size_t shard_bytes = 0;
+  for (const auto& sd : shards) shard_bytes += sd.tensor_bytes();
+  obs::ScopedSpan span("session.save", shard_bytes);
   const std::int64_t version = next_version_++;
   ckpt::SaveReport rep = engine_.save(*cluster_, shards, version);
   if (cfg_.retain_versions > 0)
@@ -57,6 +62,7 @@ void Session::prune(std::int64_t oldest_to_keep) {
 }
 
 Session::RecoverResult Session::load(std::vector<dnn::StateDict>& out) {
+  obs::ScopedSpan span("session.load");
   RecoverResult result;
   const std::int64_t newest = latest_version();
   if (newest < 1) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/tracer.hpp"
+
 namespace eccheck::ec {
 
 CrsCodec::CrsCodec(int k, int m, int w, KernelMode mode, bool normalized)
@@ -31,6 +33,8 @@ void CrsCodec::encode(std::span<const ByteSpan> data,
   ECC_CHECK(static_cast<int>(data.size()) == k_);
   ECC_CHECK(static_cast<int>(parity.size()) == m_);
   if (m_ == 0) return;
+  obs::ScopedSpan span("codec.encode",
+                       data.empty() ? 0 : data[0].size() * data.size());
   if (mode_ == KernelMode::kXorBitmatrix) {
     run_xor_schedule(encode_schedule_, w_, data, parity);
     return;
@@ -94,6 +98,8 @@ void CrsCodec::decode(const std::vector<int>& rows,
   ECC_CHECK_MSG(std::set<int>(rows.begin(), rows.end()).size() == rows.size(),
                 "duplicate generator rows in decode");
 
+  obs::ScopedSpan span("codec.decode",
+                       chunks.empty() ? 0 : chunks[0].size() * chunks.size());
   GfMatrix sub = generator_.select_rows(rows);
   GfMatrix inv = sub.inverse();
   apply_matrix(inv, chunks, out_data);

@@ -1,5 +1,7 @@
 #include "ec/parallel_codec.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace eccheck::ec {
 
 ParallelCodec::ParallelCodec(const CrsCodec& codec, runtime::ThreadPool& pool,
@@ -18,11 +20,16 @@ void ParallelCodec::for_each_slice(
     return;
   }
   const std::size_t slices = (total + slice_bytes_ - 1) / slice_bytes_;
-  pool_->parallel_for(slices, [&](std::size_t s) {
-    const std::size_t lo = s * slice_bytes_;
-    const std::size_t hi = std::min(total, lo + slice_bytes_);
-    fn(lo, hi);
-  });
+  auto& tracer = obs::Tracer::global();
+  pool_->parallel_for(
+      slices,
+      [&](std::size_t s) {
+        const std::size_t lo = s * slice_bytes_;
+        const std::size_t hi = std::min(total, lo + slice_bytes_);
+        obs::ScopedSpan span(tracer, "codec.slice", hi - lo);
+        fn(lo, hi);
+      },
+      "codec.slices");
 }
 
 void ParallelCodec::encode(std::span<const ByteSpan> data,
@@ -31,6 +38,7 @@ void ParallelCodec::encode(std::span<const ByteSpan> data,
   ECC_CHECK(static_cast<int>(parity.size()) == codec_->m());
   if (parity.empty()) return;
   const std::size_t total = data[0].size();
+  obs::ScopedSpan span("codec.encode", total * data.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     codec_->encode(data, parity);
     return;
@@ -52,6 +60,7 @@ void ParallelCodec::encode(std::span<const ByteSpan> data,
 void ParallelCodec::encode_row(int row, std::span<const ByteSpan> data,
                                MutableByteSpan acc) const {
   ECC_CHECK(static_cast<int>(data.size()) == codec_->k());
+  obs::ScopedSpan span("codec.encode_row", acc.size() * data.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     for (int c = 0; c < codec_->k(); ++c)
       codec_->encode_partial(row, c, data[static_cast<std::size_t>(c)], acc,
@@ -67,12 +76,27 @@ void ParallelCodec::encode_row(int row, std::span<const ByteSpan> data,
   });
 }
 
+void ParallelCodec::encode_partial(int row, int data_index, ByteSpan src,
+                                   MutableByteSpan dst,
+                                   bool accumulate) const {
+  obs::ScopedSpan span("codec.encode_partial", src.size());
+  if (codec_->mode() == KernelMode::kXorBitmatrix) {
+    codec_->encode_partial(row, data_index, src, dst, accumulate);
+    return;
+  }
+  for_each_slice(src.size(), [&](std::size_t lo, std::size_t hi) {
+    codec_->encode_partial(row, data_index, src.subspan(lo, hi - lo),
+                           dst.subspan(lo, hi - lo), accumulate);
+  });
+}
+
 void ParallelCodec::apply_matrix(const GfMatrix& m,
                                  std::span<const ByteSpan> in,
                                  std::span<MutableByteSpan> out) const {
   ECC_CHECK(static_cast<int>(in.size()) == m.cols());
   ECC_CHECK(static_cast<int>(out.size()) == m.rows());
   if (out.empty()) return;
+  obs::ScopedSpan span("codec.apply_matrix", out[0].size() * in.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     codec_->apply_matrix(m, in, out);
     return;

@@ -31,6 +31,12 @@ class ParallelCodec {
   void encode_row(int row, std::span<const ByteSpan> data,
                   MutableByteSpan acc) const;
 
+  /// Sliced single partial product: dst (^)= E[row][data_index]·src.
+  /// Equivalent to CrsCodec::encode_partial; the per-participant unit of the
+  /// pipelined encode stage (§IV-C).
+  void encode_partial(int row, int data_index, ByteSpan src,
+                      MutableByteSpan dst, bool accumulate) const;
+
   /// out[i] = Σ_j M[i][j]·in[j]; equivalent to CrsCodec::apply_matrix.
   void apply_matrix(const GfMatrix& m, std::span<const ByteSpan> in,
                     std::span<MutableByteSpan> out) const;

@@ -34,10 +34,41 @@ std::string meta_event(int pid, int tid, const std::string& what,
 
 }  // namespace
 
-void ChromeTraceWriter::add_timeline(const sim::Timeline& tl,
-                                     const std::string& process_name) {
+int ChromeTraceWriter::begin_process(const std::string& process_name) {
   const int pid = next_pid_++;
   events_.push_back(meta_event(pid, 0, "process_name", process_name));
+  return pid;
+}
+
+void ChromeTraceWriter::name_thread(int pid, int tid,
+                                    const std::string& name) {
+  events_.push_back(meta_event(pid, tid, "thread_name", name));
+}
+
+void ChromeTraceWriter::add_complete(int pid, int tid, const std::string& name,
+                                     double ts_us, double dur_us,
+                                     const std::string& args_json) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"X\",\"pid\":"
+     << pid << ",\"tid\":" << tid << ",\"ts\":" << fmt(ts_us)
+     << ",\"dur\":" << fmt(dur_us);
+  if (!args_json.empty()) os << ",\"args\":{" << args_json << "}";
+  os << "}";
+  events_.push_back(os.str());
+}
+
+void ChromeTraceWriter::add_counter(int pid, int tid, const std::string& name,
+                                    double ts_us, double value) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"C\",\"pid\":"
+     << pid << ",\"tid\":" << tid << ",\"ts\":" << fmt(ts_us)
+     << ",\"args\":{\"value\":" << fmt(value) << "}}";
+  events_.push_back(os.str());
+}
+
+void ChromeTraceWriter::add_timeline(const sim::Timeline& tl,
+                                     const std::string& process_name) {
+  const int pid = begin_process(process_name);
   events_.push_back(meta_event(pid, 0, "thread_name", "(virtual)"));
   for (std::size_t r = 0; r < tl.resource_count(); ++r)
     events_.push_back(meta_event(pid, static_cast<int>(r) + 1, "thread_name",

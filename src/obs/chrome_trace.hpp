@@ -23,6 +23,25 @@ class ChromeTraceWriter {
   /// Append every task of `tl` as one process named `process_name`.
   void add_timeline(const sim::Timeline& tl, const std::string& process_name);
 
+  // Generic event API — obs::Tracer (and anything else producing real-time
+  // spans) renders into the same file through these, so real and virtual
+  // tracks open side by side.
+
+  /// Start a new process track group; returns its pid.
+  int begin_process(const std::string& process_name);
+
+  /// Name a thread track within a process.
+  void name_thread(int pid, int tid, const std::string& name);
+
+  /// Complete ("X") event. `args_json` is the *interior* of the args object
+  /// (e.g. "\"bytes\":4096"), empty for none.
+  void add_complete(int pid, int tid, const std::string& name, double ts_us,
+                    double dur_us, const std::string& args_json = "");
+
+  /// Counter ("C") event — renders as a stacked-area track.
+  void add_counter(int pid, int tid, const std::string& name, double ts_us,
+                   double value);
+
   void write(std::ostream& os) const;
 
   /// Write to `path`; returns false (and writes nothing) on I/O failure.

@@ -1,0 +1,212 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace eccheck::obs {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values that fit exactly print without an exponent or trailing
+  // zeros — counters and byte totals stay greppable.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool parse(JsonValue& out, std::string* error) {
+    skip();
+    if (!value(out)) {
+      fail(error);
+      return false;
+    }
+    skip();
+    if (pos_ != s_.size()) {
+      fail(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void fail(std::string* error) const {
+    if (error)
+      *error = "JSON syntax error at offset " + std::to_string(pos_);
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        return string(out.string_);
+      case 't':
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return literal("true");
+      case 'f':
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return literal("false");
+      case 'n':
+        out.type_ = JsonValue::Type::kNull;
+        return literal("null");
+      default:
+        out.type_ = JsonValue::Type::kNumber;
+        return number(out.number_);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip();
+      std::string key;
+      if (!string(key)) return false;
+      skip();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip();
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object_.emplace(std::move(key), std::move(member));
+      skip();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip();
+      JsonValue elem;
+      if (!value(elem)) return false;
+      out.array_.push_back(std::move(elem));
+      skip();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            // Keep the escape verbatim; the repo's emitters only escape
+            // control characters, which never need to round-trip as text.
+            out += "\\u";
+            out += s_.substr(pos_ + 1, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    out = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  void skip() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::unique_ptr<JsonValue> JsonValue::parse(const std::string& text,
+                                            std::string* error) {
+  auto v = std::make_unique<JsonValue>();
+  JsonParser p(text);
+  if (!p.parse(*v, error)) return nullptr;
+  return v;
+}
+
+}  // namespace eccheck::obs

@@ -1,0 +1,64 @@
+// Minimal JSON helpers shared by the observability exporters and the bench
+// baseline tooling.
+//
+// json_number is the one double formatter every emitter goes through:
+// round-trip (max_digits10) precision so baselines survive a
+// serialize/parse/serialize cycle bit-exactly, and a finite-value guard —
+// IEEE inf/nan have no JSON spelling, so they serialize as null instead of
+// producing an unloadable document.
+//
+// JsonValue is a small recursive-descent parser for the documents this repo
+// itself emits (bench JSON-lines, baselines, stats dumps). It accepts all of
+// RFC 8259 except \u surrogate pairs (kept verbatim) and is not meant as a
+// general-purpose parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eccheck::obs {
+
+/// Round-trip decimal formatting of `v`; "null" when not finite.
+std::string json_number(double v);
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Parse one complete document. Returns nullopt-style empty pointer on
+  /// syntax error (with `error` describing the position when non-null).
+  static std::unique_ptr<JsonValue> parse(const std::string& text,
+                                          std::string* error = nullptr);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace eccheck::obs

@@ -1,9 +1,14 @@
 #include "obs/stats.hpp"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace eccheck::obs {
+
+double HistSummary::stddev() const { return std::sqrt(variance()); }
 
 void StatsRegistry::add(const std::string& name, std::uint64_t delta) {
   std::lock_guard lock(mu_);
@@ -109,7 +114,7 @@ void StatsRegistry::write_json(std::ostream& os) const {
   for (const auto& [k, v] : g) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << json_escape(k) << "\":" << v;
+    os << "\"" << json_escape(k) << "\":" << json_number(v);
   }
   os << "},\"histograms\":{";
   first = true;
@@ -117,8 +122,9 @@ void StatsRegistry::write_json(std::ostream& os) const {
     if (!first) os << ",";
     first = false;
     os << "\"" << json_escape(k) << "\":{\"count\":" << v.count
-       << ",\"sum\":" << v.sum << ",\"min\":" << v.min << ",\"max\":" << v.max
-       << "}";
+       << ",\"sum\":" << json_number(v.sum) << ",\"min\":" << json_number(v.min)
+       << ",\"max\":" << json_number(v.max)
+       << ",\"stddev\":" << json_number(v.stddev()) << "}";
   }
   os << "}}";
 }

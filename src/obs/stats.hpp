@@ -24,12 +24,16 @@
 
 namespace eccheck::obs {
 
-/// Summary of observed samples (enough for mean/min/max without buckets).
+/// Summary of observed samples: mean/min/max plus streaming (Welford)
+/// variance — count/sum/min/max alone can't distinguish a stable stage from
+/// a bimodal one when bench runs are compared.
 struct HistSummary {
   std::uint64_t count = 0;
   double sum = 0;
   double min = 0;
   double max = 0;
+  double m2 = 0;           ///< Σ(x−mean)², updated via Welford's recurrence
+  double running_mean = 0; ///< Welford's running mean (== mean() throughout)
 
   void observe(double sample) {
     if (count == 0) {
@@ -40,8 +44,16 @@ struct HistSummary {
     }
     ++count;
     sum += sample;
+    const double delta = sample - running_mean;
+    running_mean += delta / static_cast<double>(count);
+    m2 += delta * (sample - running_mean);
   }
   double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  /// Sample variance (n−1 denominator); 0 with fewer than two samples.
+  double variance() const {
+    return count > 1 ? m2 / static_cast<double>(count - 1) : 0;
+  }
+  double stddev() const;
 };
 
 class StatsRegistry {

@@ -1,0 +1,162 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+
+namespace eccheck::obs {
+namespace {
+
+std::atomic<std::uint64_t> next_tracer_id{1};
+
+struct CachedBuf {
+  std::uint64_t tracer_id;
+  std::shared_ptr<void> buf;  // Tracer::ThreadBuf, type-erased for the cache
+};
+
+// Per-thread: buffers this thread registered (usually just the global
+// tracer's) plus the name future registrations should carry. shared_ptr
+// keeps a buffer alive past both thread exit and tracer destruction.
+thread_local std::vector<CachedBuf> t_bufs;
+thread_local std::string t_pending_name;
+
+}  // namespace
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      tracer_id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuf* Tracer::thread_buf() {
+  for (const auto& c : t_bufs)
+    if (c.tracer_id == tracer_id_)
+      return static_cast<ThreadBuf*>(c.buf.get());
+  auto buf = std::make_shared<ThreadBuf>();
+  buf->name = t_pending_name;
+  {
+    std::lock_guard lock(registry_mu_);
+    buf->tid = static_cast<int>(threads_.size()) + 1;
+    if (buf->name.empty()) buf->name = "thread" + std::to_string(buf->tid);
+    threads_.push_back(buf);
+  }
+  t_bufs.push_back({tracer_id_, buf});
+  return buf.get();
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  t_pending_name = name;
+  for (const auto& c : t_bufs) {
+    auto* buf = static_cast<ThreadBuf*>(c.buf.get());
+    std::lock_guard lock(buf->mu);
+    buf->name = name;
+  }
+}
+
+void Tracer::record_span(const std::string& name, std::uint64_t start_ns,
+                         std::uint64_t end_ns, std::uint64_t bytes) {
+  if (!enabled()) return;
+  ThreadBuf* buf = thread_buf();
+  std::lock_guard lock(buf->mu);
+  buf->spans.push_back({name, start_ns, end_ns, bytes, buf->live_depth});
+}
+
+void Tracer::record_counter(const std::string& name, double value) {
+  if (!enabled()) return;
+  ThreadBuf* buf = thread_buf();
+  std::lock_guard lock(buf->mu);
+  buf->counters.push_back({name, now_ns(), value});
+}
+
+std::vector<Tracer::ThreadTrack> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard lock(registry_mu_);
+    bufs = threads_;
+  }
+  std::vector<ThreadTrack> out;
+  out.reserve(bufs.size());
+  for (const auto& buf : bufs) {
+    std::lock_guard lock(buf->mu);
+    ThreadTrack t;
+    t.tid = buf->tid;
+    t.name = buf->name;
+    t.spans = buf->spans;
+    t.counters = buf->counters;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::size_t n = 0;
+  std::lock_guard lock(registry_mu_);
+  for (const auto& buf : threads_) {
+    std::lock_guard buf_lock(buf->mu);
+    n += buf->spans.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(registry_mu_);
+  for (const auto& buf : threads_) {
+    std::lock_guard buf_lock(buf->mu);
+    buf->spans.clear();
+    buf->counters.clear();
+  }
+}
+
+void Tracer::export_to(ChromeTraceWriter& w,
+                       const std::string& process_name) const {
+  const int pid = w.begin_process(process_name);
+  for (const auto& track : snapshot()) {
+    if (track.spans.empty() && track.counters.empty()) continue;
+    w.name_thread(pid, track.tid, track.name);
+    for (const auto& s : track.spans) {
+      std::string args = "\"depth\":" + std::to_string(s.depth);
+      if (s.bytes > 0) {
+        args += ",\"bytes\":" + std::to_string(s.bytes);
+        const double dur_s =
+            static_cast<double>(s.end_ns - s.start_ns) * 1e-9;
+        if (dur_s > 0) {
+          args += ",\"GiB_per_s\":" +
+                  json_number(static_cast<double>(s.bytes) /
+                              (1024.0 * 1024.0 * 1024.0) / dur_s);
+        }
+      }
+      w.add_complete(pid, track.tid, s.name,
+                     static_cast<double>(s.start_ns) / 1e3,
+                     static_cast<double>(s.end_ns - s.start_ns) / 1e3, args);
+    }
+    for (const auto& c : track.counters)
+      w.add_counter(pid, track.tid, c.name,
+                    static_cast<double>(c.ts_ns) / 1e3, c.value);
+  }
+}
+
+ScopedSpan::ScopedSpan(Tracer& tracer, const std::string& name,
+                       std::uint64_t bytes)
+    : bytes_(bytes) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = name;
+  start_ns_ = tracer.now_ns();
+  ++tracer.thread_buf()->live_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!tracer_) return;
+  const std::uint64_t end = tracer_->now_ns();
+  Tracer::ThreadBuf* buf = tracer_->thread_buf();
+  --buf->live_depth;
+  std::lock_guard lock(buf->mu);
+  buf->spans.push_back({std::move(name_), start_ns_, end, bytes_,
+                        buf->live_depth});
+}
+
+}  // namespace eccheck::obs

@@ -1,0 +1,143 @@
+// Wall-clock span tracer for the real data path (thread pool, staged
+// pipeline, coding kernels).
+//
+// PR 1 made the *virtual* timing plane observable; this is the same idea for
+// real time: RAII ScopedSpans append {name, start, end, bytes} records to
+// per-thread buffers (one uncontended mutex each — no global lock on the hot
+// path), timestamped with steady_clock nanoseconds against a per-tracer
+// epoch. A disabled tracer costs one relaxed atomic load per span site and
+// takes no clock readings, so instrumentation can stay compiled into
+// production paths.
+//
+// Export goes through the same ChromeTraceWriter as the sim::Timeline
+// exporter, so a "real" process (pool workers, pipeline stage threads, codec
+// slices) opens side by side with the virtual save/load processes in
+// chrome://tracing / Perfetto. Spans carrying a byte count get a GiB/s
+// argument computed at export time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eccheck::obs {
+
+class ChromeTraceWriter;
+
+class Tracer {
+ public:
+  struct SpanRec {
+    std::string name;
+    std::uint64_t start_ns = 0;  ///< since the tracer's epoch
+    std::uint64_t end_ns = 0;
+    std::uint64_t bytes = 0;     ///< payload processed; 0 = not a data span
+    int depth = 0;               ///< ScopedSpan nesting depth at start
+  };
+  struct CounterRec {
+    std::string name;
+    std::uint64_t ts_ns = 0;
+    double value = 0;
+  };
+  struct ThreadTrack {
+    int tid = 0;
+    std::string name;
+    std::vector<SpanRec> spans;
+    std::vector<CounterRec> counters;
+  };
+
+  Tracer();
+
+  /// The process-wide tracer every built-in instrumentation site records to.
+  static Tracer& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since this tracer's epoch (monotonic).
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Name the calling thread's track ("pool/worker0", "pipe/encode", ...).
+  /// Cheap and callable any time; the name sticks to spans recorded later.
+  static void set_thread_name(const std::string& name);
+
+  /// Append a finished span to the calling thread's buffer. No-op while
+  /// disabled. Used by ScopedSpan and by sites that measured the interval
+  /// themselves (queue-wait time).
+  void record_span(const std::string& name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, std::uint64_t bytes = 0);
+
+  /// Sampled counter (queue depth, in-flight items). No-op while disabled.
+  void record_counter(const std::string& name, double value);
+
+  /// Everything recorded so far, grouped per thread (tids are assigned in
+  /// registration order). Safe to call concurrently with recording.
+  std::vector<ThreadTrack> snapshot() const;
+
+  std::size_t span_count() const;
+
+  /// Drop all recorded spans/counters; thread registrations survive.
+  void clear();
+
+  /// Append one process named `process_name` holding every recorded track.
+  void export_to(ChromeTraceWriter& w, const std::string& process_name) const;
+
+ private:
+  struct ThreadBuf {
+    std::mutex mu;
+    int tid = 0;
+    std::string name;
+    std::vector<SpanRec> spans;
+    std::vector<CounterRec> counters;
+    int live_depth = 0;  // only touched by the owning thread
+  };
+
+  ThreadBuf* thread_buf();
+
+  friend class ScopedSpan;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t tracer_id_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuf>> threads_;
+};
+
+/// RAII span: records [construction, destruction) on the calling thread.
+/// Decides at construction whether the tracer is enabled — a span opened
+/// while disabled stays disabled even if the tracer is enabled mid-span.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string& name, std::uint64_t bytes = 0)
+      : ScopedSpan(Tracer::global(), name, bytes) {}
+
+  ScopedSpan(Tracer& tracer, const std::string& name, std::uint64_t bytes = 0);
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+  /// Attach/override the payload size (known only after the work ran).
+  void set_bytes(std::uint64_t bytes) { bytes_ = bytes; }
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null = disabled at construction
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace eccheck::obs

@@ -5,34 +5,49 @@
 // while the upstream thread continues with the next buffer. This template
 // captures that pattern for any movable item type; stage functions run on
 // dedicated threads and items flow in FIFO order.
+//
+// Each stage thread accounts its own wall time three ways: busy (inside the
+// stage function), blocked (waiting on an empty upstream or full downstream
+// queue) and total thread lifetime — busy + blocked ≈ wall per stage, which
+// is what tells an undersized stage from a starved one. With the global
+// obs::Tracer enabled, every item processed becomes a span on a named
+// "pipe/<stage>" track.
 #pragma once
 
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "runtime/bounded_queue.hpp"
 
 namespace eccheck::runtime {
 
 struct PipelineStats {
-  std::vector<double> stage_busy_seconds;  ///< per-stage time in stage fn
+  std::vector<double> stage_busy_seconds;     ///< per-stage time in stage fn
+  std::vector<double> stage_blocked_seconds;  ///< per-stage queue wait time
+  std::vector<double> stage_wall_seconds;     ///< per-stage thread lifetime
   double wall_seconds = 0.0;
 };
 
 /// Run `items` through `stages` (each mutates the item in place) with one
 /// thread per stage and `queue_capacity` slots between adjacent stages.
 /// Items keep their input order. Exceptions in a stage propagate to the
-/// caller after all threads are joined.
+/// caller after all threads are joined. `stage_names` (optional, parallel to
+/// `stages`) labels trace tracks and spans; unnamed stages get "stage<i>".
 template <typename T>
 PipelineStats run_pipeline(std::vector<T>& items,
                            const std::vector<std::function<void(T&)>>& stages,
-                           std::size_t queue_capacity = 4) {
+                           std::size_t queue_capacity = 4,
+                           const std::vector<std::string>& stage_names = {}) {
   using Clock = std::chrono::steady_clock;
   PipelineStats stats;
   stats.stage_busy_seconds.assign(stages.size(), 0.0);
+  stats.stage_blocked_seconds.assign(stages.size(), 0.0);
+  stats.stage_wall_seconds.assign(stages.size(), 0.0);
   const auto wall_start = Clock::now();
 
   if (stages.empty() || items.empty()) return stats;
@@ -48,18 +63,40 @@ PipelineStats run_pipeline(std::vector<T>& items,
 
   for (std::size_t s = 0; s < stages.size(); ++s) {
     threads.emplace_back([&, s] {
+      const std::string name = s < stage_names.size() && !stage_names[s].empty()
+                                   ? stage_names[s]
+                                   : "stage" + std::to_string(s);
+      obs::Tracer::set_thread_name("pipe/" + name);
+      auto& tracer = obs::Tracer::global();
+      const auto thread_start = Clock::now();
+      // Each thread writes only its own slot; no synchronization needed.
+      double busy = 0, blocked = 0;
       try {
         auto process = [&](std::size_t idx) {
           const auto t0 = Clock::now();
-          stages[s](items[idx]);
-          stats.stage_busy_seconds[s] +=
-              std::chrono::duration<double>(Clock::now() - t0).count();
-          if (s + 1 < stages.size()) queues[s]->push(idx);
+          {
+            obs::ScopedSpan span(tracer, name);
+            stages[s](items[idx]);
+          }
+          busy += std::chrono::duration<double>(Clock::now() - t0).count();
+          if (s + 1 < stages.size()) {
+            const auto p0 = Clock::now();
+            queues[s]->push(idx);
+            const auto p1 = Clock::now();
+            blocked += std::chrono::duration<double>(p1 - p0).count();
+          }
         };
         if (s == 0) {
           for (std::size_t i = 0; i < items.size(); ++i) process(i);
         } else {
-          while (auto idx = queues[s - 1]->pop()) process(*idx);
+          for (;;) {
+            const auto w0 = Clock::now();
+            auto idx = queues[s - 1]->pop();
+            const auto w1 = Clock::now();
+            blocked += std::chrono::duration<double>(w1 - w0).count();
+            if (!idx) break;
+            process(*idx);
+          }
         }
       } catch (...) {
         errors[s] = std::current_exception();
@@ -67,6 +104,10 @@ PipelineStats run_pipeline(std::vector<T>& items,
         if (s > 0) queues[s - 1]->close();
       }
       if (s + 1 < stages.size()) queues[s]->close();
+      stats.stage_busy_seconds[s] = busy;
+      stats.stage_blocked_seconds[s] = blocked;
+      stats.stage_wall_seconds[s] =
+          std::chrono::duration<double>(Clock::now() - thread_start).count();
     });
   }
   for (auto& t : threads) t.join();

@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   ECC_CHECK(num_threads >= 1);
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -22,29 +22,45 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
   current_pool_ = this;
+  obs::Tracer::set_thread_name("pool/worker" + std::to_string(index));
+  auto& tracer = obs::Tracer::global();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    std::size_t depth;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
     }
-    task();
+    // Queue-wait vs. run time: the wait span covers [submit, dequeue) and
+    // the run span [dequeue, done), both on this worker's track.
+    if (task.enqueue_ns && tracer.enabled()) {
+      const std::uint64_t deq = tracer.now_ns();
+      tracer.record_counter("pool.queue_depth", static_cast<double>(depth));
+      tracer.record_span("pool.wait", task.enqueue_ns, deq);
+      task.fn();
+      tracer.record_span(task.label, deq, tracer.now_ns());
+    } else {
+      task.fn();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const char* label) {
   if (n == 0) return;
   if (on_worker_thread()) {
     // Re-entrant call from one of our own workers: blocking in future::get()
     // would wait on chunks queued *behind* the current task — with every
     // worker busy that never drains (single-thread pools deadlock
     // immediately). The caller already owns a worker, so run inline.
+    obs::ScopedSpan span(label);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -54,9 +70,11 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = n * c / chunks;
     const std::size_t end = n * (c + 1) / chunks;
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    futures.push_back(submit(
+        [&fn, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        },
+        label));
   }
   for (auto& f : futures) f.get();
 }

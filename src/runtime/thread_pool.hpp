@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/tracer.hpp"
 
 namespace eccheck::runtime {
 
@@ -29,17 +30,29 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Enqueue a task; the future resolves when it finishes (exceptions
-  /// propagate through the future).
+  /// propagate through the future). `label` names the task's run span in
+  /// wall-clock traces; it must outlive the task (string literals do).
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& f, const char* label = "pool.task")
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    auto& tracer = obs::Tracer::global();
+    QueuedTask qt;
+    qt.fn = [task] { (*task)(); };
+    qt.label = label;
+    if (tracer.enabled()) qt.enqueue_ns = tracer.now_ns();
+    const bool traced = qt.enqueue_ns != 0;
+    std::size_t depth;
     {
       std::lock_guard lock(mu_);
       ECC_CHECK_MSG(!stopping_, "submit on a stopped ThreadPool");
-      queue_.push([task] { (*task)(); });
+      queue_.push(std::move(qt));
+      depth = queue_.size();
     }
+    if (traced)
+      tracer.record_counter("pool.queue_depth", static_cast<double>(depth));
     cv_.notify_one();
     return fut;
   }
@@ -49,14 +62,20 @@ class ThreadPool {
   /// from inside a pool task: a pool-resident caller runs the loop inline
   /// instead of blocking on chunks queued behind its own task (which would
   /// deadlock a saturated pool).
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const char* label = "parallel_for");
 
   /// True when the calling thread is one of *this* pool's workers.
   bool on_worker_thread() const { return current_pool_ == this; }
 
  private:
-  void worker_loop();
+  struct QueuedTask {
+    std::function<void()> fn;
+    const char* label = "pool.task";
+    std::uint64_t enqueue_ns = 0;  ///< 0 = tracer was disabled at submit
+  };
+
+  void worker_loop(unsigned index);
 
   // Which pool (if any) the current thread is a worker of; lets
   // parallel_for detect re-entrant calls from its own workers.
@@ -65,7 +84,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   bool stopping_ = false;
 };
 

@@ -1,0 +1,166 @@
+// Test-only JSON helpers shared by the observability and tracing tests.
+//
+// JsonChecker is a minimal RFC 8259 syntax checker — enough to prove the
+// exporters emit loadable documents without pulling in a parser dependency.
+// (The runtime obs::JsonValue parser is itself under test elsewhere, so the
+// tests deliberately keep an independent implementation.)
+#pragma once
+
+#include <cctype>
+#include <cstring>
+#include <set>
+#include <string>
+
+namespace eccheck::testutil {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip();
+    if (!value()) return false;
+    skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip();
+      if (!string()) return false;
+      skip();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip();
+      if (!value()) return false;
+      skip();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip();
+      if (!value()) return false;
+      skip();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  void skip() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline std::size_t count_occurrences(const std::string& hay,
+                                     const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(pat); p != std::string::npos;
+       p = hay.find(pat, p + pat.size()))
+    ++n;
+  return n;
+}
+
+/// Distinct values of `"name":"<value>"` in a serialized trace.
+inline std::set<std::string> trace_names(const std::string& json) {
+  std::set<std::string> names;
+  const std::string pat = "\"name\":\"";
+  for (std::size_t p = json.find(pat); p != std::string::npos;
+       p = json.find(pat, p + 1)) {
+    const std::size_t start = p + pat.size();
+    const std::size_t end = json.find('"', start);
+    if (end != std::string::npos) names.insert(json.substr(start, end - start));
+  }
+  return names;
+}
+
+}  // namespace eccheck::testutil

@@ -3,9 +3,9 @@
 // engine reports.
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <cmath>
 #include <cstdint>
-#include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -16,162 +16,16 @@
 #include "core/eccheck_engine.hpp"
 #include "dnn/checkpoint_gen.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
 #include "obs/stats.hpp"
+#include "tests/json_checker.hpp"
 
 namespace eccheck {
 namespace {
 
-// --- a minimal JSON syntax checker ------------------------------------------
-// Enough of RFC 8259 to prove the exporters emit loadable documents without
-// pulling in a parser dependency.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-
-  bool valid() {
-    skip();
-    if (!value()) return false;
-    skip();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip();
-    if (peek() == '}') { ++pos_; return true; }
-    for (;;) {
-      skip();
-      if (!string()) return false;
-      skip();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip();
-      if (!value()) return false;
-      skip();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip();
-    if (peek() == ']') { ++pos_; return true; }
-    for (;;) {
-      skip();
-      if (!value()) return false;
-      skip();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      char c = s_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() || !std::isxdigit(
-                    static_cast<unsigned char>(s_[pos_])))
-              return false;
-          }
-        } else if (!std::strchr("\"\\/bfnrt", e)) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    if (!digits()) return false;
-    if (peek() == '.') {
-      ++pos_;
-      if (!digits()) return false;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!digits()) return false;
-    }
-    return pos_ > start;
-  }
-
-  bool digits() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           std::isdigit(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-    return pos_ > start;
-  }
-
-  bool literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  void skip() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
-  std::size_t n = 0;
-  for (std::size_t p = hay.find(pat); p != std::string::npos;
-       p = hay.find(pat, p + pat.size()))
-    ++n;
-  return n;
-}
-
-/// Distinct values of `"name":"<value>"` in a serialized trace.
-std::set<std::string> trace_names(const std::string& json) {
-  std::set<std::string> names;
-  const std::string pat = "\"name\":\"";
-  for (std::size_t p = json.find(pat); p != std::string::npos;
-       p = json.find(pat, p + 1)) {
-    const std::size_t start = p + pat.size();
-    const std::size_t end = json.find('"', start);
-    if (end != std::string::npos) names.insert(json.substr(start, end - start));
-  }
-  return names;
-}
+using testutil::JsonChecker;
+using testutil::count_occurrences;
+using testutil::trace_names;
 
 // --- StatsRegistry -----------------------------------------------------------
 
@@ -203,6 +57,47 @@ TEST(StatsRegistry, CountersGaugesHistograms) {
   EXPECT_TRUE(reg.counters().empty());
   EXPECT_TRUE(reg.gauges().empty());
   EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST(StatsRegistry, HistogramStreamingVariance) {
+  // Welford accumulation: stddev without retaining samples.
+  obs::StatsRegistry reg;
+  for (double s : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    reg.observe("h", s);
+  auto h = reg.histograms().at("h");
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  // Sample variance (n-1) of the classic example set is 32/7.
+  EXPECT_NEAR(h.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(h.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+
+  obs::HistSummary single;
+  single.observe(3.25);
+  EXPECT_DOUBLE_EQ(single.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(single.stddev(), 0.0);
+
+  // stddev shows up in (valid) JSON output.
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"stddev\""), std::string::npos);
+}
+
+TEST(JsonNumber, RoundTripsAndGuardsNonFinite) {
+  // Round-trip: the serialized decimal parses back to the identical double.
+  for (double v : {0.0, 1.0 / 3.0, 4.9809042337804672e-07, 1e300,
+                   123456789.123456789, -0.1}) {
+    const std::string s = obs::json_number(v);
+    EXPECT_TRUE(JsonChecker(s).valid()) << s;
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  // Integral values below 2^50 print without an exponent (readable counters).
+  EXPECT_EQ(obs::json_number(42.0), "42");
+  EXPECT_EQ(obs::json_number(502232980140.0), "502232980140");
+  // IEEE specials have no JSON spelling: serialize as null, not "inf"/"nan".
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
 }
 
 TEST(StatsRegistry, DeltaReportsOnlyMovedKeys) {

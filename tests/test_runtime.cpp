@@ -199,6 +199,41 @@ TEST(Pipeline, ReportsStats) {
   EXPECT_GT(stats.wall_seconds, 0.0);
 }
 
+TEST(Pipeline, BusyPlusBlockedAccountsForStageWall) {
+  // Stage threads are only ever inside the stage fn (busy) or a queue op
+  // (blocked); per-stage busy + blocked must therefore fill the stage's
+  // thread lifetime up to loop overhead. A slow producer makes stage 1
+  // mostly blocked, which the split must expose.
+  std::vector<int> items(8, 0);
+  std::vector<std::function<void(int&)>> stages = {
+      [](int&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(4));
+      },
+      [](int&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      },
+  };
+  auto stats = run_pipeline(items, stages, 2, {"slow_src", "fast_sink"});
+  ASSERT_EQ(stats.stage_blocked_seconds.size(), 2u);
+  ASSERT_EQ(stats.stage_wall_seconds.size(), 2u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    const double busy = stats.stage_busy_seconds[s];
+    const double blocked = stats.stage_blocked_seconds[s];
+    const double wall = stats.stage_wall_seconds[s];
+    EXPECT_GT(wall, 0.0);
+    // Accounted time never exceeds the thread's lifetime (small scheduling
+    // slack allowed)...
+    EXPECT_LE(busy + blocked, wall + 0.005);
+    // ...and covers most of it: the thread does nothing else.
+    EXPECT_GE(busy + blocked, 0.5 * wall);
+  }
+  // The starved consumer spends more time blocked than working.
+  EXPECT_GT(stats.stage_blocked_seconds[1], stats.stage_busy_seconds[1]);
+  // Both stage threads live for roughly the whole pipeline run.
+  EXPECT_GE(stats.stage_wall_seconds[0], 0.8 * stats.wall_seconds);
+  EXPECT_GE(stats.stage_wall_seconds[1], 0.8 * stats.wall_seconds);
+}
+
 TEST(Pipeline, PropagatesStageExceptions) {
   std::vector<int> items(8, 0);
   std::vector<std::function<void(int&)>> stages = {

@@ -1,0 +1,260 @@
+// obs::Tracer tests: disabled cost model, concurrent recording, per-thread
+// span nesting, Chrome-trace export validity, and the built-in thread-pool /
+// pipeline / codec instrumentation sites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ec/parallel_codec.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tests/json_checker.hpp"
+
+namespace eccheck {
+namespace {
+
+using testutil::JsonChecker;
+using testutil::count_occurrences;
+using testutil::trace_names;
+
+TEST(Tracer, DisabledRecordsNothing) {
+  obs::Tracer t;  // disabled by default
+  EXPECT_FALSE(t.enabled());
+  {
+    obs::ScopedSpan span(t, "never");
+    EXPECT_FALSE(span.active());
+  }
+  t.record_span("manual", 0, 10);
+  t.record_counter("depth", 3);
+  EXPECT_EQ(t.span_count(), 0u);
+  for (const auto& track : t.snapshot()) {
+    EXPECT_TRUE(track.spans.empty());
+    EXPECT_TRUE(track.counters.empty());
+  }
+}
+
+TEST(Tracer, SpanOpenedWhileDisabledStaysDisabled) {
+  obs::Tracer t;
+  {
+    obs::ScopedSpan span(t, "opened_disabled");
+    t.enable();
+  }  // destructor runs with the tracer enabled — still must not record
+  t.disable();
+  EXPECT_EQ(t.span_count(), 0u);
+}
+
+TEST(Tracer, ConcurrentThreadsExportValidChromeTrace) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  obs::Tracer t;
+  t.enable();
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t, i] {
+      obs::Tracer::set_thread_name("worker" + std::to_string(i));
+      for (int s = 0; s < kSpansPerThread; ++s) {
+        obs::ScopedSpan outer(t, "outer");
+        obs::ScopedSpan inner(t, "inner", /*bytes=*/4096);
+        t.record_counter("iteration", s);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  t.disable();
+
+  EXPECT_EQ(t.span_count(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+
+  obs::ChromeTraceWriter w;
+  t.export_to(w, "tracer test");
+  std::ostringstream os;
+  w.write(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // Every thread track is named, and byte-carrying spans get a rate arg.
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""),
+            static_cast<std::size_t>(kThreads));
+  EXPECT_NE(json.find("worker0"), std::string::npos);
+  EXPECT_NE(json.find("\"GiB_per_s\""), std::string::npos);
+  auto names = trace_names(json);
+  EXPECT_TRUE(names.count("outer"));
+  EXPECT_TRUE(names.count("inner"));
+}
+
+TEST(Tracer, SpansNestWellFormedPerThread) {
+  obs::Tracer t;
+  t.enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        obs::ScopedSpan a(t, "a");
+        {
+          obs::ScopedSpan b(t, "b");
+          obs::ScopedSpan c(t, "c");
+        }
+        obs::ScopedSpan d(t, "d");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  t.disable();
+
+  for (const auto& track : t.snapshot()) {
+    // Any two spans on one thread either nest or are disjoint — a partial
+    // overlap would mean the per-thread buffers mixed records across
+    // threads or ScopedSpan lifetimes interleaved impossibly.
+    const auto& sp = track.spans;
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      for (std::size_t j = i + 1; j < sp.size(); ++j) {
+        const bool disjoint =
+            sp[i].end_ns <= sp[j].start_ns || sp[j].end_ns <= sp[i].start_ns;
+        const bool i_in_j = sp[j].start_ns <= sp[i].start_ns &&
+                            sp[i].end_ns <= sp[j].end_ns;
+        const bool j_in_i = sp[i].start_ns <= sp[j].start_ns &&
+                            sp[j].end_ns <= sp[i].end_ns;
+        ASSERT_TRUE(disjoint || i_in_j || j_in_i)
+            << sp[i].name << " [" << sp[i].start_ns << "," << sp[i].end_ns
+            << ") vs " << sp[j].name << " [" << sp[j].start_ns << ","
+            << sp[j].end_ns << ")";
+      }
+    }
+    for (const auto& s : sp) {
+      EXPECT_LE(s.start_ns, s.end_ns);
+      EXPECT_GE(s.depth, 0);
+    }
+  }
+}
+
+TEST(Tracer, ClearDropsSpansButKeepsRegistrations) {
+  obs::Tracer t;
+  t.enable();
+  { obs::ScopedSpan span(t, "x"); }
+  EXPECT_EQ(t.span_count(), 1u);
+  t.clear();
+  EXPECT_EQ(t.span_count(), 0u);
+  { obs::ScopedSpan span(t, "y"); }
+  EXPECT_EQ(t.span_count(), 1u);
+}
+
+// --- built-in instrumentation sites ----------------------------------------
+// These run against the global tracer (the sites are hardwired to it), so
+// each test enables, runs, disables, snapshots, and clears.
+
+std::set<std::string> global_span_names() {
+  std::set<std::string> names;
+  for (const auto& track : obs::Tracer::global().snapshot())
+    for (const auto& s : track.spans) names.insert(s.name);
+  return names;
+}
+
+TEST(TracerSites, ThreadPoolRecordsWaitRunAndQueueDepth) {
+  auto& t = obs::Tracer::global();
+  t.clear();
+  t.enable();
+  {
+    runtime::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 16; ++i)
+      futs.push_back(pool.submit([&] { ++ran; }, "test.task"));
+    for (auto& f : futs) f.get();
+    EXPECT_EQ(ran.load(), 16);
+    pool.parallel_for(32, [&](std::size_t) { ++ran; }, "test.chunks");
+    EXPECT_EQ(ran.load(), 48);
+  }
+  t.disable();
+
+  auto names = global_span_names();
+  EXPECT_TRUE(names.count("pool.wait"));
+  EXPECT_TRUE(names.count("test.task"));
+  EXPECT_TRUE(names.count("test.chunks"));
+  bool saw_worker = false, saw_depth = false;
+  for (const auto& track : t.snapshot()) {
+    if (track.name.rfind("pool/worker", 0) == 0 && !track.spans.empty())
+      saw_worker = true;
+    for (const auto& c : track.counters)
+      if (c.name == "pool.queue_depth") saw_depth = true;
+  }
+  EXPECT_TRUE(saw_worker);
+  EXPECT_TRUE(saw_depth);
+  t.clear();
+}
+
+TEST(TracerSites, PipelineStagesBecomeNamedTracks) {
+  auto& t = obs::Tracer::global();
+  t.clear();
+  t.enable();
+  std::vector<int> items(12, 0);
+  std::vector<std::function<void(int&)>> stages = {
+      [](int& v) { v += 1; },
+      [](int& v) { v *= 2; },
+  };
+  runtime::run_pipeline(items, stages, 2, {"double_in", "double_out"});
+  t.disable();
+
+  for (int v : items) EXPECT_EQ(v, 2);
+  std::set<std::string> track_names;
+  for (const auto& track : t.snapshot())
+    if (!track.spans.empty()) track_names.insert(track.name);
+  EXPECT_TRUE(track_names.count("pipe/double_in"));
+  EXPECT_TRUE(track_names.count("pipe/double_out"));
+  auto names = global_span_names();
+  EXPECT_TRUE(names.count("double_in"));
+  EXPECT_TRUE(names.count("double_out"));
+  t.clear();
+}
+
+TEST(TracerSites, CodecSlicesCarryBytes) {
+  auto& t = obs::Tracer::global();
+  t.clear();
+  t.enable();
+  {
+    const ec::CrsCodec codec(2, 2, 8, ec::KernelMode::kGfTable);
+    runtime::ThreadPool pool(2);
+    const ec::ParallelCodec pcodec(codec, pool, /*slice_bytes=*/1024);
+    const std::size_t P = 8192;
+    std::vector<Buffer> data, parity;
+    for (int i = 0; i < 2; ++i) {
+      data.emplace_back(P, Buffer::Init::kUninitialized);
+      fill_random(data.back().span(), static_cast<std::uint64_t>(i) + 1);
+      parity.emplace_back(P, Buffer::Init::kZeroed);
+    }
+    std::vector<ByteSpan> in = {data[0].span(), data[1].span()};
+    std::vector<MutableByteSpan> out = {parity[0].span(), parity[1].span()};
+    pcodec.encode(in, out);
+  }
+  t.disable();
+
+  std::uint64_t slice_bytes = 0;
+  bool saw_encode = false;
+  for (const auto& track : t.snapshot()) {
+    for (const auto& s : track.spans) {
+      if (s.name == "codec.slice") slice_bytes += s.bytes;
+      if (s.name == "codec.encode") {
+        saw_encode = true;
+        EXPECT_EQ(s.bytes, 8192u * 2);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_encode);
+  // encode slices the packet range once (each slice handles every row for
+  // its byte range), so slice spans account for exactly P bytes.
+  EXPECT_EQ(slice_bytes, 8192u);
+  t.clear();
+}
+
+}  // namespace
+}  // namespace eccheck
