@@ -1,0 +1,130 @@
+// chaos_cli: run randomized fault-injection campaigns against the Session
+// API and report invariant verdicts as JSON lines.
+//
+//   chaos_cli                                   # default: 4 seeds x 64 events
+//   chaos_cli --seed 42 --events 200            # one long campaign
+//   chaos_cli --seed 7 --campaigns 8 --flush    # seeds 7..14 with remote flush
+//   chaos_cli --jsonl events.jsonl              # per-event log for debugging
+//
+// One summary line per campaign goes to stdout (seed, event counts, invariant
+// verdicts, detection/recovery latency summaries). On any invariant violation
+// the process exits 1 and prints the exact command line that replays the
+// failing campaign — determinism is the whole point: same seed, same schedule,
+// same failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "chaos/runner.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace eccheck;
+
+struct Options {
+  chaos::ChaosConfig chaos;
+  int campaigns = 4;
+  std::size_t packet_kib = 8;
+  std::string jsonl;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seed N          first campaign seed (default 1)\n"
+      "  --campaigns N     number of campaigns, seeds seed..seed+N-1 "
+      "(default 4)\n"
+      "  --events N        events per campaign (default 64)\n"
+      "  --nodes N         cluster nodes (default 4)\n"
+      "  --gpus N          GPUs per node (default 2)\n"
+      "  --k N --m N       data/parity split, k+m == nodes (default 2+2)\n"
+      "  --retain N        versions kept in host memory (default 2)\n"
+      "  --packet-kib N    coding packet size (default 8)\n"
+      "  --flush           enable step-4 remote flush\n"
+      "  --jsonl FILE      append one JSON line per event/violation\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) {
+    if (++i >= argc) usage(argv[0]);
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--seed"))
+      o.chaos.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    else if (!std::strcmp(a, "--campaigns"))
+      o.campaigns = std::atoi(need(i));
+    else if (!std::strcmp(a, "--events"))
+      o.chaos.events = std::atoi(need(i));
+    else if (!std::strcmp(a, "--nodes"))
+      o.chaos.num_nodes = std::atoi(need(i));
+    else if (!std::strcmp(a, "--gpus"))
+      o.chaos.gpus_per_node = std::atoi(need(i));
+    else if (!std::strcmp(a, "--k"))
+      o.chaos.k = std::atoi(need(i));
+    else if (!std::strcmp(a, "--m"))
+      o.chaos.m = std::atoi(need(i));
+    else if (!std::strcmp(a, "--retain"))
+      o.chaos.retain_versions = std::atoi(need(i));
+    else if (!std::strcmp(a, "--packet-kib"))
+      o.packet_kib = static_cast<std::size_t>(std::atoll(need(i)));
+    else if (!std::strcmp(a, "--flush"))
+      o.chaos.flush_to_remote = true;
+    else if (!std::strcmp(a, "--jsonl"))
+      o.jsonl = need(i);
+    else
+      usage(argv[0]);
+  }
+  o.chaos.packet_size = kib(o.packet_kib);
+  if (o.campaigns < 1) usage(argv[0]);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+
+  std::ofstream jsonl_file;
+  std::ostream* jsonl = nullptr;
+  if (!o.jsonl.empty()) {
+    jsonl_file.open(o.jsonl, std::ios::app);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s for append\n", o.jsonl.c_str());
+      return 2;
+    }
+    jsonl = &jsonl_file;
+  }
+
+  int rc = 0;
+  const std::uint64_t base_seed = o.chaos.seed;
+  for (int c = 0; c < o.campaigns; ++c) {
+    chaos::ChaosConfig cfg = o.chaos;
+    cfg.seed = base_seed + static_cast<std::uint64_t>(c);
+    chaos::ChaosRunner runner(cfg, jsonl);
+    const chaos::CampaignSummary& s = runner.run();
+    std::printf("%s\n", s.to_json().c_str());
+    if (s.violations > 0) {
+      rc = 1;
+      for (const std::string& msg : s.violation_messages)
+        std::fprintf(stderr, "VIOLATION %s\n", msg.c_str());
+      std::fprintf(stderr,
+                   "replay: %s --seed %llu --campaigns 1 --events %d "
+                   "--nodes %d --gpus %d --k %d --m %d --retain %d "
+                   "--packet-kib %zu%s\n",
+                   argv[0],
+                   static_cast<unsigned long long>(cfg.seed), cfg.events,
+                   cfg.num_nodes, cfg.gpus_per_node, cfg.k, cfg.m,
+                   cfg.retain_versions, o.packet_kib,
+                   cfg.flush_to_remote ? " --flush" : "");
+    }
+  }
+  return rc;
+}

@@ -8,6 +8,7 @@
 //   eccheck_cli --nodes 8 --gpus 2 --k 4 --m 4 --fail 0,3,5,6
 //   eccheck_cli --engine grouped --nodes 8 --group-size 4 --fail 0,1,4,5
 //   eccheck_cli --model 20b --flush --fail 0,1,2  # remote rescue
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -96,8 +97,14 @@ Options parse(int argc, char** argv) {
     else if (!std::strcmp(a, "--fail")) {
       std::stringstream ss(need(i));
       std::string part;
-      while (std::getline(ss, part, ','))
-        o.failures.push_back(std::atoi(part.c_str()));
+      while (std::getline(ss, part, ',')) {
+        const int node = std::atoi(part.c_str());
+        // Deduplicate: kill() rejects already-dead nodes, and a user typing
+        // --fail 1,1 means one failure of node 1, not two.
+        if (std::find(o.failures.begin(), o.failures.end(), node) ==
+            o.failures.end())
+          o.failures.push_back(node);
+      }
     } else {
       usage(argv[0]);
     }
@@ -273,6 +280,12 @@ int main(int argc, char** argv) {
     return finish(0);
   }
 
+  for (int f : o.failures) {
+    if (f < 0 || f >= o.nodes) {
+      std::printf("--fail node %d out of range [0, %d)\n", f, o.nodes);
+      return finish(2);
+    }
+  }
   std::printf("failing : nodes");
   for (int f : o.failures) {
     std::printf(" %d", f);

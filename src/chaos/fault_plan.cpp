@@ -1,0 +1,25 @@
+#include "chaos/fault_plan.hpp"
+
+namespace eccheck::chaos {
+
+void FaultPlan::on_fabric_op(cluster::VirtualCluster& cluster,
+                             const cluster::FabricOp& op) {
+  const std::uint64_t at = op_count_++;
+  if (armed_.empty()) return;
+  for (auto it = armed_.begin(); it != armed_.end();) {
+    if (it->at_op <= at) {
+      // A trigger aimed at a node that already died (e.g. two triggers on
+      // the same slot) is consumed without firing: a slot fails at most
+      // once per replace.
+      if (cluster.alive(it->node)) {
+        cluster.kill(it->node);
+        fired_.push_back({at, it->node, op.kind});
+      }
+      it = armed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace eccheck::chaos

@@ -1,0 +1,64 @@
+// FaultPlan: deterministic mid-operation failure injection.
+//
+// A FaultPlan installs as the cluster's FaultHook and counts every
+// byte-moving fabric operation. Armed triggers name an absolute operation
+// index; when the counter reaches it, the plan kill()s the target node at
+// the *start* of that fabric op — before its bytes land — so the enclosing
+// engine operation aborts with realistic partial state (everything already
+// committed stays, nothing after the fault arrives, no commit marker).
+//
+// The operation counter runs for the cluster's lifetime and is never reset,
+// so a trigger's placement is reproducible from (seed, armed offset) alone:
+// the chaos schedule generator derives offsets from a campaign seed and the
+// ChaosRunner arms them relative to op_count() at arm time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace eccheck::chaos {
+
+/// Kill `node` at the start of the fabric op with absolute index `at_op`
+/// (indices are 0-based and assigned in call order).
+struct Trigger {
+  std::uint64_t at_op = 0;
+  int node = 0;
+};
+
+/// Record of a trigger that actually fired.
+struct Fired {
+  std::uint64_t at_op = 0;  ///< op index the kill landed on
+  int node = 0;
+  cluster::FabricOp::Kind during = cluster::FabricOp::Kind::kNetSend;
+};
+
+class FaultPlan final : public cluster::FaultHook {
+ public:
+  /// Replace the armed trigger set. Triggers whose at_op is already in the
+  /// past fire on the very next fabric op.
+  void arm(std::vector<Trigger> triggers) { armed_ = std::move(triggers); }
+
+  /// Drop all armed (unfired) triggers.
+  void disarm() { armed_.clear(); }
+
+  bool armed() const { return !armed_.empty(); }
+
+  /// Index the next fabric op will be assigned.
+  std::uint64_t op_count() const { return op_count_; }
+
+  /// Kills that actually landed since the last clear_fired().
+  const std::vector<Fired>& fired() const { return fired_; }
+  void clear_fired() { fired_.clear(); }
+
+  void on_fabric_op(cluster::VirtualCluster& cluster,
+                    const cluster::FabricOp& op) override;
+
+ private:
+  std::vector<Trigger> armed_;
+  std::vector<Fired> fired_;
+  std::uint64_t op_count_ = 0;
+};
+
+}  // namespace eccheck::chaos

@@ -1,0 +1,115 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace eccheck::chaos {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTrain: return "train";
+    case EventKind::kSave: return "save";
+    case EventKind::kKill: return "kill";
+    case EventKind::kMidSaveKill: return "mid_save_kill";
+    case EventKind::kMidLoadKill: return "mid_load_kill";
+    case EventKind::kCorrupt: return "corrupt";
+    case EventKind::kRecover: return "recover";
+  }
+  return "?";
+}
+
+std::vector<ChaosEvent> generate_schedule(const ChaosConfig& cfg) {
+  ECC_CHECK_MSG(cfg.events >= 2,
+                "a chaos schedule needs at least the leading save and the "
+                "trailing recover");
+  ECC_CHECK(cfg.num_nodes >= 2);
+  ECC_CHECK(cfg.k >= 1 && cfg.m >= 1);
+  SplitMix64 rng(cfg.seed);
+
+  // Every event draws its full parameter sweep regardless of kind, so the
+  // generator consumes a fixed per-event prefix of the stream and schedules
+  // stay stable under weight changes of *later* events.
+  auto make = [&](EventKind kind) {
+    ChaosEvent e;
+    e.kind = kind;
+    e.detect_heartbeat = 0.1 + rng.next_double() * 1.9;
+    e.detect_timeout = e.detect_heartbeat * (1.0 + rng.next_double() * 4.0);
+    e.detect_quorum =
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                std::max(1, cfg.num_nodes - 1))));
+    e.replace_delay = rng.next_double() * 5.0;
+    e.train_seconds = 0.2 + rng.next_double() * 2.0;
+    e.op_frac = rng.next_double();
+    return e;
+  };
+  auto draw_picks = [&](ChaosEvent& e, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) e.picks.push_back(rng.next());
+  };
+
+  std::vector<ChaosEvent> out;
+  out.reserve(static_cast<std::size_t>(cfg.events));
+  out.push_back(make(EventKind::kSave));
+
+  const double total = cfg.w_train + cfg.w_save + cfg.w_kill + cfg.w_burst +
+                       cfg.w_mid_save + cfg.w_mid_load + cfg.w_corrupt +
+                       cfg.w_recover;
+  ECC_CHECK_MSG(total > 0, "all chaos event weights are zero");
+
+  for (int i = 0; i + 2 < cfg.events; ++i) {
+    double r = rng.next_double() * total;
+    EventKind kind = EventKind::kRecover;
+    bool burst = false;
+    if ((r -= cfg.w_train) < 0) {
+      kind = EventKind::kTrain;
+    } else if ((r -= cfg.w_save) < 0) {
+      kind = EventKind::kSave;
+    } else if ((r -= cfg.w_kill) < 0) {
+      kind = EventKind::kKill;
+    } else if ((r -= cfg.w_burst) < 0) {
+      kind = EventKind::kKill;
+      burst = true;
+    } else if ((r -= cfg.w_mid_save) < 0) {
+      kind = EventKind::kMidSaveKill;
+    } else if ((r -= cfg.w_mid_load) < 0) {
+      kind = EventKind::kMidLoadKill;
+    } else if ((r -= cfg.w_corrupt) < 0) {
+      kind = EventKind::kCorrupt;
+    }
+
+    ChaosEvent e = make(kind);
+    switch (kind) {
+      case EventKind::kKill: {
+        std::size_t nk = 1;
+        if (burst) {
+          // Correlated rack burst: 2 .. min(m+1, num_nodes−1) concurrent
+          // kills. The m+1 upper end is a deliberately catastrophic
+          // (> m) loss; the num_nodes−1 cap always leaves one observer.
+          const std::uint64_t hi = static_cast<std::uint64_t>(
+              std::min(cfg.m + 1, cfg.num_nodes - 1));
+          nk = hi >= 2 ? 2 + rng.next_below(hi - 1) : 1;
+        }
+        draw_picks(e, nk);
+        break;
+      }
+      case EventKind::kMidSaveKill:
+        draw_picks(e, 1);  // victim of the in-save kill
+        break;
+      case EventKind::kMidLoadKill:
+        draw_picks(e, 2);  // pre-load victim + in-load victim
+        break;
+      case EventKind::kCorrupt:
+        draw_picks(e, 3);  // node, chunk key, byte offset
+        break;
+      default:
+        break;
+    }
+    out.push_back(std::move(e));
+  }
+
+  out.push_back(make(EventKind::kRecover));
+  return out;
+}
+
+}  // namespace eccheck::chaos

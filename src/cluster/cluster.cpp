@@ -2,6 +2,29 @@
 
 namespace eccheck::cluster {
 
+const char* fabric_op_kind_name(FabricOp::Kind kind) {
+  switch (kind) {
+    case FabricOp::Kind::kDtoh: return "dtoh";
+    case FabricOp::Kind::kHostCopy: return "host_copy";
+    case FabricOp::Kind::kNetSend: return "net_send";
+    case FabricOp::Kind::kRemoteWrite: return "remote_write";
+    case FabricOp::Kind::kRemoteRead: return "remote_read";
+  }
+  return "?";
+}
+
+void VirtualCluster::fire_fault_hook(const FabricOp& op) {
+  if (fault_hook_ == nullptr || in_fault_hook_) return;
+  in_fault_hook_ = true;
+  try {
+    fault_hook_->on_fabric_op(*this, op);
+  } catch (...) {
+    in_fault_hook_ = false;
+    throw;
+  }
+  in_fault_hook_ = false;
+}
+
 VirtualCluster::VirtualCluster(ClusterConfig cfg)
     : cfg_(cfg),
       alive_(static_cast<std::size_t>(cfg.num_nodes), true),
@@ -53,12 +76,18 @@ const Store& VirtualCluster::host(int node) const {
 
 void VirtualCluster::kill(int node) {
   auto i = check_node(node);
+  ECC_CHECK_MSG(alive_[i], "kill() on already-dead node "
+                               << node
+                               << " (a slot fails at most once per replace)");
   alive_[i] = false;
   hosts_[i].clear();  // CPU memory is non-persistent
 }
 
 void VirtualCluster::replace(int node) {
   auto i = check_node(node);
+  ECC_CHECK_MSG(!alive_[i], "replace() on alive node "
+                                << node
+                                << " (would silently discard its state)");
   alive_[i] = true;
   hosts_[i].clear();
 }
@@ -70,9 +99,16 @@ std::vector<int> VirtualCluster::alive_nodes() const {
   return out;
 }
 
+int VirtualCluster::alive_count() const {
+  int count = 0;
+  for (bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
 TaskId VirtualCluster::dtoh(int node, int gpu, std::size_t bytes,
                             const std::vector<TaskId>& deps) {
   ECC_CHECK(gpu >= 0 && gpu < cfg_.gpus_per_node);
+  fire_fault_hook({FabricOp::Kind::kDtoh, node, -1, bytes});
   stats_.add("gpu.dtoh.bytes", vbytes(bytes));
   stats_.add("gpu.dtoh.count");
   return timeline_.add_task(
@@ -82,6 +118,7 @@ TaskId VirtualCluster::dtoh(int node, int gpu, std::size_t bytes,
 
 TaskId VirtualCluster::host_copy(int node, std::size_t bytes,
                                  const std::vector<TaskId>& deps) {
+  fire_fault_hook({FabricOp::Kind::kHostCopy, node, -1, bytes});
   stats_.add("cpu.host_copy.bytes", vbytes(bytes));
   stats_.add("cpu.host_copy.count");
   return timeline_.add_task("host_copy", cpu(node),
@@ -117,6 +154,7 @@ TaskId VirtualCluster::net_send(int src, int dst, std::size_t bytes,
                                 const std::vector<TaskId>& deps,
                                 bool idle_only, const std::string& label) {
   ECC_CHECK_MSG(src != dst, "net_send to self");
+  fire_fault_hook({FabricOp::Kind::kNetSend, src, dst, bytes});
   // Edge kind = label up to the first ':' (send_buffer embeds the store key
   // after the colon; that must not explode counter cardinality).
   const std::string kind = label.substr(0, label.find(':'));
@@ -130,6 +168,7 @@ TaskId VirtualCluster::net_send(int src, int dst, std::size_t bytes,
 
 TaskId VirtualCluster::remote_write(int node, std::size_t bytes,
                                     const std::vector<TaskId>& deps) {
+  fire_fault_hook({FabricOp::Kind::kRemoteWrite, node, -1, bytes});
   stats_.add("remote.write.bytes", vbytes(bytes));
   stats_.add("remote.write.count");
   // The shared storage resource serialises all writers: aggregate bandwidth.
@@ -139,6 +178,7 @@ TaskId VirtualCluster::remote_write(int node, std::size_t bytes,
 
 TaskId VirtualCluster::remote_read(int node, std::size_t bytes,
                                    const std::vector<TaskId>& deps) {
+  fire_fault_hook({FabricOp::Kind::kRemoteRead, node, -1, bytes});
   stats_.add("remote.read.bytes", vbytes(bytes));
   stats_.add("remote.read.count");
   return timeline_.add_task("remote_read", {nic_rx(node), storage_},
@@ -154,19 +194,20 @@ TaskId VirtualCluster::send_buffer(int src, int dst,
                                    const std::string& dst_key,
                                    const std::vector<TaskId>& deps,
                                    bool idle_only) {
-  const Buffer& b = host(src).get(src_key);
-  TaskId t = net_send(src, dst, b.size(), deps, idle_only,
-                      "send:" + src_key);
-  host(dst).put(dst_key, b.clone());
+  const std::size_t bytes = host(src).get(src_key).size();
+  TaskId t = net_send(src, dst, bytes, deps, idle_only, "send:" + src_key);
+  // Re-resolve after net_send: its fault hook may have killed either end, in
+  // which case host() throws and the in-flight bytes never land.
+  host(dst).put(dst_key, host(src).get(src_key).clone());
   return t;
 }
 
 TaskId VirtualCluster::flush_to_remote(int node, const std::string& key,
                                        const std::string& remote_key,
                                        const std::vector<TaskId>& deps) {
-  const Buffer& b = host(node).get(key);
-  TaskId t = remote_write(node, b.size(), deps);
-  remote_.put(remote_key, b.clone());
+  const std::size_t bytes = host(node).get(key).size();
+  TaskId t = remote_write(node, bytes, deps);
+  remote_.put(remote_key, host(node).get(key).clone());
   return t;
 }
 
@@ -174,9 +215,9 @@ TaskId VirtualCluster::fetch_from_remote(int node,
                                          const std::string& remote_key,
                                          const std::string& key,
                                          const std::vector<TaskId>& deps) {
-  const Buffer& b = remote_.get(remote_key);
-  TaskId t = remote_read(node, b.size(), deps);
-  host(node).put(key, b.clone());
+  const std::size_t bytes = remote_.get(remote_key).size();
+  TaskId t = remote_read(node, bytes, deps);
+  host(node).put(key, remote_.get(remote_key).clone());
   return t;
 }
 

@@ -26,6 +26,33 @@ namespace eccheck::cluster {
 
 using sim::TaskId;
 
+class VirtualCluster;
+
+/// One byte-moving fabric operation as seen by a FaultHook — enough for
+/// deterministic fault injection to address "the Nth transfer of this save".
+struct FabricOp {
+  enum class Kind { kDtoh, kHostCopy, kNetSend, kRemoteWrite, kRemoteRead };
+  Kind kind = Kind::kNetSend;
+  int src = -1;           ///< node issuing the op
+  int dst = -1;           ///< receiving node (kNetSend only)
+  std::size_t bytes = 0;  ///< real bytes moved
+};
+
+const char* fabric_op_kind_name(FabricOp::Kind kind);
+
+/// Mid-operation failure injection (chaos campaigns): installed via
+/// set_fault_hook, the hook runs at the start of every byte-moving fabric
+/// helper, before any data lands at the destination. A hook that kill()s a
+/// participant makes the in-flight bytes vanish: the caller's next access to
+/// the dead node's store throws CheckFailure, aborting the operation with
+/// realistic partial state — everything already committed stays, nothing
+/// after the fault arrives, and no commit marker is written.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual void on_fabric_op(VirtualCluster& cluster, const FabricOp& op) = 0;
+};
+
 class VirtualCluster {
  public:
   explicit VirtualCluster(ClusterConfig cfg);
@@ -59,13 +86,25 @@ class VirtualCluster {
   Store& remote() { return remote_; }  ///< persistent remote storage
   const Store& remote() const { return remote_; }
 
-  /// Fail a node: marks it dead and wipes its volatile store.
+  /// Fail a node: marks it dead and wipes its volatile store. The node must
+  /// currently be alive — killing an already-dead node is a caller
+  /// bookkeeping bug (the first failure already wiped the store; a second
+  /// "failure" of the same slot cannot happen before replace()).
   void kill(int node);
 
-  /// Bring up a replacement (fresh, empty) node in the same slot.
+  /// Bring up a replacement (fresh, empty) node in the same slot. The slot
+  /// must currently be dead — replacing a live node would silently discard
+  /// its checkpoint state.
   void replace(int node);
 
   std::vector<int> alive_nodes() const;
+  int alive_count() const;
+
+  /// Install (or clear, with nullptr) the mid-operation fault hook. The hook
+  /// fires at the start of every byte-moving fabric helper; it is never
+  /// re-entered if the hook itself triggers fabric activity.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
 
   // ---- fabric: timing-only tasks ----------------------------------------
 
@@ -154,6 +193,7 @@ class VirtualCluster {
   }
 
   void build_resources();
+  void fire_fault_hook(const FabricOp& op);
 
   /// Virtual bytes charged for `bytes` real bytes, with the same rounding
   /// the engines' report accounting uses (so stats sums match reports).
@@ -176,6 +216,9 @@ class VirtualCluster {
 
   // calendars survive reset_timeline()
   std::vector<std::vector<sim::TimeInterval>> nic_calendar_;
+
+  FaultHook* fault_hook_ = nullptr;
+  bool in_fault_hook_ = false;  ///< re-entrancy guard
 };
 
 }  // namespace eccheck::cluster

@@ -25,13 +25,41 @@ struct FailureDetectorConfig {
 
 class FailureDetector {
  public:
-  explicit FailureDetector(FailureDetectorConfig cfg) : cfg_(cfg) {
+  /// `cluster_nodes` (optional) validates the quorum against the cluster at
+  /// config time: a failed node has at most cluster_nodes-1 observers, so a
+  /// larger quorum could never confirm any failure even with zero prior
+  /// deaths — a configuration bug, rejected here rather than mid-recovery.
+  explicit FailureDetector(FailureDetectorConfig cfg, int cluster_nodes = 0)
+      : cfg_(cfg) {
     ECC_CHECK(cfg.heartbeat_interval > 0);
     ECC_CHECK(cfg.timeout >= cfg.heartbeat_interval);
     ECC_CHECK(cfg.quorum >= 1);
+    if (cluster_nodes > 0) {
+      ECC_CHECK_MSG(cfg.quorum <= cluster_nodes - 1,
+                    "quorum " << cfg.quorum << " can never be met: a failed "
+                    "node has at most " << cluster_nodes - 1
+                    << " observers in a " << cluster_nodes << "-node cluster");
+    }
   }
 
   const FailureDetectorConfig& config() const { return cfg_; }
+
+  /// Degraded mode: with fewer alive observers than the configured quorum
+  /// (concurrent failures shrank the cluster), the detector falls back to
+  /// unanimity among the survivors instead of deadlocking. Detection then
+  /// still happens — with weaker protection against a single lossy link —
+  /// which matches the availability-first stance of recovery: a stalled
+  /// detector would leave the cluster down forever.
+  int effective_quorum(int observers) const {
+    ECC_CHECK_MSG(observers >= 1,
+                  "failure detection requires at least one alive observer");
+    return std::min(cfg_.quorum, observers);
+  }
+
+  /// True when `observers` alive peers force the unanimity fallback.
+  bool degraded(int observers) const {
+    return observers < cfg_.quorum;
+  }
 
   /// When one observer suspects a node that died at `fail_time`: the last
   /// heartbeat it received was at ⌊fail/Δ⌋·Δ, so suspicion fires at that
@@ -45,9 +73,10 @@ class FailureDetector {
 
   /// Confirmed detection: observers' heartbeat phases are staggered by
   /// observer index (i·Δ/observers), so the q-th observer to suspect sets
-  /// the confirmation time.
+  /// the confirmation time (q = effective_quorum, so detection degrades to
+  /// survivor unanimity instead of aborting when observers < quorum).
   Seconds detection_time(Seconds fail_time, int observers) const {
-    ECC_CHECK(observers >= cfg_.quorum);
+    const int quorum = effective_quorum(observers);
     const Seconds stagger =
         cfg_.heartbeat_interval / static_cast<double>(observers);
     // Observer i's beats land at i·stagger + k·Δ: its last beat before the
@@ -66,7 +95,7 @@ class FailureDetector {
       suspicions.push_back(last_beat + cfg_.timeout);
     }
     std::sort(suspicions.begin(), suspicions.end());
-    return suspicions[static_cast<std::size_t>(cfg_.quorum - 1)];
+    return suspicions[static_cast<std::size_t>(quorum - 1)];
   }
 
   /// Worst-case detection latency after a failure.

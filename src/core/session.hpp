@@ -39,6 +39,7 @@ class Session {
 
   const Placement& placement() const { return placement_; }
   const trainsim::TrainProfile& train_profile() const { return profile_; }
+  const SessionConfig& config() const { return cfg_; }
   std::int64_t latest_version() const { return next_version_ - 1; }
 
   /// Checkpoint the sharded state; returns the engine report. Versions

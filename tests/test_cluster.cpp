@@ -199,5 +199,108 @@ TEST(Cluster, WorldSizeAndValidation) {
   EXPECT_THROW(c.dtoh(0, 5, 10, {}), CheckFailure);
 }
 
+TEST(Cluster, KillAndReplaceGuardStateTransitions) {
+  // A slot fails at most once per replace: kill() of a dead node and
+  // replace() of an alive node are caller bookkeeping bugs, not no-ops.
+  VirtualCluster c(small_config());
+  EXPECT_EQ(c.alive_count(), 4);
+  c.kill(2);
+  EXPECT_EQ(c.alive_count(), 3);
+  EXPECT_THROW(c.kill(2), CheckFailure);      // already dead
+  EXPECT_THROW(c.replace(0), CheckFailure);   // still alive
+  c.replace(2);
+  EXPECT_EQ(c.alive_count(), 4);
+  EXPECT_THROW(c.replace(2), CheckFailure);   // alive again
+  c.kill(2);                                  // legal after replace
+  EXPECT_FALSE(c.alive(2));
+}
+
+namespace {
+/// Records every fabric op; optionally kills a node on the Nth call.
+struct RecordingHook final : FaultHook {
+  std::vector<FabricOp> ops;
+  int kill_node = -1;
+  std::size_t kill_on = 0;  // 0-based op index
+  void on_fabric_op(VirtualCluster& cluster, const FabricOp& op) override {
+    if (kill_node >= 0 && ops.size() == kill_on && cluster.alive(kill_node))
+      cluster.kill(kill_node);
+    ops.push_back(op);
+  }
+};
+}  // namespace
+
+TEST(Cluster, FaultHookSeesEveryByteMovingHelper) {
+  VirtualCluster c(small_config());
+  RecordingHook hook;
+  c.set_fault_hook(&hook);
+  c.dtoh(0, 1, 100, {});
+  c.host_copy(1, 200, {});
+  c.net_send(0, 3, 300, {});
+  c.remote_write(2, 400, {});
+  c.remote_read(3, 500, {});
+  c.set_fault_hook(nullptr);
+  c.dtoh(0, 0, 999, {});  // hook cleared: not recorded
+
+  ASSERT_EQ(hook.ops.size(), 5u);
+  EXPECT_EQ(hook.ops[0].kind, FabricOp::Kind::kDtoh);
+  EXPECT_EQ(hook.ops[0].src, 0);
+  EXPECT_EQ(hook.ops[0].bytes, 100u);
+  EXPECT_EQ(hook.ops[1].kind, FabricOp::Kind::kHostCopy);
+  EXPECT_EQ(hook.ops[2].kind, FabricOp::Kind::kNetSend);
+  EXPECT_EQ(hook.ops[2].src, 0);
+  EXPECT_EQ(hook.ops[2].dst, 3);
+  EXPECT_EQ(hook.ops[3].kind, FabricOp::Kind::kRemoteWrite);
+  EXPECT_EQ(hook.ops[4].kind, FabricOp::Kind::kRemoteRead);
+  EXPECT_STREQ(fabric_op_kind_name(hook.ops[4].kind), "remote_read");
+}
+
+TEST(Cluster, MidSendKillAbortsTransferWithoutDelivery) {
+  // The hook fires before bytes land: killing the source inside
+  // send_buffer must abort the copy (CheckFailure) and leave the
+  // destination without the key — in-flight bytes vanish.
+  VirtualCluster c(small_config());
+  Buffer payload(64);
+  fill_random(payload.span(), 7);
+  c.host(0).put("k", std::move(payload));
+
+  RecordingHook hook;
+  hook.kill_node = 0;
+  hook.kill_on = 0;  // first fabric op = the net_send inside send_buffer
+  c.set_fault_hook(&hook);
+  EXPECT_THROW(c.send_buffer(0, 1, "k", "k", {}), CheckFailure);
+  c.set_fault_hook(nullptr);
+  EXPECT_FALSE(c.alive(0));
+  c.replace(0);
+  EXPECT_FALSE(c.host(1).contains("k"));
+}
+
+TEST(Cluster, MidFlushKillAbortsRemoteWrite) {
+  VirtualCluster c(small_config());
+  c.host(2).put("k", Buffer(32));
+  RecordingHook hook;
+  hook.kill_node = 2;
+  hook.kill_on = 0;
+  c.set_fault_hook(&hook);
+  EXPECT_THROW(c.flush_to_remote(2, "k", "rk", {}), CheckFailure);
+  c.set_fault_hook(nullptr);
+  EXPECT_FALSE(c.remote().contains("rk"));
+}
+
+TEST(Cluster, FaultHookIsNotReentered) {
+  // A hook whose kill path triggers fabric activity must not recurse.
+  struct Reentrant final : FaultHook {
+    int calls = 0;
+    void on_fabric_op(VirtualCluster& cluster, const FabricOp&) override {
+      ++calls;
+      cluster.host_copy(1, 8, {});  // would recurse without the guard
+    }
+  } hook;
+  VirtualCluster c(small_config());
+  c.set_fault_hook(&hook);
+  c.host_copy(0, 16, {});
+  c.set_fault_hook(nullptr);
+  EXPECT_EQ(hook.calls, 1);
+}
+
 }  // namespace
 }  // namespace eccheck::cluster

@@ -82,8 +82,43 @@ TEST(FailureDetector, RejectsBadConfigs) {
   auto bad = cfg();
   bad.timeout = 0.1;  // < heartbeat interval
   EXPECT_THROW(FailureDetector{bad}, CheckFailure);
-  FailureDetector d(cfg(1.0, 3.0, 4));
-  EXPECT_THROW(d.detection_time(1.0, 3), CheckFailure);  // quorum > observers
+  bad = cfg();
+  bad.quorum = 0;
+  EXPECT_THROW(FailureDetector{bad}, CheckFailure);
+}
+
+TEST(FailureDetector, ConfigTimeQuorumValidationAgainstClusterSize) {
+  // A failed node in an N-node cluster has at most N-1 observers; a quorum
+  // that large can never be met even with zero prior deaths — rejected at
+  // construction, not mid-recovery.
+  EXPECT_THROW(FailureDetector(cfg(1.0, 3.0, 4), /*cluster_nodes=*/4),
+               CheckFailure);
+  EXPECT_NO_THROW(FailureDetector(cfg(1.0, 3.0, 3), /*cluster_nodes=*/4));
+  // Without a cluster size the check is skipped (legacy call sites).
+  EXPECT_NO_THROW(FailureDetector(cfg(1.0, 3.0, 4)));
+}
+
+TEST(FailureDetector, DegradedQuorumFallsBackToSurvivorUnanimity) {
+  // Concurrent failures left fewer alive observers than the configured
+  // quorum: detection degrades to unanimity among the survivors instead of
+  // aborting mid-recovery.
+  FailureDetector d4(cfg(1.0, 3.0, 4));
+  FailureDetector d2(cfg(1.0, 3.0, 2));
+  EXPECT_TRUE(d4.degraded(2));
+  EXPECT_FALSE(d4.degraded(4));
+  EXPECT_EQ(d4.effective_quorum(2), 2);
+  EXPECT_EQ(d4.effective_quorum(7), 4);
+  for (double t : {0.0, 0.7, 1.3, 2.9}) {
+    // Degraded d4 with 2 observers behaves exactly like a quorum-2 detector.
+    EXPECT_DOUBLE_EQ(d4.detection_time(t, 2), d2.detection_time(t, 2)) << t;
+    // And detection still lands within the usual bounds.
+    Seconds det = d4.detection_time(t, 2);
+    EXPECT_GT(det, t);
+    EXPECT_LE(det - t, d4.max_latency() + 1e-9);
+  }
+  // Zero observers can never detect anything — still an error.
+  EXPECT_THROW(d4.detection_time(1.0, 0), CheckFailure);
+  EXPECT_THROW(d4.effective_quorum(0), CheckFailure);
 }
 
 }  // namespace
