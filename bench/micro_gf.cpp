@@ -1,10 +1,16 @@
 // Microbenchmarks (§IV-A): GF(2^w) region-multiply and XOR kernels — the
-// arithmetic inner loops of checkpoint encoding.
+// arithmetic inner loops of checkpoint encoding. The BM_Xor/BM_GfMul
+// families run on the dispatched (active) kernels; the <isa> variants
+// registered in main() pin each supported ISA so scalar-vs-SIMD speedup is
+// visible in one run (see EXPERIMENTS.md for a reference table).
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "bench/gbench_json.hpp"
 #include "common/rng.hpp"
 #include "gf/galois.hpp"
+#include "gf/simd.hpp"
 
 namespace {
 
@@ -68,8 +74,59 @@ void BM_GfScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_GfScalarMul);
 
+// --- per-ISA variants -------------------------------------------------------
+// Pinned-kernel runs registered per supported ISA; labels carry the ISA name
+// ("BM_XorRegionIsa<avx2>/65536") so bench_compare tracks each path
+// separately. Only host-supported ISAs register — bench_compare treats
+// missing baselines for absent labels as new-label warnings, not failures.
+
+void BM_XorRegionIsa(benchmark::State& state, gf::simd::Isa isa) {
+  const gf::simd::Kernels& k = gf::simd::kernels_for(isa);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Buffer a(n, Buffer::Init::kUninitialized), b(n, Buffer::Init::kUninitialized);
+  fill_random(a.span(), 1);
+  fill_random(b.span(), 2);
+  for (auto _ : state) {
+    k.xor_into(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_GfMulRegionIsa(benchmark::State& state, gf::simd::Isa isa) {
+  const gf::simd::Kernels& k = gf::simd::kernels_for(isa);
+  const int w = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const auto& f = gf::Field::get(w);
+  Buffer src(n, Buffer::Init::kUninitialized), dst(n, Buffer::Init::kUninitialized);
+  fill_random(src.span(), 3);
+  const std::uint32_t c = f.max_element() / 2 + 1;
+  for (auto _ : state) {
+    f.mul_region(c, src.span(), dst.span(), /*accumulate=*/false, k);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void register_isa_benchmarks() {
+  for (gf::simd::Isa isa : gf::simd::supported_isas()) {
+    const std::string tag = gf::simd::isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_XorRegionIsa<" + tag + ">").c_str(),
+                                 BM_XorRegionIsa, isa)
+        ->Arg(65536)
+        ->Arg(1 << 20);
+    auto* mul = benchmark::RegisterBenchmark(
+        ("BM_GfMulRegionIsa<" + tag + ">").c_str(), BM_GfMulRegionIsa, isa);
+    mul->Args({4, 65536})->Args({8, 65536})->Args({16, 65536});
+    mul->Args({8, 1 << 20});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_isa_benchmarks();
   return eccheck::bench::gbench_main("micro_gf", argc, argv);
 }

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "gf/simd.hpp"
+
 namespace eccheck::cluster {
 
 std::vector<TaskId> broadcast(VirtualCluster& c, const std::vector<int>& nodes,
@@ -59,9 +61,13 @@ std::vector<TaskId> ring_all_reduce_xor(VirtualCluster& c,
   for (int n : nodes) ECC_CHECK(c.host(n).get(key).size() == total);
 
   // Data plane: the reduced value is the XOR of all contributions; compute
-  // it once, install everywhere after the timing tasks are scheduled.
+  // it once, install everywhere after the timing tasks are scheduled. The
+  // dispatched kernel is hoisted out of the per-node loop (all buffers are
+  // `total` bytes — checked above).
   Buffer reduced(total, Buffer::Init::kZeroed);
-  for (int n : nodes) xor_into(reduced.span(), c.host(n).get(key).span());
+  const gf::simd::Kernels& kernels = gf::simd::active();
+  for (int n : nodes)
+    kernels.xor_into(reduced.data(), c.host(n).get(key).data(), total);
 
   std::vector<TaskId> carry(nodes.size(), -1);
   if (p > 1) {

@@ -1,24 +1,16 @@
 #include "common/bytes.hpp"
 
-#include <cstdint>
+#include "gf/simd.hpp"
 
 namespace eccheck {
 
 void xor_into(MutableByteSpan dst, ByteSpan src) {
   ECC_CHECK(dst.size() == src.size());
-  std::size_t n = dst.size();
-  auto* d = reinterpret_cast<unsigned char*>(dst.data());
-  const auto* s = reinterpret_cast<const unsigned char*>(src.data());
-  std::size_t i = 0;
-  // Word-at-a-time main loop; memcpy keeps it UB-free on unaligned tails.
-  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
-    std::uint64_t a, b;
-    std::memcpy(&a, d + i, sizeof(a));
-    std::memcpy(&b, s + i, sizeof(b));
-    a ^= b;
-    std::memcpy(d + i, &a, sizeof(a));
-  }
-  for (; i < n; ++i) d[i] ^= s[i];
+  if (dst.empty()) return;
+  // Runtime-dispatched kernel (SSE2/AVX2/NEON when the host has them);
+  // see gf/simd.hpp. Callers on a tight loop can hoist gf::simd::active()
+  // and call the function pointer directly.
+  gf::simd::active().xor_into(dst.data(), src.data(), dst.size());
 }
 
 }  // namespace eccheck

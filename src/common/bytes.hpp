@@ -86,6 +86,9 @@ class Buffer {
 };
 
 /// XOR `src` into `dst` (dst ^= src). Spans must be the same length.
+/// Vectorized behind the runtime ISA dispatch in gf/simd.hpp (overridable
+/// with ECCHECK_SIMD); any alignment is accepted, but 64-byte-aligned
+/// buffers (every eccheck::Buffer) take the aligned fast path.
 void xor_into(MutableByteSpan dst, ByteSpan src);
 
 /// Convenience: bytes of a trivially copyable value.

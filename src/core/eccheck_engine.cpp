@@ -5,6 +5,7 @@
 #include "cluster/slice.hpp"
 #include "common/bytes.hpp"
 #include "ec/parallel_codec.hpp"
+#include "gf/simd.hpp"
 #include "obs/stats.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/pipeline.hpp"
@@ -271,9 +272,13 @@ ckpt::SaveReport ECCheckEngine::save_slice(
       }
     });
     real_stages.push_back([](RealStripe& rs) {
+      // Fold partials with the dispatched XOR kernel directly — partials
+      // are all P bytes (allocated two stages up) and 64-byte aligned.
+      const gf::simd::Kernels& kernels = gf::simd::active();
       rs.acc = std::move(rs.partials[0]);
       for (std::size_t c = 1; c < rs.partials.size(); ++c)
-        xor_into(rs.acc.span(), rs.partials[c].span());
+        kernels.xor_into(rs.acc.data(), rs.partials[c].data(),
+                         rs.acc.size());
       rs.partials.clear();
     });
     real_stages.push_back([&](RealStripe& rs) {

@@ -1,5 +1,7 @@
 #include "ec/bitmatrix.hpp"
 
+#include "gf/simd.hpp"
+
 namespace eccheck::ec {
 
 int BitMatrix::ones() const {
@@ -61,13 +63,16 @@ void run_xor_schedule(const std::vector<XorOp>& schedule, int w,
   for (const auto& s : in) ECC_CHECK(s.size() == packet);
   for (const auto& s : out) ECC_CHECK(s.size() == packet);
 
+  // Hoist the dispatched kernel out of the op loop: one indirect call per
+  // strip, no per-op dispatch load or size re-check.
+  const gf::simd::Kernels& kernels = gf::simd::active();
   for (const XorOp& op : schedule) {
     ByteSpan src = in[op.src_packet].subspan(
         static_cast<std::size_t>(op.src_strip) * strip, strip);
     MutableByteSpan dst = out[op.dst_packet].subspan(
         static_cast<std::size_t>(op.dst_strip) * strip, strip);
     if (op.accumulate) {
-      xor_into(dst, src);
+      kernels.xor_into(dst.data(), src.data(), strip);
     } else {
       std::memcpy(dst.data(), src.data(), strip);
     }

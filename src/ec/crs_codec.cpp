@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <set>
 
+#include "gf/simd.hpp"
 #include "obs/tracer.hpp"
 
 namespace eccheck::ec {
+namespace {
+
+// Kernel-level GiB/s spans carry the dispatched ISA ("codec.encode[avx2]")
+// so a trace shows which implementation produced the throughput. Built once;
+// the active ISA cannot change after first use.
+const std::string& encode_span_name() {
+  static const std::string name = gf::simd::isa_span_name("codec.encode");
+  return name;
+}
+const std::string& decode_span_name() {
+  static const std::string name = gf::simd::isa_span_name("codec.decode");
+  return name;
+}
+
+}  // namespace
 
 CrsCodec::CrsCodec(int k, int m, int w, KernelMode mode, bool normalized)
     : k_(k), m_(m), w_(w), mode_(mode), field_(&gf::Field::get(w)),
@@ -33,7 +49,7 @@ void CrsCodec::encode(std::span<const ByteSpan> data,
   ECC_CHECK(static_cast<int>(data.size()) == k_);
   ECC_CHECK(static_cast<int>(parity.size()) == m_);
   if (m_ == 0) return;
-  obs::ScopedSpan span("codec.encode",
+  obs::ScopedSpan span(encode_span_name(),
                        data.empty() ? 0 : data[0].size() * data.size());
   if (mode_ == KernelMode::kXorBitmatrix) {
     run_xor_schedule(encode_schedule_, w_, data, parity);
@@ -98,7 +114,7 @@ void CrsCodec::decode(const std::vector<int>& rows,
   ECC_CHECK_MSG(std::set<int>(rows.begin(), rows.end()).size() == rows.size(),
                 "duplicate generator rows in decode");
 
-  obs::ScopedSpan span("codec.decode",
+  obs::ScopedSpan span(decode_span_name(),
                        chunks.empty() ? 0 : chunks[0].size() * chunks.size());
   GfMatrix sub = generator_.select_rows(rows);
   GfMatrix inv = sub.inverse();

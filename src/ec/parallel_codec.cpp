@@ -1,15 +1,52 @@
 #include "ec/parallel_codec.hpp"
 
+#include "common/bytes.hpp"
+#include "gf/simd.hpp"
 #include "obs/tracer.hpp"
 
 namespace eccheck::ec {
+namespace {
+
+// Kernel spans carry the dispatched ISA (see crs_codec.cpp).
+const std::string& slice_span_name() {
+  static const std::string name = gf::simd::isa_span_name("codec.slice");
+  return name;
+}
+const std::string& encode_span_name() {
+  static const std::string name = gf::simd::isa_span_name("codec.encode");
+  return name;
+}
+const std::string& encode_row_span_name() {
+  static const std::string name = gf::simd::isa_span_name("codec.encode_row");
+  return name;
+}
+const std::string& encode_partial_span_name() {
+  static const std::string name =
+      gf::simd::isa_span_name("codec.encode_partial");
+  return name;
+}
+const std::string& apply_matrix_span_name() {
+  static const std::string name =
+      gf::simd::isa_span_name("codec.apply_matrix");
+  return name;
+}
+
+}  // namespace
 
 ParallelCodec::ParallelCodec(const CrsCodec& codec, runtime::ThreadPool& pool,
                              std::size_t slice_bytes)
     : codec_(&codec), pool_(&pool), slice_bytes_(slice_bytes) {
+  // Round slices up to a multiple of both the symbol granularity and the
+  // Buffer alignment: slice boundaries inside a 64-byte-aligned packet then
+  // stay 64-byte aligned, so every slice (not just the first) runs the
+  // vector kernels' aligned fast path.
   const std::size_t g = codec.packet_granularity();
-  if (slice_bytes_ % g != 0) slice_bytes_ += g - slice_bytes_ % g;
+  std::size_t align = Buffer::kAlignment;
+  while (align % g != 0) align *= 2;  // g is 1, 2, or w*8 — 64 covers all
+  if (slice_bytes_ % align != 0)
+    slice_bytes_ += align - slice_bytes_ % align;
   ECC_CHECK(slice_bytes_ > 0);
+  ECC_CHECK(slice_bytes_ % g == 0);
 }
 
 void ParallelCodec::for_each_slice(
@@ -26,7 +63,7 @@ void ParallelCodec::for_each_slice(
       [&](std::size_t s) {
         const std::size_t lo = s * slice_bytes_;
         const std::size_t hi = std::min(total, lo + slice_bytes_);
-        obs::ScopedSpan span(tracer, "codec.slice", hi - lo);
+        obs::ScopedSpan span(tracer, slice_span_name(), hi - lo);
         fn(lo, hi);
       },
       "codec.slices");
@@ -38,7 +75,7 @@ void ParallelCodec::encode(std::span<const ByteSpan> data,
   ECC_CHECK(static_cast<int>(parity.size()) == codec_->m());
   if (parity.empty()) return;
   const std::size_t total = data[0].size();
-  obs::ScopedSpan span("codec.encode", total * data.size());
+  obs::ScopedSpan span(encode_span_name(), total * data.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     codec_->encode(data, parity);
     return;
@@ -60,7 +97,7 @@ void ParallelCodec::encode(std::span<const ByteSpan> data,
 void ParallelCodec::encode_row(int row, std::span<const ByteSpan> data,
                                MutableByteSpan acc) const {
   ECC_CHECK(static_cast<int>(data.size()) == codec_->k());
-  obs::ScopedSpan span("codec.encode_row", acc.size() * data.size());
+  obs::ScopedSpan span(encode_row_span_name(), acc.size() * data.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     for (int c = 0; c < codec_->k(); ++c)
       codec_->encode_partial(row, c, data[static_cast<std::size_t>(c)], acc,
@@ -79,7 +116,7 @@ void ParallelCodec::encode_row(int row, std::span<const ByteSpan> data,
 void ParallelCodec::encode_partial(int row, int data_index, ByteSpan src,
                                    MutableByteSpan dst,
                                    bool accumulate) const {
-  obs::ScopedSpan span("codec.encode_partial", src.size());
+  obs::ScopedSpan span(encode_partial_span_name(), src.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     codec_->encode_partial(row, data_index, src, dst, accumulate);
     return;
@@ -96,7 +133,7 @@ void ParallelCodec::apply_matrix(const GfMatrix& m,
   ECC_CHECK(static_cast<int>(in.size()) == m.cols());
   ECC_CHECK(static_cast<int>(out.size()) == m.rows());
   if (out.empty()) return;
-  obs::ScopedSpan span("codec.apply_matrix", out[0].size() * in.size());
+  obs::ScopedSpan span(apply_matrix_span_name(), out[0].size() * in.size());
   if (codec_->mode() == KernelMode::kXorBitmatrix) {
     codec_->apply_matrix(m, in, out);
     return;

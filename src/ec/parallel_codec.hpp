@@ -17,7 +17,9 @@ namespace eccheck::ec {
 
 class ParallelCodec {
  public:
-  /// `slice_bytes` is rounded up to the codec's symbol granularity.
+  /// `slice_bytes` is rounded up to the codec's symbol granularity and the
+  /// Buffer alignment (64B), keeping slice boundaries of aligned packets on
+  /// the vector kernels' aligned fast path.
   ParallelCodec(const CrsCodec& codec, runtime::ThreadPool& pool,
                 std::size_t slice_bytes = 256 * 1024);
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "gf/simd.hpp"
+
 namespace eccheck::ec {
 
 int XorProgram::xor_count() const {
@@ -153,11 +155,13 @@ void run_xor_program(const XorProgram& prog, std::span<const ByteSpan> in,
         static_cast<std::size_t>(st) * strip, strip);
   };
 
+  // One dispatch lookup for the whole program; ops are uniform strips.
+  const gf::simd::Kernels& kernels = gf::simd::active();
   for (const auto& op : prog.ops) {
     MutableByteSpan dst = dst_span(op.dst);
     ByteSpan src = src_span(op.src);
     if (op.accumulate)
-      xor_into(dst, src);
+      kernels.xor_into(dst.data(), src.data(), strip);
     else
       std::memcpy(dst.data(), src.data(), strip);
   }

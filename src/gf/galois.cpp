@@ -1,5 +1,6 @@
 #include "gf/galois.hpp"
 
+#include <atomic>
 #include <mutex>
 
 namespace eccheck::gf {
@@ -21,8 +22,19 @@ std::uint32_t poly_for(int w) {
 
 }  // namespace
 
+/// One atomic slot per constant; a slot is filled at most once (losers of
+/// the publish race delete their copy), so readers pay one acquire load.
+struct Field::TableCache {
+  explicit TableCache(std::size_t n) : slots(n) {}
+  ~TableCache() {
+    for (auto& s : slots) delete s.load(std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<const simd::MulTables*>> slots;
+};
+
 Field::Field(int w)
-    : w_(w), order_(1u << w), poly_(poly_for(w)), log_(order_), exp_(order_) {
+    : w_(w), order_(1u << w), poly_(poly_for(w)), log_(order_), exp_(order_),
+      cache_(std::make_shared<TableCache>(order_)) {
   // Generate with the primitive element alpha = 2.
   std::uint32_t x = 1;
   for (std::uint32_t i = 0; i < order_ - 1; ++i) {
@@ -61,8 +73,63 @@ std::uint32_t Field::mul_slow(std::uint32_t a, std::uint32_t b) const {
   return r;
 }
 
+simd::MulTables Field::build_tables(std::uint32_t c) const {
+  simd::MulTables t{};
+  if (w_ <= 8) {
+    for (std::uint32_t v = 0; v < 16; ++v) {
+      if (w_ == 4) {
+        // Two independent symbols per byte: the high-nibble table carries
+        // the <<4 repack so the kernels just XOR the two lookups.
+        t.lo_nib[v] = static_cast<std::uint8_t>(mul(c, v));
+        t.hi_nib[v] = static_cast<std::uint8_t>(mul(c, v) << 4);
+      } else {
+        t.lo_nib[v] = static_cast<std::uint8_t>(mul(c, v));
+        t.hi_nib[v] = static_cast<std::uint8_t>(mul(c, v << 4));
+      }
+    }
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      t.byte_tab[b] =
+          static_cast<std::uint8_t>(t.lo_nib[b & 0xf] ^ t.hi_nib[b >> 4]);
+    }
+  } else {  // w == 16
+    for (int j = 0; j < 4; ++j) {
+      for (std::uint32_t v = 0; v < 16; ++v) {
+        const std::uint32_t p = mul(c, v << (4 * j));
+        t.nib16_lo[j][v] = static_cast<std::uint8_t>(p & 0xff);
+        t.nib16_hi[j][v] = static_cast<std::uint8_t>(p >> 8);
+      }
+    }
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      t.lo16[b] = static_cast<std::uint16_t>(mul(c, b));
+      t.hi16[b] = static_cast<std::uint16_t>(mul(c, b << 8));
+    }
+  }
+  return t;
+}
+
+const simd::MulTables& Field::tables_for(std::uint32_t c) const {
+  ECC_CHECK_MSG(c < order_, "constant " << c << " outside GF(2^" << w_ << ")");
+  auto& slot = cache_->slots[c];
+  if (const simd::MulTables* t = slot.load(std::memory_order_acquire))
+    return *t;
+  auto* fresh = new simd::MulTables(build_tables(c));
+  const simd::MulTables* expected = nullptr;
+  if (!slot.compare_exchange_strong(expected, fresh,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    delete fresh;  // lost the publish race; use the winner's tables
+    return *expected;
+  }
+  return *fresh;
+}
+
 void Field::mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
                        bool accumulate) const {
+  mul_region(c, src, dst, accumulate, simd::active());
+}
+
+void Field::mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
+                       bool accumulate, const simd::Kernels& kernels) const {
   ECC_CHECK(src.size() == dst.size());
   ECC_CHECK(src.size() % region_granularity() == 0);
   const std::size_t n = src.size();
@@ -74,53 +141,17 @@ void Field::mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
   }
   if (c == 1) {
     if (accumulate)
-      xor_into(dst, src);
+      kernels.xor_into(dst.data(), src.data(), n);
     else
       std::memcpy(dst.data(), src.data(), n);
     return;
   }
 
-  const auto* s = reinterpret_cast<const unsigned char*>(src.data());
-  auto* d = reinterpret_cast<unsigned char*>(dst.data());
-
-  if (w_ <= 8) {
-    // One 256-entry table covers a whole byte (two nibbles for w=4).
-    std::array<unsigned char, 256> tab;
-    if (w_ == 8) {
-      for (std::uint32_t b = 0; b < 256; ++b)
-        tab[b] = static_cast<unsigned char>(mul(c, b));
-    } else {  // w == 4
-      for (std::uint32_t b = 0; b < 256; ++b) {
-        std::uint32_t lo = mul(c, b & 0xf);
-        std::uint32_t hi = mul(c, b >> 4);
-        tab[b] = static_cast<unsigned char>((hi << 4) | lo);
-      }
-    }
-    if (accumulate) {
-      for (std::size_t i = 0; i < n; ++i) d[i] ^= tab[s[i]];
-    } else {
-      for (std::size_t i = 0; i < n; ++i) d[i] = tab[s[i]];
-    }
-    return;
-  }
-
-  // w == 16: c*(hi<<8 ^ lo) = c*(hi<<8) ^ c*lo, two 256-entry uint16 tables.
-  std::array<std::uint16_t, 256> lo_tab, hi_tab;
-  for (std::uint32_t b = 0; b < 256; ++b) {
-    lo_tab[b] = static_cast<std::uint16_t>(mul(c, b));
-    hi_tab[b] = static_cast<std::uint16_t>(mul(c, b << 8));
-  }
-  for (std::size_t i = 0; i < n; i += 2) {
-    std::uint16_t v = static_cast<std::uint16_t>(
-        lo_tab[s[i]] ^ hi_tab[s[i + 1]]);
-    if (accumulate) {
-      d[i] = static_cast<unsigned char>(d[i] ^ (v & 0xff));
-      d[i + 1] = static_cast<unsigned char>(d[i + 1] ^ (v >> 8));
-    } else {
-      d[i] = static_cast<unsigned char>(v & 0xff);
-      d[i + 1] = static_cast<unsigned char>(v >> 8);
-    }
-  }
+  const simd::MulTables& t = tables_for(c);
+  if (w_ == 16)
+    kernels.mul_region_w16(t, src.data(), dst.data(), n, accumulate);
+  else
+    kernels.mul_region_b(t, src.data(), dst.data(), n, accumulate);
 }
 
 }  // namespace eccheck::gf

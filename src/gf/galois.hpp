@@ -8,20 +8,25 @@
 //   w=16 — one little-endian symbol per 2 bytes (region length must be even)
 //
 // Multiplication by a constant is GF(2)-linear in the operand bits, so the
-// region kernels use per-multiplier byte-indexed tables (one for w≤8, a
-// low/high pair for w=16) built on demand — the same trick Jerasure's
-// "multtable" regions use.
+// region kernels are table lookups: each (field, constant) gets a
+// simd::MulTables (byte-indexed full tables for the scalar path, 4-bit
+// split tables for the pshufb/vtbl paths), built once and cached in a
+// lock-free once-init store — repeated encodes never rebuild tables. The
+// actual loops live in gf/simd.* behind a runtime-probed ISA dispatch.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "gf/simd.hpp"
 
 namespace eccheck::gf {
 
-/// A Galois field GF(2^w). Cheap to copy handles onto a shared table set;
-/// use Field::get(w) to obtain the process-wide instance.
+/// A Galois field GF(2^w). Cheap to copy handles onto a shared table set
+/// (copies share the multiplier-table cache); use Field::get(w) to obtain
+/// the process-wide instance.
 class Field {
  public:
   static const Field& get(int w);
@@ -61,9 +66,19 @@ class Field {
   std::uint32_t mul_slow(std::uint32_t a, std::uint32_t b) const;
 
   /// dst = c * src (accumulate=false) or dst ^= c * src (accumulate=true),
-  /// where buffers hold packed GF(2^w) symbols.
+  /// where buffers hold packed GF(2^w) symbols. Runs on the process-wide
+  /// dispatched kernels (simd::active()).
   void mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
                   bool accumulate) const;
+
+  /// Same, on an explicit kernel set — differential tests and per-ISA
+  /// benchmarks pin the implementation with simd::kernels_for(isa).
+  void mul_region(std::uint32_t c, ByteSpan src, MutableByteSpan dst,
+                  bool accumulate, const simd::Kernels& kernels) const;
+
+  /// The cached multiplier tables for constant c (built on first use,
+  /// lock-free on the hot path, shared by all copies of this Field).
+  const simd::MulTables& tables_for(std::uint32_t c) const;
 
   /// Number of bytes per packed symbol boundary: region lengths must be a
   /// multiple of this (1 for w=4/8, 2 for w=16).
@@ -74,11 +89,16 @@ class Field {
  private:
   explicit Field(int w);
 
+  simd::MulTables build_tables(std::uint32_t c) const;
+
+  struct TableCache;
+
   int w_;
   std::uint32_t order_;
   std::uint32_t poly_;
   std::vector<std::uint32_t> log_;   // log_[0] unused
   std::vector<std::uint32_t> exp_;   // exp_[i] = alpha^i, i in [0, order-1)
+  std::shared_ptr<TableCache> cache_;  // per-constant multiplier tables
 };
 
 }  // namespace eccheck::gf

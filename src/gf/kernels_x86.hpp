@@ -1,0 +1,15 @@
+// Internal cross-TU declarations for the x86 kernel files. Each ISA lives in
+// its own translation unit compiled with exactly that ISA's target flag (see
+// src/gf/CMakeLists.txt), so no vector instruction can leak into code that
+// runs before dispatch; this header only carries the symbols they share.
+#pragma once
+
+#include <cstddef>
+
+namespace eccheck::gf::simd::detail {
+
+// Defined in kernels_sse2.cpp (when compiled for x86). SSSE3 reuses it for
+// XOR — pshufb adds nothing to a pure XOR loop.
+void xor_into_sse2(std::byte* dst, const std::byte* src, std::size_t n);
+
+}  // namespace eccheck::gf::simd::detail

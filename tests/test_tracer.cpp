@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "ec/parallel_codec.hpp"
+#include "gf/simd.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/pipeline.hpp"
@@ -238,12 +239,15 @@ TEST(TracerSites, CodecSlicesCarryBytes) {
   }
   t.disable();
 
+  // Kernel spans are suffixed with the dispatched ISA: "codec.slice[avx2]".
+  const std::string slice_name = gf::simd::isa_span_name("codec.slice");
+  const std::string encode_name = gf::simd::isa_span_name("codec.encode");
   std::uint64_t slice_bytes = 0;
   bool saw_encode = false;
   for (const auto& track : t.snapshot()) {
     for (const auto& s : track.spans) {
-      if (s.name == "codec.slice") slice_bytes += s.bytes;
-      if (s.name == "codec.encode") {
+      if (s.name == slice_name) slice_bytes += s.bytes;
+      if (s.name == encode_name) {
         saw_encode = true;
         EXPECT_EQ(s.bytes, 8192u * 2);
       }
