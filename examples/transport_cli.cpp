@@ -1,0 +1,484 @@
+// transport_cli — the real-socket transport demo: k+m worker *processes*
+// connected by TCP or Unix-domain sockets run the fabric-generic stripe
+// protocol, the parent SIGKILLs live workers, spawns replacements on the
+// same endpoints, and verifies the recovered stripe bit-exactly against a
+// single-process VirtualCluster reference run of the very same protocol.
+//
+//   --mode cycle      (default) full encode → kill → recover cycle:
+//                     workers encode the stripe SPMD over sockets and then
+//                     hold their chunks in memory; the parent SIGKILLs the
+//                     ranks in --kill, forks fresh replacement processes,
+//                     and survivors + replacements run the recovery
+//                     workflow. Every rank's final chunk must equal both
+//                     the VirtualFabric reference and the closed-form
+//                     expected chunk.
+//   --mode peerdeath  a 3-rank broadcast where rank 1 dies before joining:
+//                     ranks 0 and 2 must abort with CheckFailure inside the
+//                     configured timeout budget (no hang) — the transport's
+//                     graceful peer-death contract.
+//
+// Options: --k, --m, --bytes, --seed, --transport uds|tcp, --dir, --kill
+// "a,b", --flush (remote flush during encode), --keep (leave the work dir).
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.hpp"
+#include "common/crc64.hpp"
+#include "core/fabric_protocol.hpp"
+#include "net/transport.hpp"
+
+namespace fs = std::filesystem;
+using namespace eccheck;
+
+namespace {
+
+struct Args {
+  std::string mode = "cycle";
+  int k = 4;
+  int m = 2;
+  std::size_t bytes = 64 * 1024;
+  std::uint64_t seed = 1;
+  std::string transport = "uds";
+  std::string dir;
+  std::string kill_spec;  // default: "1,<k>"
+  bool flush = false;
+  bool keep = false;
+  int io_timeout_ms = 5000;
+  int connect_timeout_ms = 1000;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::cerr
+      << "usage: transport_cli [--mode cycle|peerdeath] [--k N] [--m N]\n"
+         "         [--bytes N] [--seed S] [--transport uds|tcp] [--dir D]\n"
+         "         [--kill a,b] [--flush] [--keep]\n"
+         "         [--io-timeout-ms N] [--connect-timeout-ms N]\n";
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_and_exit();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mode") a.mode = need(i);
+    else if (arg == "--k") a.k = std::stoi(need(i));
+    else if (arg == "--m") a.m = std::stoi(need(i));
+    else if (arg == "--bytes") a.bytes = std::stoul(need(i));
+    else if (arg == "--seed") a.seed = std::stoull(need(i));
+    else if (arg == "--transport") a.transport = need(i);
+    else if (arg == "--dir") a.dir = need(i);
+    else if (arg == "--kill") a.kill_spec = need(i);
+    else if (arg == "--flush") a.flush = true;
+    else if (arg == "--keep") a.keep = true;
+    else if (arg == "--io-timeout-ms") a.io_timeout_ms = std::stoi(need(i));
+    else if (arg == "--connect-timeout-ms")
+      a.connect_timeout_ms = std::stoi(need(i));
+    else usage_and_exit();
+  }
+  if (a.mode != "cycle" && a.mode != "peerdeath") usage_and_exit();
+  if (a.transport != "uds" && a.transport != "tcp") usage_and_exit();
+  if (a.k < 1 || a.m < 0 || a.bytes == 0) usage_and_exit();
+  return a;
+}
+
+// ---- tiny pipe helpers ----------------------------------------------------
+
+/// Line-oriented read with a deadline, so a wedged worker can never hang
+/// the parent (workers' own I/O is already time-bounded; this is backstop).
+struct LineReader {
+  int fd = -1;
+  std::string buf;
+
+  std::string read_line(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      auto nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return line;
+      }
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0)
+        throw CheckFailure("parent: timed out waiting for worker status");
+      struct pollfd p{fd, POLLIN, 0};
+      int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0)
+        throw CheckFailure("parent: timed out waiting for worker status");
+      char chunk[256];
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0)
+        throw CheckFailure("parent: worker closed its status pipe "
+                           "(crashed before reporting)");
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+void write_line(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  std::size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // dead child: caller notices via its status pipe
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+struct WorkerHandle {
+  pid_t pid = -1;
+  int ctl_w = -1;     // parent → worker
+  LineReader status;  // worker → parent
+  bool killed = false;
+};
+
+// fds of every pipe ever created, so each child can close the ends that
+// belong to its siblings (keeps EOF semantics and fd budgets clean).
+std::vector<int> g_all_pipe_fds;
+
+// ---- worker setup ---------------------------------------------------------
+
+std::vector<net::Endpoint> make_endpoints(const Args& a) {
+  std::vector<net::Endpoint> eps;
+  for (int r = 0; r < a.k + a.m; ++r) {
+    if (a.transport == "uds") {
+      eps.push_back(
+          net::Endpoint::uds(a.dir + "/rank" + std::to_string(r) + ".sock"));
+    } else {
+      // Pre-pick a free port per rank: bind :0, read the port back, close.
+      // (The tiny reuse race is acceptable for a demo CLI; tests use UDS.)
+      net::Endpoint probe = net::Endpoint::tcp("127.0.0.1", 0);
+      net::Socket s = net::listen_on(probe);
+      eps.push_back(probe);
+    }
+  }
+  return eps;
+}
+
+net::TransportOptions transport_options(const Args& a) {
+  net::TransportOptions o;
+  o.io_timeout = net::Millis(a.io_timeout_ms);
+  o.connect_timeout = net::Millis(a.connect_timeout_ms);
+  o.remote_dir = a.dir + "/remote";
+  return o;
+}
+
+core::FabricStripeConfig stripe_config(const Args& a) {
+  core::FabricStripeConfig cfg;
+  cfg.k = a.k;
+  cfg.m = a.m;
+  cfg.chunk_bytes = a.bytes;
+  cfg.seed = a.seed;
+  cfg.flush_to_remote = a.flush;
+  return cfg;
+}
+
+std::string chunk_dump_path(const Args& a, int rank) {
+  return a.dir + "/out/rank" + std::to_string(rank) + ".bin";
+}
+
+void dump_chunk(const Args& a, cluster::Fabric& f, int rank) {
+  const Buffer& chunk = f.store(rank).get(core::stripe_chunk_key(rank));
+  std::ofstream out(chunk_dump_path(a, rank), std::ios::binary);
+  out.write(reinterpret_cast<const char*>(chunk.data()),
+            static_cast<std::streamsize>(chunk.size()));
+  ECC_CHECK(out.good());
+}
+
+/// Worker body for --mode cycle. `initial` workers encode then wait for a
+/// RECOVER/EXIT instruction; replacements go straight into recovery.
+[[noreturn]] void worker_cycle(const Args& a,
+                               const std::vector<net::Endpoint>& eps, int rank,
+                               const std::vector<int>& replaced_at_birth,
+                               int ctl_r, int status_w) {
+  LineReader ctl{ctl_r, {}};
+  auto status = [&](const std::string& s) { write_line(status_w, s); };
+  try {
+    const core::FabricStripeConfig cfg = stripe_config(a);
+    net::SocketTransport fabric(rank, eps, transport_options(a));
+    if (replaced_at_birth.empty()) {
+      core::stripe_encode(fabric, cfg);
+      {
+        std::ostringstream os;
+        os << "ENCODED " << std::hex << core::stripe_chunk_crc(fabric, rank);
+        status(os.str());
+      }
+      // Hold the chunk in memory until the parent decides our fate — the
+      // in-memory-checkpoint survivor role.
+      const std::string line = ctl.read_line(600000);
+      if (line.rfind("RECOVER ", 0) == 0) {
+        std::istringstream is(line.substr(8));
+        std::vector<int> replaced;
+        for (int r; is >> r;) {
+          replaced.push_back(r);
+          fabric.reset_peer(r);  // fresh process on the old endpoint
+        }
+        core::stripe_recover(fabric, cfg, replaced);
+      } else if (line != "EXIT") {
+        throw CheckFailure("worker: unexpected control '" + line + "'");
+      }
+    } else {
+      core::stripe_recover(fabric, cfg, replaced_at_birth);
+    }
+    dump_chunk(a, fabric, rank);
+    {
+      std::ostringstream os;
+      os << "RECOVERED " << std::hex << core::stripe_chunk_crc(fabric, rank)
+         << std::dec << " sent=" << fabric.stats().counter("net.send.bytes")
+         << " recvd=" << fabric.stats().counter("net.recv.bytes");
+      status(os.str());
+    }
+    (void)ctl.read_line(600000);  // EXIT
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    status(std::string("ERROR ") + e.what());
+    ::_exit(1);
+  }
+}
+
+/// Worker body for --mode peerdeath: rank 1 dies silently; 0 and 2 must
+/// fail their broadcast with CheckFailure within the timeout budget.
+[[noreturn]] void worker_peerdeath(const Args& a,
+                                   const std::vector<net::Endpoint>& eps,
+                                   int rank, int, int status_w) {
+  auto status = [&](const std::string& s) { write_line(status_w, s); };
+  if (rank == 1) ::_exit(0);  // never even binds its endpoint
+  try {
+    net::TransportOptions o = transport_options(a);
+    o.connect_timeout = net::Millis(200);
+    o.connect_retries = 4;
+    o.backoff_max = net::Millis(100);
+    o.io_timeout = net::Millis(1500);
+    net::SocketTransport fabric(rank, eps, o);
+    if (rank == 0) {
+      Buffer blob(4096, Buffer::Init::kZeroed);
+      fabric.store(0).put("blob", std::move(blob));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      fabric.broadcast({0, 1, 2}, 0, "blob");
+      status("ERROR broadcast with a dead peer unexpectedly succeeded");
+      ::_exit(1);
+    } catch (const CheckFailure&) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      status("PEERDEATH " + std::to_string(ms));
+      ::_exit(0);
+    }
+  } catch (const std::exception& e) {
+    status(std::string("ERROR ") + e.what());
+    ::_exit(1);
+  }
+}
+
+WorkerHandle spawn_worker(const Args& a, const std::vector<net::Endpoint>& eps,
+                          int rank, const std::vector<int>& replaced) {
+  int ctl[2], st[2];
+  ECC_CHECK(::pipe(ctl) == 0 && ::pipe(st) == 0);
+  for (int fd : {ctl[0], ctl[1], st[0], st[1]}) g_all_pipe_fds.push_back(fd);
+  pid_t pid = ::fork();
+  ECC_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child: keep only our ctl read end and status write end.
+    for (int fd : g_all_pipe_fds)
+      if (fd != ctl[0] && fd != st[1]) ::close(fd);
+    if (a.mode == "cycle")
+      worker_cycle(a, eps, rank, replaced, ctl[0], st[1]);
+    else
+      worker_peerdeath(a, eps, rank, ctl[0], st[1]);
+  }
+  WorkerHandle h;
+  h.pid = pid;
+  h.ctl_w = ctl[1];
+  h.status.fd = st[0];
+  return h;
+}
+
+std::vector<int> parse_kill_list(const Args& a) {
+  std::string spec = a.kill_spec.empty()
+                         ? "1," + std::to_string(a.k)  // one data, one parity
+                         : a.kill_spec;
+  std::vector<int> out;
+  std::istringstream is(spec);
+  for (std::string tok; std::getline(is, tok, ',');)
+    out.push_back(std::stoi(tok));
+  for (int r : out)
+    ECC_CHECK_MSG(r >= 0 && r < a.k + a.m, "--kill rank out of range: " << r);
+  ECC_CHECK_MSG(static_cast<int>(out.size()) <= a.m,
+                "--kill names more ranks than parity can recover");
+  return out;
+}
+
+Buffer read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  ECC_CHECK_MSG(f.good(), "missing dump " << path);
+  const std::streamsize n = f.tellg();
+  f.seekg(0);
+  Buffer b(static_cast<std::size_t>(n), Buffer::Init::kUninitialized);
+  f.read(reinterpret_cast<char*>(b.data()), n);
+  ECC_CHECK(f.good());
+  return b;
+}
+
+int run_cycle(const Args& a) {
+  const std::vector<int> to_kill = parse_kill_list(a);
+  const int total = a.k + a.m;
+  std::vector<net::Endpoint> eps = make_endpoints(a);
+  const core::FabricStripeConfig cfg = stripe_config(a);
+
+  std::cout << "transport_cli: " << a.k << "+" << a.m << " ranks over "
+            << a.transport << ", chunk " << a.bytes << " B, dir " << a.dir
+            << "\n";
+
+  // ---- phase 1: encode across real processes -----------------------------
+  std::vector<WorkerHandle> w;
+  for (int r = 0; r < total; ++r) w.push_back(spawn_worker(a, eps, r, {}));
+  for (int r = 0; r < total; ++r) {
+    const std::string line = w[static_cast<std::size_t>(r)].status.read_line(60000);
+    ECC_CHECK_MSG(line.rfind("ENCODED ", 0) == 0,
+                  "rank " << r << ": " << line);
+    std::cout << "  rank " << r << " " << line << "\n";
+  }
+
+  // ---- phase 2: SIGKILL live workers ------------------------------------
+  for (int r : to_kill) {
+    auto& h = w[static_cast<std::size_t>(r)];
+    std::cout << "  SIGKILL rank " << r << " (pid " << h.pid << ")\n";
+    ::kill(h.pid, SIGKILL);
+    ::waitpid(h.pid, nullptr, 0);
+    h.killed = true;
+  }
+
+  // ---- phase 3: replacements join, everyone recovers ---------------------
+  for (int r : to_kill) w[static_cast<std::size_t>(r)] = spawn_worker(a, eps, r, to_kill);
+  std::string recover_cmd = "RECOVER";
+  for (int r : to_kill) recover_cmd += " " + std::to_string(r);
+  for (int r = 0; r < total; ++r)
+    if (!w[static_cast<std::size_t>(r)].killed &&
+        std::find(to_kill.begin(), to_kill.end(), r) == to_kill.end())
+      write_line(w[static_cast<std::size_t>(r)].ctl_w, recover_cmd);
+  for (int r = 0; r < total; ++r) {
+    const std::string line = w[static_cast<std::size_t>(r)].status.read_line(60000);
+    ECC_CHECK_MSG(line.rfind("RECOVERED ", 0) == 0,
+                  "rank " << r << ": " << line);
+    std::cout << "  rank " << r << " " << line << "\n";
+  }
+  for (int r = 0; r < total; ++r) write_line(w[static_cast<std::size_t>(r)].ctl_w, "EXIT");
+  for (int r = 0; r < total; ++r) ::waitpid(w[static_cast<std::size_t>(r)].pid, nullptr, 0);
+
+  // ---- phase 4: single-process VirtualCluster reference ------------------
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = total;
+  ccfg.gpus_per_node = 1;
+  cluster::VirtualCluster vc(ccfg);
+  cluster::VirtualFabric ref(vc);
+  core::FabricStripeConfig ref_cfg = cfg;
+  ref_cfg.flush_to_remote = false;  // remote store differs by design
+  core::stripe_encode(ref, ref_cfg);
+  for (int r : to_kill) vc.kill(r);
+  for (int r : to_kill) vc.replace(r);
+  core::stripe_recover(ref, ref_cfg, to_kill);
+
+  bool ok = true;
+  for (int r = 0; r < total; ++r) {
+    const Buffer actual = read_file(chunk_dump_path(a, r));
+    const Buffer& reference = vc.host(r).get(core::stripe_chunk_key(r));
+    const Buffer expected = core::stripe_expected_chunk(cfg, r);
+    const bool match = actual == reference && actual == expected;
+    if (!match) {
+      std::cerr << "MISMATCH rank " << r << ": socket run disagrees with "
+                << (actual == reference ? "closed form" : "reference")
+                << "\n";
+      ok = false;
+    }
+  }
+  if (ok)
+    std::cout << "PASS: " << total << " processes, " << to_kill.size()
+              << " killed + recovered, all chunks bit-exact vs "
+                 "VirtualCluster reference\n";
+  return ok ? 0 : 1;
+}
+
+int run_peerdeath(const Args& a) {
+  Args a3 = a;
+  a3.k = 2;
+  a3.m = 1;  // 3 endpoints
+  std::vector<net::Endpoint> eps = make_endpoints(a3);
+  std::vector<WorkerHandle> w;
+  for (int r = 0; r < 3; ++r) w.push_back(spawn_worker(a3, eps, r, {}));
+  ::waitpid(w[1].pid, nullptr, 0);  // rank 1 exits immediately
+  bool ok = true;
+  for (int r : {0, 2}) {
+    const std::string line = w[static_cast<std::size_t>(r)].status.read_line(30000);
+    std::cout << "  rank " << r << " " << line << "\n";
+    if (line.rfind("PEERDEATH ", 0) != 0) {
+      ok = false;
+    } else {
+      const long ms = std::stol(line.substr(10));
+      if (ms > 15000) {
+        std::cerr << "rank " << r << " took " << ms
+                  << " ms to detect the dead peer (budget 15000)\n";
+        ok = false;
+      }
+    }
+    ::waitpid(w[static_cast<std::size_t>(r)].pid, nullptr, 0);
+  }
+  if (ok)
+    std::cout << "PASS: both survivors reported CheckFailure within the "
+                 "timeout budget\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+  Args a = parse_args(argc, argv);
+  if (a.dir.empty()) {
+    char tmpl[] = "/tmp/eccheck-net-XXXXXX";
+    ECC_CHECK(::mkdtemp(tmpl) != nullptr);
+    a.dir = tmpl;
+  } else {
+    fs::create_directories(a.dir);
+  }
+  fs::create_directories(a.dir + "/remote");
+  fs::create_directories(a.dir + "/out");
+
+  int rc = 1;
+  try {
+    rc = a.mode == "cycle" ? run_cycle(a) : run_peerdeath(a);
+  } catch (const std::exception& e) {
+    std::cerr << "transport_cli: " << e.what() << "\n";
+    rc = 1;
+  }
+  if (!a.keep) {
+    std::error_code ec;
+    fs::remove_all(a.dir, ec);
+  } else {
+    std::cout << "work dir kept: " << a.dir << "\n";
+  }
+  return rc;
+}

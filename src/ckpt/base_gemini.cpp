@@ -61,8 +61,8 @@ SaveReport GeminiReplicationEngine::save(
         cluster::broadcast(cluster, group, node, shard_key(version, w), opts);
     const std::size_t blob =
         cluster.host(node).get(shard_key(version, w)).size();
-    for (cluster::TaskId t : finish) {
-      if (t < 0) continue;
+    // broadcast() leaves kNoTask in the root's slot — filter before use.
+    for (cluster::TaskId t : cluster::valid_tasks(finish)) {
       rep.network_bytes += static_cast<std::size_t>(
           static_cast<double>(blob) * cluster.config().size_scale);
       bcast_finish = std::max(bcast_finish, cluster.timeline().finish_time(t));

@@ -1,0 +1,154 @@
+// Fabric: the shared helper surface the checkpoint protocol moves bytes
+// through, abstracted away from *how* the bytes move.
+//
+// Two implementations exist:
+//  * VirtualFabric (here) — wraps a VirtualCluster: one process drives every
+//    rank, bytes move in-memory, and each helper additionally emits
+//    virtual-time tasks into the simulator. This is the reference
+//    implementation: deterministic, instrumentable, fault-injectable.
+//  * net::SocketTransport (src/net/) — a real TCP / Unix-domain-socket
+//    transport: each process drives exactly one rank and the same calls are
+//    made SPMD-style by every participant, like an MPI program.
+//
+// The split is expressed by drives(): a helper call names global ranks, and
+// each fabric executes the side(s) of the operation belonging to ranks it
+// drives. Code written against Fabric (core/fabric_protocol.cpp, the
+// differential tests) runs unchanged on both and must produce byte-identical
+// stores — that is the contract the differential suite enforces.
+//
+// Error model: every implementation reports unreachable peers, mid-operation
+// deaths, timeouts and integrity mismatches by throwing the repo-wide
+// CheckFailure, so Session / FailureDetector / chaos-style supervision works
+// the same over a simulated or a real wire.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/collectives.hpp"
+
+namespace eccheck::cluster {
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Implementation tag for traces/log lines: "virtual", "socket[uds]", …
+  virtual std::string fabric_name() const = 0;
+
+  virtual int world_size() const = 0;
+
+  /// True when the calling process holds rank `node`'s store and executes
+  /// its side of collective calls. VirtualFabric drives every rank; a
+  /// SocketTransport drives exactly one.
+  virtual bool drives(int node) const = 0;
+
+  /// The single driven rank, or -1 when this fabric drives all of them.
+  virtual int self_rank() const = 0;
+
+  /// Volatile store of a driven rank (throws for ranks not driven here and
+  /// for dead nodes, mirroring VirtualCluster::host()).
+  virtual Store& store(int node) = 0;
+
+  // ---- fabric helpers ----------------------------------------------------
+  // Collective SPMD semantics: every participant whose rank this fabric
+  // drives executes its side; ranks not named are no-ops. All calls block
+  // until the driven side of the transfer completed (or throw CheckFailure).
+
+  /// Move `bytes` from src to dst without touching any store (pure traffic:
+  /// interference probes, cost-model calibration).
+  virtual void net_send(int src, int dst, std::size_t bytes,
+                        const std::string& label = "send") = 0;
+
+  /// Copy store(src)[src_key] into store(dst)[dst_key].
+  virtual void send_buffer(int src, int dst, const std::string& src_key,
+                           const std::string& dst_key) = 0;
+
+  /// Copy store(root)[key] to every other node in `nodes` under `key`.
+  virtual void broadcast(const std::vector<int>& nodes, int root,
+                         const std::string& key) = 0;
+
+  /// Every node contributes store(node)[key_of(node)]; afterwards every
+  /// node holds all contributions.
+  virtual void all_gather(const std::vector<int>& nodes,
+                          const std::function<std::string(int)>& key_of) = 0;
+
+  /// XOR all-reduce of equal-size buffers store(node)[key].
+  virtual void ring_all_reduce_xor(const std::vector<int>& nodes,
+                                   const std::string& key) = 0;
+
+  /// Persist store(node)[key] to remote storage under `remote_key`.
+  virtual void remote_write(int node, const std::string& key,
+                            const std::string& remote_key) = 0;
+
+  /// Fetch remote storage `remote_key` into store(node)[key].
+  virtual void remote_read(int node, const std::string& remote_key,
+                           const std::string& key) = 0;
+
+  /// All driven ranks in `nodes` rendezvous; returns when every participant
+  /// reached the barrier.
+  virtual void barrier(const std::vector<int>& nodes) = 0;
+};
+
+/// The simulated implementation: one process drives all ranks of a
+/// VirtualCluster; data moves through the existing in-memory helpers and
+/// collectives, so the timing plane keeps recording tasks and the fault
+/// hook keeps firing exactly as before.
+class VirtualFabric final : public Fabric {
+ public:
+  explicit VirtualFabric(VirtualCluster& cluster,
+                         CollectiveOptions collective_opts = {})
+      : c_(cluster), opts_(std::move(collective_opts)) {}
+
+  VirtualCluster& cluster() { return c_; }
+
+  std::string fabric_name() const override { return "virtual"; }
+  int world_size() const override { return c_.num_nodes(); }
+  bool drives(int node) const override {
+    return node >= 0 && node < c_.num_nodes();
+  }
+  int self_rank() const override { return -1; }
+  Store& store(int node) override { return c_.host(node); }
+
+  void net_send(int src, int dst, std::size_t bytes,
+                const std::string& label) override {
+    c_.net_send(src, dst, bytes, opts_.deps, opts_.idle_only, label);
+  }
+  void send_buffer(int src, int dst, const std::string& src_key,
+                   const std::string& dst_key) override {
+    c_.send_buffer(src, dst, src_key, dst_key, opts_.deps, opts_.idle_only);
+  }
+  void broadcast(const std::vector<int>& nodes, int root,
+                 const std::string& key) override {
+    cluster::broadcast(c_, nodes, root, key, opts_);
+  }
+  void all_gather(const std::vector<int>& nodes,
+                  const std::function<std::string(int)>& key_of) override {
+    cluster::all_gather(c_, nodes, key_of, opts_);
+  }
+  void ring_all_reduce_xor(const std::vector<int>& nodes,
+                           const std::string& key) override {
+    cluster::ring_all_reduce_xor(c_, nodes, key, opts_);
+  }
+  void remote_write(int node, const std::string& key,
+                    const std::string& remote_key) override {
+    c_.flush_to_remote(node, key, remote_key, opts_.deps);
+  }
+  void remote_read(int node, const std::string& remote_key,
+                   const std::string& key) override {
+    c_.fetch_from_remote(node, remote_key, key, opts_.deps);
+  }
+  void barrier(const std::vector<int>&) override {
+    // Single process, single thread: every driven rank already reached this
+    // point; emit the zero-duration join for the schedule only.
+    c_.barrier(opts_.deps);
+  }
+
+ private:
+  VirtualCluster& c_;
+  CollectiveOptions opts_;
+};
+
+}  // namespace eccheck::cluster

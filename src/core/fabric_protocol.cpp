@@ -1,0 +1,205 @@
+#include "core/fabric_protocol.hpp"
+
+#include <algorithm>
+
+#include "common/crc64.hpp"
+#include "common/rng.hpp"
+#include "ec/crs_codec.hpp"
+
+namespace eccheck::core {
+namespace {
+
+constexpr std::uint64_t kMetaMagic = 0x3154'4d52'5453'4345ULL;  // "ECSTRMT1"
+
+std::uint64_t chunk_seed(const FabricStripeConfig& cfg, int row) {
+  // Distinct, order-free streams per data row.
+  return cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(row);
+}
+
+Buffer make_meta(const FabricStripeConfig& cfg) {
+  Buffer b(6 * sizeof(std::uint64_t), Buffer::Init::kZeroed);
+  std::uint64_t fields[6] = {kMetaMagic,
+                             static_cast<std::uint64_t>(cfg.k),
+                             static_cast<std::uint64_t>(cfg.m),
+                             static_cast<std::uint64_t>(cfg.gf_width),
+                             static_cast<std::uint64_t>(cfg.chunk_bytes),
+                             cfg.seed};
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 8; ++j)
+      b.data()[i * 8 + j] = static_cast<std::byte>(fields[i] >> (8 * j));
+  return b;
+}
+
+/// Every driven rank cross-checks the broadcast metadata against its own
+/// config: in a multi-process run a mis-launched worker must fail loudly,
+/// not silently encode a different stripe.
+void check_meta(const FabricStripeConfig& cfg, const Buffer& meta) {
+  Buffer expect = make_meta(cfg);
+  ECC_CHECK_MSG(meta == expect,
+                "stripe metadata mismatch — workers were launched with "
+                "different (k, m, w, chunk_bytes, seed)");
+}
+
+ec::CrsCodec make_codec(const FabricStripeConfig& cfg) {
+  return ec::CrsCodec(cfg.k, cfg.m, cfg.gf_width);
+}
+
+}  // namespace
+
+std::string stripe_chunk_key(int row) {
+  return "stripe/chunk/" + std::to_string(row);
+}
+std::string stripe_partial_key(int parity) {
+  return "stripe/partial/" + std::to_string(parity);
+}
+std::string stripe_meta_key() { return "stripe/meta"; }
+std::string stripe_remote_key(int row) {
+  return "stripe/remote/" + std::to_string(row);
+}
+
+std::vector<int> stripe_all_nodes(const FabricStripeConfig& cfg) {
+  std::vector<int> out;
+  for (int i = 0; i < cfg.total(); ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<int> stripe_data_nodes(const FabricStripeConfig& cfg) {
+  std::vector<int> out;
+  for (int c = 0; c < cfg.k; ++c) out.push_back(c);
+  return out;
+}
+
+void stripe_encode(cluster::Fabric& fabric, const FabricStripeConfig& cfg) {
+  ECC_CHECK(cfg.k >= 1 && cfg.m >= 0 && cfg.chunk_bytes > 0);
+  ECC_CHECK_MSG(fabric.world_size() >= cfg.total(),
+                "fabric of " << fabric.world_size() << " ranks cannot hold a "
+                             << cfg.k << "+" << cfg.m << " stripe");
+  const ec::CrsCodec codec = make_codec(cfg);
+  ECC_CHECK(cfg.chunk_bytes % codec.packet_granularity() == 0);
+  const auto all = stripe_all_nodes(cfg);
+  const auto data = stripe_data_nodes(cfg);
+
+  // Step 1: every data rank synthesizes its chunk (the stand-in for the
+  // GPU→host snapshot).
+  for (int c : data) {
+    if (!fabric.drives(c)) continue;
+    Buffer chunk(cfg.chunk_bytes, Buffer::Init::kUninitialized);
+    fill_random(chunk.span(), chunk_seed(cfg, c));
+    fabric.store(c).put(stripe_chunk_key(c), std::move(chunk));
+  }
+
+  // Step 2: broadcast the tiny stripe metadata from rank 0; every driven
+  // rank verifies it against its own launch config.
+  if (fabric.drives(0))
+    fabric.store(0).put(stripe_meta_key(), make_meta(cfg));
+  fabric.broadcast(all, 0, stripe_meta_key());
+  for (int n : all)
+    if (fabric.drives(n)) check_meta(cfg, fabric.store(n).get(stripe_meta_key()));
+
+  // Step 3: per parity row r — each data rank contributes its GF partial
+  // product, the partials XOR-reduce around the data ring (GF(2^w) addition
+  // is XOR), and the lowest data rank ships the finished parity to its
+  // parity rank.
+  for (int r = 0; r < cfg.m; ++r) {
+    const std::string pkey = stripe_partial_key(r);
+    for (int c : data) {
+      if (!fabric.drives(c)) continue;
+      Buffer partial(cfg.chunk_bytes, Buffer::Init::kZeroed);
+      codec.encode_partial(cfg.k + r, c,
+                           fabric.store(c).get(stripe_chunk_key(c)).span(),
+                           partial.span(), /*accumulate=*/false);
+      fabric.store(c).put(pkey, std::move(partial));
+    }
+    fabric.ring_all_reduce_xor(data, pkey);
+    fabric.send_buffer(data[0], cfg.k + r, pkey, stripe_chunk_key(cfg.k + r));
+    for (int c : data)
+      if (fabric.drives(c)) fabric.store(c).erase(pkey);
+  }
+
+  // Step 4 (optional): low-frequency flush to persistent remote storage.
+  if (cfg.flush_to_remote)
+    for (int n : all)
+      fabric.remote_write(n, stripe_chunk_key(n), stripe_remote_key(n));
+
+  fabric.barrier(all);
+}
+
+void stripe_recover(cluster::Fabric& fabric, const FabricStripeConfig& cfg,
+                    const std::vector<int>& replaced) {
+  const ec::CrsCodec codec = make_codec(cfg);
+  const auto all = stripe_all_nodes(cfg);
+
+  std::vector<int> survivors;
+  for (int n : all)
+    if (std::find(replaced.begin(), replaced.end(), n) == replaced.end())
+      survivors.push_back(n);
+  ECC_CHECK_MSG(static_cast<int>(survivors.size()) >= cfg.k,
+                replaced.size() << " ranks lost with only m=" << cfg.m
+                                << " parity — stripe unrecoverable without "
+                                   "the remote fallback");
+  const std::vector<int> helpers(survivors.begin(),
+                                 survivors.begin() + cfg.k);
+
+  // Replacements come up empty: re-broadcast the stripe metadata from the
+  // lowest survivor so they rejoin with a verified view of the stripe.
+  fabric.broadcast(all, survivors[0], stripe_meta_key());
+  for (int n : all)
+    if (fabric.drives(n)) check_meta(cfg, fabric.store(n).get(stripe_meta_key()));
+
+  // Any k surviving rows reconstruct any target row: helpers ship their
+  // chunks to each replacement, which applies T = E[target]·E[helpers]⁻¹.
+  for (int t : replaced) {
+    for (int h : helpers)
+      fabric.send_buffer(h, t, stripe_chunk_key(h),
+                         "stripe/recover/" + std::to_string(h));
+    if (fabric.drives(t)) {
+      std::vector<ByteSpan> in;
+      for (int h : helpers)
+        in.push_back(
+            fabric.store(t).get("stripe/recover/" + std::to_string(h)).span());
+      Buffer out(cfg.chunk_bytes, Buffer::Init::kZeroed);
+      ec::GfMatrix recon = codec.reconstruction_matrix(helpers, {t});
+      std::vector<MutableByteSpan> outs = {out.span()};
+      codec.apply_matrix(recon, in, outs);
+      fabric.store(t).put(stripe_chunk_key(t), std::move(out));
+      for (int h : helpers)
+        fabric.store(t).erase("stripe/recover/" + std::to_string(h));
+    }
+  }
+  fabric.barrier(all);
+}
+
+void stripe_recover_from_remote(cluster::Fabric& fabric,
+                                const FabricStripeConfig& cfg, int node) {
+  if (!fabric.drives(node)) return;
+  fabric.remote_read(node, stripe_remote_key(node), stripe_chunk_key(node));
+  ECC_CHECK(fabric.store(node).get(stripe_chunk_key(node)).size() ==
+            cfg.chunk_bytes);
+}
+
+Buffer stripe_expected_chunk(const FabricStripeConfig& cfg, int row) {
+  ECC_CHECK(row >= 0 && row < cfg.total());
+  if (row < cfg.k) {
+    Buffer chunk(cfg.chunk_bytes, Buffer::Init::kUninitialized);
+    fill_random(chunk.span(), chunk_seed(cfg, row));
+    return chunk;
+  }
+  const ec::CrsCodec codec = make_codec(cfg);
+  std::vector<Buffer> datab;
+  std::vector<ByteSpan> data;
+  for (int c = 0; c < cfg.k; ++c) {
+    datab.push_back(stripe_expected_chunk(cfg, c));
+    data.push_back(datab.back().span());
+  }
+  Buffer parity(cfg.chunk_bytes, Buffer::Init::kZeroed);
+  for (int c = 0; c < cfg.k; ++c)
+    codec.encode_partial(row, c, data[static_cast<std::size_t>(c)],
+                         parity.span(), /*accumulate=*/true);
+  return parity;
+}
+
+std::uint64_t stripe_chunk_crc(cluster::Fabric& fabric, int node) {
+  return crc64(fabric.store(node).get(stripe_chunk_key(node)).span());
+}
+
+}  // namespace eccheck::core

@@ -1,0 +1,76 @@
+// Fabric-generic erasure-coded stripe protocol: the paper's encode and
+// recovery workflows expressed purely against cluster::Fabric, so the same
+// code runs
+//  * in one process over VirtualFabric (the simulated reference), and
+//  * SPMD across real processes over net::SocketTransport,
+// and must leave byte-identical stores — the property transport_cli and the
+// differential suite assert.
+//
+// Layout mirrors the engine's distributed protocol (§III-B/§IV): data rank
+// c (0..k-1) owns data chunk c; parity rank k+r owns parity chunk r. Encode
+// computes each parity as the XOR-all-reduce of per-data-rank GF partial
+// products around the data ring, then ships it to its parity rank; recovery
+// refills replaced ranks from any k survivors via the reconstruction
+// matrix. Every rank only ever touches its own store — all cross-rank bytes
+// move through fabric helpers, which is what makes the protocol
+// transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.hpp"
+#include "common/bytes.hpp"
+
+namespace eccheck::core {
+
+struct FabricStripeConfig {
+  int k = 4;                         ///< data ranks
+  int m = 2;                         ///< parity ranks
+  int gf_width = 8;
+  std::size_t chunk_bytes = 64 * 1024;
+  std::uint64_t seed = 1;            ///< deterministic payload synthesis
+  bool flush_to_remote = false;      ///< also remote_write every chunk
+
+  int total() const { return k + m; }
+};
+
+std::string stripe_chunk_key(int row);
+std::string stripe_partial_key(int parity);
+std::string stripe_meta_key();
+std::string stripe_remote_key(int row);
+
+std::vector<int> stripe_all_nodes(const FabricStripeConfig& cfg);
+std::vector<int> stripe_data_nodes(const FabricStripeConfig& cfg);
+
+/// SPMD encode: synthesize data chunks, broadcast stripe metadata from rank
+/// 0 (verified against `cfg` by every driven rank), reduce parities around
+/// the data ring, ship them to parity ranks, optionally flush every chunk
+/// to the remote store. Ends with a fabric barrier; afterwards rank i holds
+/// exactly stripe_chunk_key(i) (+ metadata).
+void stripe_encode(cluster::Fabric& fabric, const FabricStripeConfig& cfg);
+
+/// SPMD recovery after the ranks in `replaced` lost their volatile stores
+/// (killed and re-spawned empty): metadata is re-broadcast from the lowest
+/// survivor, the first k survivors ship their chunks to each replacement,
+/// and each replacement decodes its own row via the reconstruction matrix.
+/// Ends with a fabric barrier; afterwards every rank again holds its row
+/// chunk, bit-exact with the pre-failure stripe.
+void stripe_recover(cluster::Fabric& fabric, const FabricStripeConfig& cfg,
+                    const std::vector<int>& replaced);
+
+/// Refill a driven replaced rank directly from the persistent remote store
+/// (the catastrophic-loss path: fewer than k survivors).
+void stripe_recover_from_remote(cluster::Fabric& fabric,
+                                const FabricStripeConfig& cfg, int node);
+
+/// The chunk row `row` must hold after encode/recover — data rows are
+/// synthesized from the seed, parity rows encoded locally. Reference for
+/// bit-exact verification without any cluster.
+Buffer stripe_expected_chunk(const FabricStripeConfig& cfg, int row);
+
+/// CRC64 of a driven rank's current chunk.
+std::uint64_t stripe_chunk_crc(cluster::Fabric& fabric, int node);
+
+}  // namespace eccheck::core

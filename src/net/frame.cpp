@@ -1,0 +1,81 @@
+#include "net/frame.hpp"
+
+#include "common/check.hpp"
+
+namespace eccheck::net {
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kPut: return "put";
+    case FrameType::kBytes: return "bytes";
+    case FrameType::kSegment: return "segment";
+    case FrameType::kBarrier: return "barrier";
+    case FrameType::kAck: return "ack";
+  }
+  return "?";
+}
+
+void encode_frame_header(const FrameHeader& h, std::uint8_t* out) {
+  ECC_CHECK(h.key.size() <= kMaxKeyLen);
+  ECC_CHECK(h.payload_len <= kMaxPayloadLen);
+  put_u64(out, kFrameMagic);
+  put_u32(out + 8, static_cast<std::uint32_t>(h.type));
+  put_u32(out + 12, h.src_rank);
+  put_u32(out + 16, static_cast<std::uint32_t>(h.key.size()));
+  put_u32(out + 20, h.aux);
+  put_u64(out + 24, h.payload_len);
+  put_u64(out + 32, h.payload_crc);
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* in,
+                                std::uint32_t* key_len) {
+  ECC_CHECK_MSG(get_u64(in) == kFrameMagic,
+                "net: bad frame magic — stream desynchronised or not an "
+                "eccheck transport peer");
+  FrameHeader h;
+  const std::uint32_t type = get_u32(in + 8);
+  ECC_CHECK_MSG(type >= 1 && type <= 6, "net: unknown frame type " << type);
+  h.type = static_cast<FrameType>(type);
+  h.src_rank = get_u32(in + 12);
+  *key_len = get_u32(in + 16);
+  ECC_CHECK_MSG(*key_len <= kMaxKeyLen, "net: frame key_len " << *key_len
+                                            << " exceeds bound " << kMaxKeyLen);
+  h.aux = get_u32(in + 20);
+  h.payload_len = get_u64(in + 24);
+  ECC_CHECK_MSG(h.payload_len <= kMaxPayloadLen,
+                "net: frame payload_len " << h.payload_len
+                                          << " exceeds bound "
+                                          << kMaxPayloadLen);
+  h.payload_crc = get_u64(in + 32);
+  return h;
+}
+
+}  // namespace eccheck::net

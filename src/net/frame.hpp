@@ -1,0 +1,65 @@
+// Wire framing for the socket transport: length-prefixed frames carrying
+// (dst_key, CRC64, payload).
+//
+// Layout (all integers little-endian):
+//   offset  size  field
+//        0     8  magic          "ECNETFR1"
+//        8     4  type           FrameType
+//       12     4  src_rank       sender's global rank
+//       16     4  key_len        bytes of dst_key following the header
+//       20     4  aux            frame-type-specific (segment index, …)
+//       24     8  payload_len    bytes of payload following the key
+//       32     8  payload_crc    CRC64 (ECMA-182) of the payload
+//       40        dst_key bytes, then payload bytes
+//
+// Every byte-carrying frame is acknowledged: the receiver verifies the CRC
+// and answers with a kAck frame echoing the payload CRC, giving the sender
+// end-to-end confirmation that the bytes landed intact. A CRC mismatch on
+// either side is a CheckFailure (corruption on a real wire is treated like
+// the silent-corruption fault the chaos layer injects in the simulator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace eccheck::net {
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,    ///< first frame on a new connection: identifies src_rank
+  kPut = 2,      ///< store payload under dst_key at the receiver
+  kBytes = 3,    ///< pure traffic: payload is discarded after the CRC check
+  kSegment = 4,  ///< ring all-reduce segment; aux = segment index
+  kBarrier = 5,  ///< zero-payload rendezvous token
+  kAck = 6,      ///< acknowledgement; payload_crc echoes the acked frame's
+};
+
+const char* frame_type_name(FrameType t);
+
+struct FrameHeader {
+  FrameType type = FrameType::kPut;
+  std::uint32_t src_rank = 0;
+  std::uint32_t aux = 0;
+  std::string key;               ///< dst_key (empty for control frames)
+  std::uint64_t payload_len = 0;
+  std::uint64_t payload_crc = 0;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 40;
+inline constexpr std::uint64_t kFrameMagic = 0x3152'4654'454e'4345ULL;  // "ECNETFR1"
+
+/// Sanity bounds enforced on receive (desynchronised or corrupt streams
+/// must fail fast, not attempt a multi-gigabyte allocation).
+inline constexpr std::uint32_t kMaxKeyLen = 4096;
+inline constexpr std::uint64_t kMaxPayloadLen = 1ull << 31;
+
+/// Serialize `h` (without payload) into `out[kFrameHeaderBytes]`.
+void encode_frame_header(const FrameHeader& h, std::uint8_t* out);
+
+/// Parse and validate a header; throws CheckFailure on bad magic /
+/// unknown type / out-of-bounds lengths. The key is NOT read here (it
+/// follows in the stream).
+FrameHeader decode_frame_header(const std::uint8_t* in, std::uint32_t* key_len);
+
+}  // namespace eccheck::net

@@ -1,0 +1,109 @@
+// POSIX socket primitives for the real transport: RAII fds, endpoint
+// addressing (TCP and Unix-domain), and fully time-bounded I/O.
+//
+// Every blocking point — connect, accept, read, write — goes through
+// poll(2) with a caller-supplied deadline, so a dead or wedged peer can
+// never hang the checkpoint protocol: the operation throws CheckFailure
+// when the timeout elapses, which is exactly the failure signal the rest
+// of the system (Session, FailureDetector, chaos invariants) already
+// understands. connect additionally retries with bounded exponential
+// backoff, because in SPMD startup a peer's listener may simply not exist
+// yet.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace eccheck::net {
+
+using Millis = std::chrono::milliseconds;
+
+/// A place a transport rank listens on: either a Unix-domain socket path
+/// ("unix:/tmp/ec/rank0.sock") or a TCP host:port ("tcp:127.0.0.1:9000").
+struct Endpoint {
+  enum class Kind { kUds, kTcp };
+
+  Kind kind = Kind::kUds;
+  std::string path;         ///< kUds: filesystem path
+  std::string host;         ///< kTcp: numeric IPv4 address or "localhost"
+  std::uint16_t port = 0;   ///< kTcp: port (0 = bind ephemeral)
+
+  static Endpoint uds(std::string path);
+  static Endpoint tcp(std::string host, std::uint16_t port);
+
+  /// Parse "unix:<path>" or "tcp:<host>:<port>"; throws CheckFailure on
+  /// malformed specs.
+  static Endpoint parse(const std::string& spec);
+
+  std::string to_string() const;
+  /// Short transport tag for span names / stats: "uds" or "tcp".
+  const char* tag() const { return kind == Kind::kUds ? "uds" : "tcp"; }
+};
+
+/// Move-only RAII fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// Release ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on `ep`. A stale UDS path is unlinked first (a replacement
+/// rank re-listens on its predecessor's address); TCP sets SO_REUSEADDR.
+/// For TCP port 0 the actual bound port is written back into `ep`.
+Socket listen_on(Endpoint& ep, int backlog = 16);
+
+/// Accept one connection, waiting at most `timeout`; throws CheckFailure on
+/// timeout ("no peer connected") or listener error.
+Socket accept_with_timeout(const Socket& listener, Millis timeout,
+                           const std::string& who);
+
+/// Connect to `ep`, retrying ECONNREFUSED/ENOENT (listener not up yet) with
+/// exponential backoff: attempt i sleeps min(backoff_base·2^i, backoff_max)
+/// before retrying, up to `retries` retries. Each individual attempt is
+/// bounded by `connect_timeout`. Throws CheckFailure once the budget is
+/// exhausted — a peer that never comes up is a dead peer.
+/// `retry_count`, when non-null, accumulates the number of retries taken.
+Socket connect_with_retry(const Endpoint& ep, Millis connect_timeout,
+                          int retries, Millis backoff_base, Millis backoff_max,
+                          const std::string& who, int* retry_count = nullptr);
+
+/// Write exactly `len` bytes before `timeout` elapses (deadline covers the
+/// whole transfer). EPIPE/ECONNRESET/timeout → CheckFailure.
+void write_full(const Socket& s, const void* data, std::size_t len,
+                Millis timeout, const std::string& who);
+
+/// Read exactly `len` bytes before `timeout` elapses. EOF (peer died) /
+/// ECONNRESET / timeout → CheckFailure.
+void read_full(const Socket& s, void* data, std::size_t len, Millis timeout,
+               const std::string& who);
+
+}  // namespace eccheck::net

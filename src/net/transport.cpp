@@ -1,0 +1,471 @@
+#include "net/transport.hpp"
+
+#include <stdio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc64.hpp"
+#include "gf/simd.hpp"
+#include "obs/tracer.hpp"
+
+namespace eccheck::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool contains(const std::vector<int>& nodes, int rank) {
+  return std::find(nodes.begin(), nodes.end(), rank) != nodes.end();
+}
+
+Millis remaining(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<Millis>(deadline - Clock::now());
+  return left.count() > 0 ? left : Millis{0};
+}
+
+void put_u64_le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr std::uint64_t kRemoteChunkMagic = 0x314b'4843'454e'4345ULL;
+
+/// Filesystem-safe encoding of a store key ('/' and friends percent-encoded,
+/// bijective so distinct keys never collide on disk).
+std::string escape_key(const std::string& key) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size());
+  for (unsigned char c : key) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int rank, std::vector<Endpoint> peers,
+                                 TransportOptions opts)
+    : rank_(rank),
+      peers_(std::move(peers)),
+      opts_(std::move(opts)),
+      stats_(opts_.stats != nullptr ? opts_.stats : &own_stats_) {
+  ECC_CHECK_MSG(rank_ >= 0 && rank_ < static_cast<int>(peers_.size()),
+                "transport rank " << rank_ << " outside peer table of "
+                                  << peers_.size());
+  listener_ = listen_on(peers_[self_idx()]);
+}
+
+SocketTransport::~SocketTransport() { shutdown(); }
+
+void SocketTransport::set_peers(std::vector<Endpoint> peers) {
+  ECC_CHECK_MSG(peers.size() == peers_.size(),
+                "set_peers must keep the world size");
+  ECC_CHECK_MSG(out_.empty() && in_.empty(),
+                "set_peers after connections were opened");
+  // Keep the endpoint this rank actually bound (ephemeral TCP port).
+  Endpoint self = peers_[self_idx()];
+  peers_ = std::move(peers);
+  peers_[self_idx()] = self;
+}
+
+void SocketTransport::reset_peer(int peer) {
+  out_.erase(peer);
+  in_.erase(peer);
+}
+
+void SocketTransport::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  out_.clear();
+  in_.clear();
+  if (listener_.valid() && peers_[self_idx()].kind == Endpoint::Kind::kUds)
+    ::unlink(peers_[self_idx()].path.c_str());
+  listener_.close();
+}
+
+std::string SocketTransport::fabric_name() const {
+  return std::string("socket[") + tag() + "]";
+}
+
+cluster::Store& SocketTransport::store(int node) {
+  ECC_CHECK_MSG(node == rank_, "rank " << rank_
+                                       << " cannot access the store of rank "
+                                       << node << " over a socket fabric");
+  return store_;
+}
+
+std::string SocketTransport::who(const std::string& what, int peer) const {
+  return "rank " + std::to_string(rank_) + " " + what + " peer " +
+         std::to_string(peer) + " (" +
+         peers_[static_cast<std::size_t>(peer)].to_string() + ")";
+}
+
+Socket& SocketTransport::conn_to(int peer) {
+  ECC_CHECK_MSG(!shut_down_, "transport already shut down");
+  ECC_CHECK(peer >= 0 && peer < world_size() && peer != rank_);
+  auto it = out_.find(peer);
+  if (it != out_.end()) return it->second;
+
+  obs::ScopedSpan span(std::string("net.connect[") + tag() + "]");
+  int retries = 0;
+  Socket s = connect_with_retry(peers_[static_cast<std::size_t>(peer)],
+                                opts_.connect_timeout, opts_.connect_retries,
+                                opts_.backoff_base, opts_.backoff_max,
+                                who("connect to", peer), &retries);
+  stats_->add("net.connect.count");
+  if (retries > 0) stats_->add("net.retry.count",
+                               static_cast<std::uint64_t>(retries));
+  // Introduce ourselves so the peer can pool this connection by rank.
+  FrameHeader hello;
+  hello.type = FrameType::kHello;
+  hello.src_rank = static_cast<std::uint32_t>(rank_);
+  std::uint8_t hdr[kFrameHeaderBytes];
+  encode_frame_header(hello, hdr);
+  write_full(s, hdr, sizeof(hdr), opts_.io_timeout, who("hello to", peer));
+  return out_.emplace(peer, std::move(s)).first->second;
+}
+
+Socket& SocketTransport::conn_from(int peer) {
+  ECC_CHECK_MSG(!shut_down_, "transport already shut down");
+  ECC_CHECK(peer >= 0 && peer < world_size() && peer != rank_);
+  auto it = in_.find(peer);
+  if (it != in_.end()) return it->second;
+
+  const auto deadline = Clock::now() + opts_.io_timeout;
+  for (;;) {
+    const std::string ctx = who("await connection from", peer);
+    Socket s = accept_with_timeout(listener_, remaining(deadline), ctx);
+    stats_->add("net.accept.count");
+    std::uint8_t hdr[kFrameHeaderBytes];
+    read_full(s, hdr, sizeof(hdr), remaining(deadline), ctx);
+    std::uint32_t key_len = 0;
+    FrameHeader h = decode_frame_header(hdr, &key_len);
+    ECC_CHECK_MSG(h.type == FrameType::kHello && key_len == 0 &&
+                      h.payload_len == 0,
+                  ctx << ": first frame was " << frame_type_name(h.type)
+                      << ", expected hello");
+    const int from = static_cast<int>(h.src_rank);
+    ECC_CHECK_MSG(from >= 0 && from < world_size() && from != rank_,
+                  ctx << ": hello names bogus rank " << from);
+    auto [pos, inserted] = in_.insert_or_assign(from, std::move(s));
+    (void)inserted;
+    if (from == peer) return pos->second;
+    // Someone else connected first (collectives overlap); keep them pooled
+    // and continue waiting for the peer we need.
+  }
+}
+
+void SocketTransport::send_frame(int dst, FrameType type,
+                                 const std::string& key, std::uint32_t aux,
+                                 ByteSpan payload) {
+  obs::ScopedSpan span(std::string("net.send[") + tag() + "]",
+                       payload.size());
+  const std::string ctx = who(std::string("send ") + frame_type_name(type) +
+                                  " to",
+                              dst);
+  Socket& s = conn_to(dst);
+  FrameHeader h;
+  h.type = type;
+  h.src_rank = static_cast<std::uint32_t>(rank_);
+  h.aux = aux;
+  h.key = key;
+  h.payload_len = payload.size();
+  h.payload_crc = crc64(payload);
+
+  std::vector<std::uint8_t> head(kFrameHeaderBytes + key.size());
+  encode_frame_header(h, head.data());
+  std::memcpy(head.data() + kFrameHeaderBytes, key.data(), key.size());
+  write_full(s, head.data(), head.size(), opts_.io_timeout, ctx);
+  if (!payload.empty())
+    write_full(s, payload.data(), payload.size(), opts_.io_timeout, ctx);
+  stats_->add("net.send.bytes", payload.size());
+  stats_->add("net.send.count");
+
+  // End-to-end confirmation: the receiver acks with the payload CRC after
+  // verifying it. A dead or corrupting peer fails here, inside the timeout.
+  std::uint8_t ack_hdr[kFrameHeaderBytes];
+  read_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
+  std::uint32_t ack_key_len = 0;
+  FrameHeader ack = decode_frame_header(ack_hdr, &ack_key_len);
+  ECC_CHECK_MSG(ack.type == FrameType::kAck && ack_key_len == 0,
+                ctx << ": expected ack, got " << frame_type_name(ack.type));
+  ECC_CHECK_MSG(ack.payload_crc == h.payload_crc,
+                ctx << ": ack CRC mismatch — payload corrupted in flight");
+  stats_->add("net.ack.count");
+}
+
+SocketTransport::Received SocketTransport::recv_frame(int src,
+                                                      FrameType expect) {
+  obs::ScopedSpan span(std::string("net.recv[") + tag() + "]");
+  const std::string ctx = who(std::string("recv ") + frame_type_name(expect) +
+                                  " from",
+                              src);
+  Socket& s = conn_from(src);
+  std::uint8_t hdr[kFrameHeaderBytes];
+  read_full(s, hdr, sizeof(hdr), opts_.io_timeout, ctx);
+  std::uint32_t key_len = 0;
+  Received r;
+  r.header = decode_frame_header(hdr, &key_len);
+  ECC_CHECK_MSG(r.header.type == expect,
+                ctx << ": got " << frame_type_name(r.header.type));
+  ECC_CHECK_MSG(static_cast<int>(r.header.src_rank) == src,
+                ctx << ": frame claims rank " << r.header.src_rank);
+  if (key_len > 0) {
+    r.header.key.resize(key_len);
+    read_full(s, r.header.key.data(), key_len, opts_.io_timeout, ctx);
+  }
+  r.payload = Buffer(r.header.payload_len, Buffer::Init::kUninitialized);
+  if (!r.payload.empty())
+    read_full(s, r.payload.data(), r.payload.size(), opts_.io_timeout, ctx);
+  ECC_CHECK_MSG(crc64(r.payload.span()) == r.header.payload_crc,
+                ctx << ": payload CRC mismatch — wire corruption");
+  stats_->add("net.recv.bytes", r.payload.size());
+  stats_->add("net.recv.count");
+  span.set_bytes(r.payload.size());
+
+  FrameHeader ack;
+  ack.type = FrameType::kAck;
+  ack.src_rank = static_cast<std::uint32_t>(rank_);
+  ack.payload_crc = r.header.payload_crc;
+  std::uint8_t ack_hdr[kFrameHeaderBytes];
+  encode_frame_header(ack, ack_hdr);
+  write_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
+  return r;
+}
+
+void SocketTransport::net_send(int src, int dst, std::size_t bytes,
+                               const std::string&) {
+  ECC_CHECK_MSG(src != dst, "net_send to self");
+  if (rank_ == src) {
+    Buffer zeros(bytes, Buffer::Init::kZeroed);
+    send_frame(dst, FrameType::kBytes, "", 0, zeros.span());
+  } else if (rank_ == dst) {
+    recv_frame(src, FrameType::kBytes);  // pure traffic: discard
+  }
+}
+
+void SocketTransport::send_buffer(int src, int dst, const std::string& src_key,
+                                  const std::string& dst_key) {
+  ECC_CHECK_MSG(src != dst, "send_buffer to self");
+  if (rank_ == src) {
+    send_frame(dst, FrameType::kPut, dst_key, 0, store_.get(src_key).span());
+  } else if (rank_ == dst) {
+    Received r = recv_frame(src, FrameType::kPut);
+    ECC_CHECK(r.header.key == dst_key);
+    store_.put(r.header.key, std::move(r.payload));
+  }
+}
+
+void SocketTransport::broadcast(const std::vector<int>& nodes, int root,
+                                const std::string& key) {
+  if (!contains(nodes, rank_)) return;
+  if (rank_ == root) {
+    for (int dst : nodes) {
+      if (dst == root) continue;
+      // Re-resolve per fan-out send, mirroring the simulated collective.
+      send_frame(dst, FrameType::kPut, key, 0, store_.get(key).span());
+    }
+  } else {
+    Received r = recv_frame(root, FrameType::kPut);
+    ECC_CHECK(r.header.key == key);
+    store_.put(key, std::move(r.payload));
+  }
+}
+
+void SocketTransport::all_gather(
+    const std::vector<int>& nodes,
+    const std::function<std::string(int)>& key_of) {
+  const int p = static_cast<int>(nodes.size());
+  if (!contains(nodes, rank_) || p <= 1) return;
+  const int pos = static_cast<int>(
+      std::find(nodes.begin(), nodes.end(), rank_) - nodes.begin());
+  const int right = nodes[static_cast<std::size_t>((pos + 1) % p)];
+  const int left = nodes[static_cast<std::size_t>((pos - 1 + p) % p)];
+
+  // Ring: at step t, forward the chunk that originated (pos - t) positions
+  // back; receive the one originating (pos - 1 - t) back. Even positions
+  // send before receiving, odd positions the reverse — with at least one
+  // odd position in any p ≥ 2 ring, the cyclic wait cannot close.
+  for (int t = 0; t < p - 1; ++t) {
+    const std::string send_key =
+        key_of(nodes[static_cast<std::size_t>(((pos - t) % p + p) % p)]);
+    const std::string recv_key =
+        key_of(nodes[static_cast<std::size_t>(((pos - 1 - t) % p + p) % p)]);
+    auto do_send = [&] {
+      send_frame(right, FrameType::kPut, send_key, 0,
+                 store_.get(send_key).span());
+    };
+    auto do_recv = [&] {
+      Received r = recv_frame(left, FrameType::kPut);
+      ECC_CHECK_MSG(r.header.key == recv_key,
+                    "all_gather step " << t << ": expected '" << recv_key
+                                       << "', got '" << r.header.key << "'");
+      store_.put(recv_key, std::move(r.payload));
+    };
+    if (pos % 2 == 0) {
+      do_send();
+      do_recv();
+    } else {
+      do_recv();
+      do_send();
+    }
+  }
+}
+
+void SocketTransport::ring_all_reduce_xor(const std::vector<int>& nodes,
+                                          const std::string& key) {
+  const int p = static_cast<int>(nodes.size());
+  if (!contains(nodes, rank_) || p <= 1) return;
+  const int pos = static_cast<int>(
+      std::find(nodes.begin(), nodes.end(), rank_) - nodes.begin());
+  const int right = nodes[static_cast<std::size_t>((pos + 1) % p)];
+  const int left = nodes[static_cast<std::size_t>((pos - 1 + p) % p)];
+
+  Buffer work = store_.get(key).clone();
+  const std::size_t total = work.size();
+  const gf::simd::Kernels& kernels = gf::simd::active();
+
+  // Reduce-scatter then all-gather over the shared segment geometry
+  // (cluster::ring_segment) — the same true per-step sizes the simulated
+  // collective charges, so both fabrics move identical bytes.
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int t = 0; t < p - 1; ++t) {
+      const int send_idx = cluster::ring_send_segment(p, phase, t, pos);
+      const int recv_idx =
+          cluster::ring_send_segment(p, phase, t, (pos - 1 + p) % p);
+      const cluster::RingSegment send_seg =
+          cluster::ring_segment(total, p, send_idx);
+      const cluster::RingSegment recv_seg =
+          cluster::ring_segment(total, p, recv_idx);
+      auto do_send = [&] {
+        send_frame(right, FrameType::kSegment, key,
+                   static_cast<std::uint32_t>(send_idx),
+                   work.subspan(send_seg.offset, send_seg.size));
+      };
+      auto do_recv = [&] {
+        Received r = recv_frame(left, FrameType::kSegment);
+        ECC_CHECK_MSG(r.header.aux == static_cast<std::uint32_t>(recv_idx) &&
+                          r.payload.size() == recv_seg.size,
+                      "ring step " << phase << "/" << t << ": got segment "
+                                   << r.header.aux << " of "
+                                   << r.payload.size() << "B, expected "
+                                   << recv_idx << " of " << recv_seg.size
+                                   << "B — peers disagree on the buffer");
+        if (phase == 0) {
+          kernels.xor_into(work.data() + recv_seg.offset, r.payload.data(),
+                           recv_seg.size);
+        } else if (recv_seg.size > 0) {
+          std::memcpy(work.data() + recv_seg.offset, r.payload.data(),
+                      recv_seg.size);
+        }
+      };
+      if (pos % 2 == 0) {
+        do_send();
+        do_recv();
+      } else {
+        do_recv();
+        do_send();
+      }
+    }
+  }
+  store_.put(key, std::move(work));
+}
+
+std::string SocketTransport::remote_path(const std::string& remote_key) const {
+  ECC_CHECK_MSG(!opts_.remote_dir.empty(),
+                "remote store disabled (TransportOptions::remote_dir empty)");
+  return opts_.remote_dir + "/" + escape_key(remote_key) + ".chunk";
+}
+
+void SocketTransport::remote_write(int node, const std::string& key,
+                                   const std::string& remote_key) {
+  if (rank_ != node) return;
+  const Buffer& payload = store_.get(key);
+  obs::ScopedSpan span("remote.write[file]", payload.size());
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.remote_dir, ec);
+  }
+  const std::string path = remote_path(remote_key);
+  const std::string tmp = path + ".tmp." + std::to_string(rank_);
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    ECC_CHECK_MSG(f.good(), "remote store: cannot open " << tmp);
+    std::uint8_t hdr[24];
+    put_u64_le(hdr, kRemoteChunkMagic);
+    put_u64_le(hdr + 8, payload.size());
+    put_u64_le(hdr + 16, crc64(payload.span()));
+    f.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+    f.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    ECC_CHECK_MSG(f.good(), "remote store: short write to " << tmp);
+  }
+  // Atomic publish: a reader (or a crash) never observes a torn chunk.
+  ECC_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
+                "remote store: rename to " << path << " failed");
+  stats_->add("remote.write.bytes", payload.size());
+  stats_->add("remote.write.count");
+}
+
+void SocketTransport::remote_read(int node, const std::string& remote_key,
+                                  const std::string& key) {
+  if (rank_ != node) return;
+  const std::string path = remote_path(remote_key);
+  std::ifstream f(path, std::ios::binary);
+  ECC_CHECK_MSG(f.good(), "remote store: missing chunk " << path);
+  std::uint8_t hdr[24];
+  f.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+  ECC_CHECK_MSG(f.gcount() == sizeof(hdr) &&
+                    get_u64_le(hdr) == kRemoteChunkMagic,
+                "remote store: " << path << " is not a chunk file");
+  const std::uint64_t len = get_u64_le(hdr + 8);
+  const std::uint64_t crc = get_u64_le(hdr + 16);
+  ECC_CHECK_MSG(len <= kMaxPayloadLen, "remote store: bogus length in "
+                                           << path);
+  Buffer payload(len, Buffer::Init::kUninitialized);
+  f.read(reinterpret_cast<char*>(payload.data()),
+         static_cast<std::streamsize>(len));
+  ECC_CHECK_MSG(static_cast<std::uint64_t>(f.gcount()) == len,
+                "remote store: truncated chunk " << path);
+  obs::ScopedSpan span("remote.read[file]", len);
+  ECC_CHECK_MSG(crc64(payload.span()) == crc,
+                "remote store: CRC mismatch in " << path
+                                                 << " — chunk corrupted");
+  stats_->add("remote.read.bytes", len);
+  stats_->add("remote.read.count");
+  store_.put(key, std::move(payload));
+}
+
+void SocketTransport::barrier(const std::vector<int>& nodes) {
+  if (!contains(nodes, rank_) || nodes.size() <= 1) return;
+  const int root = nodes[0];
+  if (rank_ == root) {
+    // Gather then release: every participant checked in before anyone
+    // proceeds.
+    for (int n : nodes)
+      if (n != root) recv_frame(n, FrameType::kBarrier);
+    for (int n : nodes)
+      if (n != root) send_frame(n, FrameType::kBarrier, "", 0, {});
+  } else {
+    send_frame(root, FrameType::kBarrier, "", 0, {});
+    recv_frame(root, FrameType::kBarrier);
+  }
+}
+
+}  // namespace eccheck::net

@@ -1,0 +1,155 @@
+// SocketTransport: the real-socket implementation of cluster::Fabric.
+//
+// Each process drives exactly one global rank: it listens on its own
+// endpoint (TCP or Unix-domain) and lazily opens pooled connections to
+// peers the first time it sends to / receives from them. The fabric
+// helpers are collective SPMD calls — every participating rank makes the
+// same call with the same arguments, like an MPI program — and the
+// transport executes this rank's side with fully time-bounded I/O
+// (see net/socket.hpp) plus CRC64-verified, acknowledged frames
+// (see net/frame.hpp).
+//
+// Ring collectives (all_gather, ring_all_reduce_xor) alternate
+// send-before-receive by ring-position parity, so the classic cyclic-wait
+// deadlock cannot form even with acknowledged transfers; the segment
+// geometry is shared with the simulated collectives
+// (cluster::ring_segment), which is what makes the differential suite's
+// byte-identical comparison possible.
+//
+// Peer death — a connect that exhausts its retry budget, an EOF, a reset,
+// or a timeout — surfaces as the repo-wide CheckFailure, exactly like a
+// mid-operation kill() in the simulator, so supervision logic
+// (Session / FailureDetector / chaos invariants) works unchanged. After a
+// failed rank is replaced by a fresh process on the same endpoint, call
+// reset_peer(rank) to drop the stale pooled connections.
+//
+// The persistent remote store is a directory: remote_write/remote_read move
+// chunks as CRC-trailered files with atomic rename, so they survive any
+// worker process dying — the real-world analogue of the simulator's
+// kill-proof remote Store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "obs/stats.hpp"
+
+namespace eccheck::net {
+
+struct TransportOptions {
+  /// Per-attempt connect timeout; total connect budget is
+  /// connect_retries+1 attempts with exponential backoff between them.
+  Millis connect_timeout{1000};
+  int connect_retries = 10;
+  Millis backoff_base{10};
+  Millis backoff_max{500};
+
+  /// Deadline for each read/write/accept — the bound on how long a dead
+  /// peer can stall a collective before CheckFailure.
+  Millis io_timeout{5000};
+
+  /// Directory backing the persistent remote store; empty disables
+  /// remote_write/remote_read.
+  std::string remote_dir;
+
+  /// External registry for byte counters; nullptr = transport-owned.
+  obs::StatsRegistry* stats = nullptr;
+};
+
+class SocketTransport final : public cluster::Fabric {
+ public:
+  /// Bind rank `rank`'s listener on peers[rank] (a TCP port of 0 binds an
+  /// ephemeral port, readable back via listen_endpoint()). Connections to
+  /// peers open lazily on first use.
+  SocketTransport(int rank, std::vector<Endpoint> peers,
+                  TransportOptions opts = {});
+  ~SocketTransport() override;
+
+  /// The endpoint actually bound (differs from the ctor argument only for
+  /// TCP port 0).
+  const Endpoint& listen_endpoint() const { return peers_[self_idx()]; }
+
+  /// Replace the peer table (e.g. after ephemeral TCP ports were exchanged
+  /// out of band). Must be called before any communication happens.
+  void set_peers(std::vector<Endpoint> peers);
+
+  /// Drop pooled connections to `peer` — required after the peer process
+  /// was replaced by a fresh one listening on the same endpoint.
+  void reset_peer(int peer);
+
+  /// Close the listener and every pooled connection. Further fabric calls
+  /// on any rank that talks to this one fail with CheckFailure — used by
+  /// tests to simulate an orderly peer death.
+  void shutdown();
+
+  const TransportOptions& options() const { return opts_; }
+  obs::StatsRegistry& stats() { return *stats_; }
+
+  // ---- cluster::Fabric ---------------------------------------------------
+  std::string fabric_name() const override;
+  int world_size() const override { return static_cast<int>(peers_.size()); }
+  bool drives(int node) const override { return node == rank_; }
+  int self_rank() const override { return rank_; }
+  cluster::Store& store(int node) override;
+
+  void net_send(int src, int dst, std::size_t bytes,
+                const std::string& label) override;
+  void send_buffer(int src, int dst, const std::string& src_key,
+                   const std::string& dst_key) override;
+  void broadcast(const std::vector<int>& nodes, int root,
+                 const std::string& key) override;
+  void all_gather(const std::vector<int>& nodes,
+                  const std::function<std::string(int)>& key_of) override;
+  void ring_all_reduce_xor(const std::vector<int>& nodes,
+                           const std::string& key) override;
+  void remote_write(int node, const std::string& key,
+                    const std::string& remote_key) override;
+  void remote_read(int node, const std::string& remote_key,
+                   const std::string& key) override;
+  void barrier(const std::vector<int>& nodes) override;
+
+ private:
+  std::size_t self_idx() const { return static_cast<std::size_t>(rank_); }
+  std::string who(const std::string& what, int peer) const;
+  const char* tag() const { return peers_[self_idx()].tag(); }
+
+  /// Pooled outbound connection (connect + kHello handshake on first use).
+  Socket& conn_to(int peer);
+  /// Pooled inbound connection: accepts (bounded by io_timeout) until the
+  /// wanted peer has introduced itself; other peers' connections are pooled
+  /// for later.
+  Socket& conn_from(int peer);
+
+  /// One acknowledged data frame to `dst`: header+key+payload out,
+  /// CRC-echo ack back.
+  void send_frame(int dst, FrameType type, const std::string& key,
+                  std::uint32_t aux, ByteSpan payload);
+
+  struct Received {
+    FrameHeader header;
+    Buffer payload;
+  };
+  /// One data frame from `src`: CRC-verify, ack, return. `expect` guards
+  /// protocol desynchronisation.
+  Received recv_frame(int src, FrameType expect);
+
+  std::string remote_path(const std::string& remote_key) const;
+
+  int rank_;
+  std::vector<Endpoint> peers_;
+  TransportOptions opts_;
+  Socket listener_;
+  bool shut_down_ = false;
+  std::map<int, Socket> out_;  ///< rank → connection we opened
+  std::map<int, Socket> in_;   ///< rank → connection the peer opened
+  cluster::Store store_;
+  obs::StatsRegistry own_stats_;
+  obs::StatsRegistry* stats_;
+};
+
+}  // namespace eccheck::net
