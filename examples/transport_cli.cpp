@@ -16,9 +16,21 @@
 //                     ranks 0 and 2 must abort with CheckFailure inside the
 //                     configured timeout budget (no hang) — the transport's
 //                     graceful peer-death contract.
+//   --mode engine     the full ECCheck checkpoint engine SPMD across k+m
+//                     processes: save a version, SIGKILL ranks so the next
+//                     save tears mid-collective (survivors roll it back and
+//                     reset their connections), fork replacements, recover,
+//                     and save again — every digest and version verified
+//                     against a single-process VirtualFabric reference run.
+//   --mode daemon     the checkpoint *service*: a coordinator daemon plus
+//                     k+m worker daemons; the parent acts as a client
+//                     saving/loading two concurrent jobs over the CRC-acked
+//                     control protocol, kills a worker, watches a save fail
+//                     cleanly, replaces the worker, and recovers both jobs.
 //
-// Options: --k, --m, --bytes, --seed, --transport uds|tcp, --dir, --kill
-// "a,b", --flush (remote flush during encode), --keep (leave the work dir).
+// Options: --k, --m, --gpn (workers per process, engine/daemon modes),
+// --bytes, --seed, --transport uds|tcp, --dir, --kill "a,b", --flush
+// (remote flush during encode/save), --keep (leave the work dir).
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
@@ -30,7 +42,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,7 +53,10 @@
 #include "cluster/fabric.hpp"
 #include "common/crc64.hpp"
 #include "core/fabric_protocol.hpp"
+#include "core/session.hpp"
+#include "dnn/checkpoint_gen.hpp"
 #include "net/transport.hpp"
+#include "svc/checkpoint_service.hpp"
 
 namespace fs = std::filesystem;
 using namespace eccheck;
@@ -49,6 +67,7 @@ struct Args {
   std::string mode = "cycle";
   int k = 4;
   int m = 2;
+  int gpn = 2;  // workers (shards) per process in engine/daemon modes
   std::size_t bytes = 64 * 1024;
   std::uint64_t seed = 1;
   std::string transport = "uds";
@@ -62,10 +81,10 @@ struct Args {
 
 [[noreturn]] void usage_and_exit() {
   std::cerr
-      << "usage: transport_cli [--mode cycle|peerdeath] [--k N] [--m N]\n"
-         "         [--bytes N] [--seed S] [--transport uds|tcp] [--dir D]\n"
-         "         [--kill a,b] [--flush] [--keep]\n"
-         "         [--io-timeout-ms N] [--connect-timeout-ms N]\n";
+      << "usage: transport_cli [--mode cycle|peerdeath|engine|daemon]\n"
+         "         [--k N] [--m N] [--gpn N] [--bytes N] [--seed S]\n"
+         "         [--transport uds|tcp] [--dir D] [--kill a,b] [--flush]\n"
+         "         [--keep] [--io-timeout-ms N] [--connect-timeout-ms N]\n";
   std::exit(2);
 }
 
@@ -80,6 +99,7 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--mode") a.mode = need(i);
     else if (arg == "--k") a.k = std::stoi(need(i));
     else if (arg == "--m") a.m = std::stoi(need(i));
+    else if (arg == "--gpn") a.gpn = std::stoi(need(i));
     else if (arg == "--bytes") a.bytes = std::stoul(need(i));
     else if (arg == "--seed") a.seed = std::stoull(need(i));
     else if (arg == "--transport") a.transport = need(i);
@@ -92,9 +112,11 @@ Args parse_args(int argc, char** argv) {
       a.connect_timeout_ms = std::stoi(need(i));
     else usage_and_exit();
   }
-  if (a.mode != "cycle" && a.mode != "peerdeath") usage_and_exit();
+  if (a.mode != "cycle" && a.mode != "peerdeath" && a.mode != "engine" &&
+      a.mode != "daemon")
+    usage_and_exit();
   if (a.transport != "uds" && a.transport != "tcp") usage_and_exit();
-  if (a.k < 1 || a.m < 0 || a.bytes == 0) usage_and_exit();
+  if (a.k < 1 || a.m < 0 || a.gpn < 1 || a.bytes == 0) usage_and_exit();
   return a;
 }
 
@@ -318,8 +340,13 @@ WorkerHandle spawn_worker(const Args& a, const std::vector<net::Endpoint>& eps,
 }
 
 std::vector<int> parse_kill_list(const Args& a) {
+  // Defaults kill one data + one parity holder. In cycle mode row r lives
+  // on node r; the engine placement interleaves (node 2 data, node 1
+  // parity), so those modes must also exercise the decode path.
+  const bool engine_placement = a.mode == "engine" || a.mode == "daemon";
   std::string spec = a.kill_spec.empty()
-                         ? "1," + std::to_string(a.k)  // one data, one parity
+                         ? (engine_placement ? "2,1"
+                                             : "1," + std::to_string(a.k))
                          : a.kill_spec;
   std::vector<int> out;
   std::istringstream is(spec);
@@ -452,6 +479,479 @@ int run_peerdeath(const Args& a) {
   return ok ? 0 : 1;
 }
 
+// ---- --mode engine: the checkpoint engine SPMD across processes -----------
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+core::ECCheckConfig engine_ec_config(const Args& a) {
+  core::ECCheckConfig ec;
+  ec.k = a.k;
+  ec.m = a.m;
+  ec.packet_size = 16 * 1024;
+  ec.flush_to_remote = a.flush;
+  return ec;
+}
+
+/// Endpoints that are not the fabric's own (control sockets, the client
+/// socket): UDS paths under the work dir, or pre-picked free TCP ports.
+std::vector<net::Endpoint> named_endpoints(const Args& a, int count,
+                                           const std::string& stem) {
+  std::vector<net::Endpoint> eps;
+  for (int r = 0; r < count; ++r) {
+    if (a.transport == "uds") {
+      eps.push_back(net::Endpoint::uds(a.dir + "/" + stem +
+                                       std::to_string(r) + ".sock"));
+    } else {
+      net::Endpoint probe = net::Endpoint::tcp("127.0.0.1", 0);
+      net::Socket s = net::listen_on(probe);
+      eps.push_back(probe);
+    }
+  }
+  return eps;
+}
+
+/// Fork a process running `body(ctl_read_fd, status_write_fd)`.
+WorkerHandle spawn_proc(const std::function<void(int, int)>& body) {
+  int ctl[2], st[2];
+  ECC_CHECK(::pipe(ctl) == 0 && ::pipe(st) == 0);
+  for (int fd : {ctl[0], ctl[1], st[0], st[1]}) g_all_pipe_fds.push_back(fd);
+  pid_t pid = ::fork();
+  ECC_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    for (int fd : g_all_pipe_fds)
+      if (fd != ctl[0] && fd != st[1]) ::close(fd);
+    body(ctl[0], st[1]);
+    ::_exit(0);
+  }
+  WorkerHandle h;
+  h.pid = pid;
+  h.ctl_w = ctl[1];
+  h.status.fd = st[0];
+  return h;
+}
+
+/// Serialize the driven shards' digests as " w<worker>:<hex>" tokens.
+std::string digest_tokens(const std::vector<int>& workers,
+                          const std::vector<dnn::StateDict>& shards) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    os << " w" << workers[i] << ":" << hex64(shards[i].digest());
+  return os.str();
+}
+
+/// Parse "<PREFIX> <version> w0:hex w2:hex ..." worker reports.
+struct ShardReport {
+  std::int64_t version = 0;
+  std::map<int, std::string> digests;  // worker → hex digest
+};
+
+ShardReport parse_shard_report(const std::string& line,
+                               const std::string& prefix) {
+  ECC_CHECK_MSG(line.rfind(prefix, 0) == 0, "expected '" << prefix
+                                                         << "...', got '"
+                                                         << line << "'");
+  std::istringstream is(line.substr(prefix.size()));
+  ShardReport rep;
+  is >> rep.version;
+  for (std::string tok; is >> tok;) {
+    const auto colon = tok.find(':');
+    ECC_CHECK_MSG(tok[0] == 'w' && colon != std::string::npos,
+                  "bad shard token '" << tok << "'");
+    rep.digests[std::stoi(tok.substr(1, colon - 1))] = tok.substr(colon + 1);
+  }
+  return rep;
+}
+
+/// The closed-form expectation: digests every process can derive from
+/// (job, iteration) alone — what recovery must reproduce bit-exactly.
+std::map<int, std::string> expected_digests(const std::string& job,
+                                            std::int64_t iteration,
+                                            int world) {
+  const dnn::CheckpointGenConfig gen =
+      svc::job_gen_config(job, iteration, world);
+  std::map<int, std::string> out;
+  for (int w = 0; w < world; ++w)
+    out[w] = hex64(dnn::make_worker_state_dict(gen, w).digest());
+  return out;
+}
+
+/// Worker body for --mode engine: a FabricSession over real sockets, driven
+/// by SAVE/RESET/LOAD/EXIT lines from the parent.
+[[noreturn]] void worker_engine(const Args& a,
+                                const std::vector<net::Endpoint>& eps,
+                                int rank, int ctl_r, int status_w) {
+  LineReader ctl{ctl_r, {}};
+  auto status = [&](const std::string& s) { write_line(status_w, s); };
+  try {
+    net::SocketTransport fabric(rank, eps, transport_options(a));
+    core::FabricSession session(fabric, engine_ec_config(a), a.gpn,
+                                /*retain_versions=*/2);
+    const int world = fabric.world_size() * a.gpn;
+    const std::vector<int> workers = session.driven_workers();
+    status("READY");
+    for (;;) {
+      const std::string line = ctl.read_line(600000);
+      if (line.rfind("SAVE ", 0) == 0) {
+        const std::int64_t iter = std::stoll(line.substr(5));
+        try {
+          const dnn::CheckpointGenConfig gen =
+              svc::job_gen_config("engine", iter, world);
+          std::vector<dnn::StateDict> mine;
+          for (int w : workers)
+            mine.push_back(dnn::make_worker_state_dict(gen, w));
+          std::vector<const dnn::StateDict*> ptrs;
+          for (const dnn::StateDict& sd : mine) ptrs.push_back(&sd);
+          session.save(ptrs);
+          std::ostringstream os;
+          os << "SAVED " << session.latest_version()
+             << digest_tokens(workers, mine);
+          status(os.str());
+        } catch (const CheckFailure&) {
+          // Torn collective: FabricSession already rolled the version back.
+          status("SAVEFAIL");
+        }
+      } else if (line == "RESET") {
+        fabric.reset_all_peers();
+        status("RESETOK");
+      } else if (line == "LOAD") {
+        std::vector<dnn::StateDict> out;
+        const core::FabricSession::RecoverResult res = session.load(out);
+        std::ostringstream os;
+        os << "LOADED " << res.version << digest_tokens(workers, out);
+        status(os.str());
+      } else if (line == "EXIT") {
+        ::_exit(0);
+      } else {
+        throw CheckFailure("worker: unexpected control '" + line + "'");
+      }
+    }
+  } catch (const std::exception& e) {
+    status(std::string("ERROR ") + e.what());
+    ::_exit(1);
+  }
+}
+
+int run_engine(const Args& a) {
+  const int total = a.k + a.m;
+  const int world = total * a.gpn;
+  ECC_CHECK_MSG(world % a.k == 0,
+                "(k+m)*gpn must be divisible by k; got world "
+                    << world << ", k " << a.k);
+  const std::vector<int> to_kill = parse_kill_list(a);
+  const std::vector<net::Endpoint> eps = make_endpoints(a);
+
+  std::cout << "transport_cli engine: " << a.k << "+" << a.m << " ranks x "
+            << a.gpn << " workers over " << a.transport << ", dir " << a.dir
+            << "\n";
+
+  auto spawn_rank = [&](int r) {
+    return spawn_proc([&a, &eps, r](int ctl_r, int status_w) {
+      worker_engine(a, eps, r, ctl_r, status_w);
+    });
+  };
+  auto broadcast = [&](std::vector<WorkerHandle>& w, const std::string& cmd,
+                       const std::vector<int>& ranks) {
+    for (int r : ranks) write_line(w[static_cast<std::size_t>(r)].ctl_w, cmd);
+  };
+  auto collect = [&](std::vector<WorkerHandle>& w,
+                     const std::vector<int>& ranks, int timeout_ms) {
+    std::vector<std::string> lines(w.size());
+    for (int r : ranks)
+      lines[static_cast<std::size_t>(r)] =
+          w[static_cast<std::size_t>(r)].status.read_line(timeout_ms);
+    return lines;
+  };
+  std::vector<int> all_ranks(static_cast<std::size_t>(total));
+  for (int r = 0; r < total; ++r) all_ranks[static_cast<std::size_t>(r)] = r;
+  std::vector<int> survivors;
+  for (int r = 0; r < total; ++r)
+    if (std::find(to_kill.begin(), to_kill.end(), r) == to_kill.end())
+      survivors.push_back(r);
+
+  // ---- save v1, then SIGKILL so the next save tears ----------------------
+  std::vector<WorkerHandle> w;
+  for (int r = 0; r < total; ++r) w.push_back(spawn_rank(r));
+  for (const std::string& l : collect(w, all_ranks, 60000))
+    ECC_CHECK_MSG(l == "READY", "worker: " << l);
+  broadcast(w, "SAVE 1", all_ranks);
+  for (const std::string& l : collect(w, all_ranks, 120000)) {
+    const ShardReport rep = parse_shard_report(l, "SAVED ");
+    ECC_CHECK_MSG(rep.version == 1, "first save landed on version "
+                                        << rep.version);
+  }
+  std::cout << "  saved version 1 across " << total << " processes\n";
+
+  for (int r : to_kill) {
+    auto& h = w[static_cast<std::size_t>(r)];
+    std::cout << "  SIGKILL rank " << r << " (pid " << h.pid << ")\n";
+    ::kill(h.pid, SIGKILL);
+    ::waitpid(h.pid, nullptr, 0);
+    h.killed = true;
+  }
+  broadcast(w, "SAVE 2", survivors);
+  for (int r : survivors) {
+    const std::string l =
+        w[static_cast<std::size_t>(r)].status.read_line(120000);
+    ECC_CHECK_MSG(l == "SAVEFAIL",
+                  "rank " << r << ": torn save did not fail cleanly: " << l);
+  }
+  std::cout << "  torn save rolled back on " << survivors.size()
+            << " survivors\n";
+  broadcast(w, "RESET", survivors);
+  for (int r : survivors)
+    ECC_CHECK(w[static_cast<std::size_t>(r)].status.read_line(30000) ==
+              "RESETOK");
+
+  // ---- replacements join, everyone recovers v1, then saves v2 ------------
+  for (int r : to_kill) w[static_cast<std::size_t>(r)] = spawn_rank(r);
+  for (int r : to_kill)
+    ECC_CHECK(w[static_cast<std::size_t>(r)].status.read_line(60000) ==
+              "READY");
+  broadcast(w, "LOAD", all_ranks);
+  std::map<int, std::string> loaded;
+  for (const std::string& l : collect(w, all_ranks, 120000)) {
+    const ShardReport rep = parse_shard_report(l, "LOADED ");
+    ECC_CHECK_MSG(rep.version == 1, "recovered version " << rep.version);
+    loaded.insert(rep.digests.begin(), rep.digests.end());
+  }
+  broadcast(w, "SAVE 3", all_ranks);
+  std::map<int, std::string> resaved;
+  for (const std::string& l : collect(w, all_ranks, 120000)) {
+    const ShardReport rep = parse_shard_report(l, "SAVED ");
+    ECC_CHECK_MSG(rep.version == 2, "post-recovery save landed on version "
+                                        << rep.version
+                                        << " (torn v2 not rolled back?)");
+    resaved.insert(rep.digests.begin(), rep.digests.end());
+  }
+  broadcast(w, "EXIT", all_ranks);
+  for (int r = 0; r < total; ++r)
+    ::waitpid(w[static_cast<std::size_t>(r)].pid, nullptr, 0);
+
+  // ---- single-process VirtualFabric reference of the same history --------
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = total;
+  ccfg.gpus_per_node = a.gpn;
+  cluster::VirtualCluster vc(ccfg);
+  cluster::VirtualFabric ref(vc);
+  std::map<int, std::string> ref_loaded;
+  {
+    core::FabricSession session(ref, engine_ec_config(a), a.gpn, 2);
+    const dnn::CheckpointGenConfig gen =
+        svc::job_gen_config("engine", 1, world);
+    std::vector<dnn::StateDict> shards;
+    for (int wk : session.driven_workers())
+      shards.push_back(dnn::make_worker_state_dict(gen, wk));
+    std::vector<const dnn::StateDict*> ptrs;
+    for (const dnn::StateDict& sd : shards) ptrs.push_back(&sd);
+    session.save(ptrs);
+  }
+  for (int r : to_kill) vc.kill(r);
+  for (int r : to_kill) vc.replace(r);
+  {
+    core::FabricSession session(ref, engine_ec_config(a), a.gpn, 2);
+    std::vector<dnn::StateDict> out;
+    const core::FabricSession::RecoverResult res = session.load(out);
+    ECC_CHECK(res.version == 1);
+    const std::vector<int> workers = session.driven_workers();
+    for (std::size_t i = 0; i < workers.size(); ++i)
+      ref_loaded[workers[i]] = hex64(out[i].digest());
+  }
+
+  bool ok = true;
+  const std::map<int, std::string> want1 = expected_digests("engine", 1, world);
+  const std::map<int, std::string> want3 = expected_digests("engine", 3, world);
+  if (loaded != ref_loaded || loaded != want1) {
+    std::cerr << "MISMATCH: recovered digests disagree with "
+              << (loaded == ref_loaded ? "closed form" : "reference") << "\n";
+    ok = false;
+  }
+  if (resaved != want3) {
+    std::cerr << "MISMATCH: post-recovery save digests\n";
+    ok = false;
+  }
+  if (ok)
+    std::cout << "PASS: engine over sockets — torn save rolled back, "
+              << world << " shards recovered bit-exact vs VirtualFabric "
+                          "reference, training resumed at version 2\n";
+  return ok ? 0 : 1;
+}
+
+// ---- --mode daemon: coordinator + worker daemons + client ------------------
+
+int run_daemon(const Args& a) {
+  const int total = a.k + a.m;
+  const int world = total * a.gpn;
+  ECC_CHECK_MSG(world % a.k == 0,
+                "(k+m)*gpn must be divisible by k; got world "
+                    << world << ", k " << a.k);
+  const std::vector<net::Endpoint> fabric_eps = make_endpoints(a);
+  const std::vector<net::Endpoint> ctl_eps = named_endpoints(a, total, "ctl");
+  const net::Endpoint client_ep = named_endpoints(a, 1, "client")[0];
+
+  std::cout << "transport_cli daemon: coordinator + " << total
+            << " workers x " << a.gpn << " shards over " << a.transport
+            << ", dir " << a.dir << "\n";
+
+  net::TransportOptions co_opts = transport_options(a);
+  // A save response only arrives after the whole collective resolves (or
+  // times out), so the control channel's budget must dominate the fabric's.
+  co_opts.io_timeout = net::Millis(std::max(60000, a.io_timeout_ms * 8));
+  co_opts.connect_retries = 3;
+  co_opts.backoff_max = net::Millis(200);
+
+  auto spawn_worker_daemon = [&](int rank) {
+    return spawn_proc([&, rank](int, int status_w) {
+      try {
+        svc::WorkerDaemonConfig cfg;
+        cfg.rank = rank;
+        cfg.fabric_eps = fabric_eps;
+        cfg.control_ep = ctl_eps[static_cast<std::size_t>(rank)];
+        cfg.fabric_opts = transport_options(a);
+        cfg.ec = engine_ec_config(a);
+        cfg.gpus_per_node = a.gpn;
+        svc::WorkerDaemon daemon(std::move(cfg));
+        write_line(status_w, "READY");
+        daemon.run();
+        ::_exit(0);
+      } catch (const std::exception& e) {
+        write_line(status_w, std::string("ERROR ") + e.what());
+        ::_exit(1);
+      }
+    });
+  };
+  std::vector<WorkerHandle> workers;
+  for (int r = 0; r < total; ++r) workers.push_back(spawn_worker_daemon(r));
+  for (int r = 0; r < total; ++r)
+    ECC_CHECK_MSG(workers[static_cast<std::size_t>(r)].status.read_line(
+                      60000) == "READY",
+                  "worker daemon " << r << " failed to start");
+
+  WorkerHandle coord = spawn_proc([&](int, int status_w) {
+    try {
+      svc::CoordinatorConfig cfg;
+      cfg.client_ep = client_ep;
+      cfg.worker_eps = ctl_eps;
+      cfg.opts = co_opts;
+      svc::Coordinator c(std::move(cfg));
+      write_line(status_w, "READY");
+      c.run();
+      ::_exit(0);
+    } catch (const std::exception& e) {
+      write_line(status_w, std::string("ERROR ") + e.what());
+      ::_exit(1);
+    }
+  });
+  ECC_CHECK_MSG(coord.status.read_line(60000) == "READY",
+                "coordinator failed to start");
+
+  // ---- the parent is now a client of the service -------------------------
+  auto request = [&](const std::string& command, const std::string& args) {
+    return svc::client_request(client_ep, command, args, co_opts);
+  };
+  auto check_shards = [&](const std::string& body, const std::string& job) {
+    // body: "version=V iteration=I wN:hex ... [; detail]"
+    std::istringstream is(body);
+    std::string tok;
+    std::int64_t version = 0, iteration = 0;
+    std::map<int, std::string> got;
+    while (is >> tok) {
+      if (tok == ";") break;
+      if (tok.rfind("version=", 0) == 0) version = std::stoll(tok.substr(8));
+      else if (tok.rfind("iteration=", 0) == 0)
+        iteration = std::stoll(tok.substr(10));
+      else if (tok[0] == 'w' && tok.find(':') != std::string::npos) {
+        const auto colon = tok.find(':');
+        got[std::stoi(tok.substr(1, colon - 1))] = tok.substr(colon + 1);
+      }
+    }
+    ECC_CHECK_MSG(iteration > 0, "no iteration in reply '" << body << "'");
+    std::map<int, std::string> want;
+    const dnn::CheckpointGenConfig gen =
+        svc::job_gen_config(job, iteration, world);
+    for (int wk = 0; wk < world; ++wk) {
+      std::ostringstream hx;
+      hx << std::hex << std::setw(16) << std::setfill('0')
+         << dnn::make_worker_state_dict(gen, wk).digest();
+      want[wk] = hx.str();
+    }
+    ECC_CHECK_MSG(got == want, "digests disagree with closed form for job "
+                                   << job << ": '" << body << "'");
+    return version;
+  };
+  auto expect_ok = [&](const svc::ControlReply& r, const std::string& what) {
+    ECC_CHECK_MSG(r.ok, what << " failed: " << r.body);
+    return r.body;
+  };
+
+  bool ok = true;
+  try {
+    std::cout << "  status: " << expect_ok(request("status", ""), "status")
+              << "\n";
+    ECC_CHECK(check_shards(expect_ok(request("save", "jobA"), "save jobA"),
+                           "jobA") == 1);
+    ECC_CHECK(check_shards(expect_ok(request("save", "jobB"), "save jobB"),
+                           "jobB") == 1);
+    ECC_CHECK(check_shards(expect_ok(request("save", "jobA"), "save jobA"),
+                           "jobA") == 2);
+    std::cout << "  saved jobA v1,v2 and jobB v1 through the service\n";
+
+    const int victim = parse_kill_list(a).front();
+    auto& vh = workers[static_cast<std::size_t>(victim)];
+    std::cout << "  SIGKILL worker " << victim << " (pid " << vh.pid
+              << ")\n";
+    ::kill(vh.pid, SIGKILL);
+    ::waitpid(vh.pid, nullptr, 0);
+
+    const svc::ControlReply torn = request("save", "jobA");
+    ECC_CHECK_MSG(!torn.ok,
+                  "save with a dead worker unexpectedly ok: " << torn.body);
+    std::cout << "  torn save reported: " << torn.body << "\n";
+    const std::string st = expect_ok(request("status", ""), "status");
+    ECC_CHECK_MSG(st.find("workers=" + std::to_string(total - 1) + "/" +
+                          std::to_string(total)) != std::string::npos,
+                  "status does not show the dead worker: " << st);
+
+    workers[static_cast<std::size_t>(victim)] = spawn_worker_daemon(victim);
+    ECC_CHECK(workers[static_cast<std::size_t>(victim)].status.read_line(
+                  60000) == "READY");
+    std::cout << "  replacement worker " << victim << " joined\n";
+
+    const std::string loadA =
+        expect_ok(request("load", "jobA"), "load jobA");
+    ECC_CHECK_MSG(check_shards(loadA, "jobA") == 2,
+                  "jobA recovered wrong version: " << loadA);
+    std::cout << "  load jobA: " << loadA << "\n";
+    const std::string loadB =
+        expect_ok(request("load", "jobB"), "load jobB");
+    ECC_CHECK_MSG(check_shards(loadB, "jobB") == 1,
+                  "jobB recovered wrong version: " << loadB);
+    std::cout << "  load jobB: " << loadB << "\n";
+
+    ECC_CHECK(check_shards(expect_ok(request("save", "jobA"), "save jobA"),
+                           "jobA") == 3);
+    std::cout << "  post-recovery save jobA landed on version 3\n";
+  } catch (const std::exception& e) {
+    std::cerr << "daemon cycle failed: " << e.what() << "\n";
+    ok = false;
+  }
+
+  const svc::ControlReply bye = request("shutdown", "");
+  ECC_CHECK_MSG(bye.ok && bye.body == "bye", "shutdown: " << bye.body);
+  ::waitpid(coord.pid, nullptr, 0);
+  for (int r = 0; r < total; ++r)
+    ::waitpid(workers[static_cast<std::size_t>(r)].pid, nullptr, 0);
+
+  if (ok)
+    std::cout << "PASS: daemon service — 2 jobs saved/recovered bit-exact "
+                 "through coordinator, worker death handled: torn save "
+                 "failed fast, replacement rejoined, training resumed\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -469,7 +969,10 @@ int main(int argc, char** argv) {
 
   int rc = 1;
   try {
-    rc = a.mode == "cycle" ? run_cycle(a) : run_peerdeath(a);
+    if (a.mode == "cycle") rc = run_cycle(a);
+    else if (a.mode == "peerdeath") rc = run_peerdeath(a);
+    else if (a.mode == "engine") rc = run_engine(a);
+    else rc = run_daemon(a);
   } catch (const std::exception& e) {
     std::cerr << "transport_cli: " << e.what() << "\n";
     rc = 1;

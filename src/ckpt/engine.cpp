@@ -1,0 +1,18 @@
+#include "ckpt/engine.hpp"
+
+namespace eccheck::ckpt {
+
+SaveReport CheckpointEngine::save(cluster::Fabric&,
+                                  const std::vector<const dnn::StateDict*>&,
+                                  std::int64_t) {
+  throw CheckFailure("engine '" + name() +
+                     "' does not support fabric (SPMD) execution");
+}
+
+LoadReport CheckpointEngine::load(cluster::Fabric&, std::int64_t,
+                                  std::vector<dnn::StateDict>&) {
+  throw CheckFailure("engine '" + name() +
+                     "' does not support fabric (SPMD) execution");
+}
+
+}  // namespace eccheck::ckpt

@@ -20,6 +20,10 @@
 #include "cluster/cluster.hpp"
 #include "dnn/state_dict.hpp"
 
+namespace eccheck::cluster {
+class Fabric;  // cluster/fabric.hpp — SPMD transport abstraction
+}  // namespace eccheck::cluster
+
 namespace eccheck::ckpt {
 
 struct SaveReport {
@@ -67,6 +71,20 @@ class CheckpointEngine {
   virtual LoadReport load(cluster::VirtualCluster& cluster,
                           std::int64_t version,
                           std::vector<dnn::StateDict>& out) = 0;
+
+  /// Fabric-generic SPMD form of save: every rank of the fabric calls it
+  /// with the shards of the workers *it drives* (see core/fabric_engine.hpp
+  /// for the ordering contract). Engines that can run over real sockets
+  /// override this; the default throws CheckFailure, keeping the
+  /// simulator-only baselines honest about their scope.
+  virtual SaveReport save(cluster::Fabric& fabric,
+                          const std::vector<const dnn::StateDict*>& shards,
+                          std::int64_t version);
+
+  /// Fabric-generic SPMD form of load; `out` receives the driven workers'
+  /// shards. Default throws CheckFailure like the fabric save.
+  virtual LoadReport load(cluster::Fabric& fabric, std::int64_t version,
+                          std::vector<dnn::StateDict>& out);
 };
 
 /// Worker placement helpers shared by all engines.

@@ -87,6 +87,27 @@ class Fabric {
   virtual void remote_read(int node, const std::string& remote_key,
                            const std::string& key) = 0;
 
+  // ---- remote-store metadata ---------------------------------------------
+  // Local (non-collective) queries against the persistent remote store, as
+  // seen by a driven rank. The engine uses them for versioned-namespace
+  // discovery, pruning, and the torn-save fallback probe. A fabric whose
+  // remote store is disabled answers as if it were empty.
+
+  /// True when the remote store holds `remote_key`. `node` must be driven.
+  virtual bool remote_contains(int node, const std::string& remote_key) = 0;
+
+  /// All remote keys starting with `prefix`, sorted. `node` must be driven.
+  virtual std::vector<std::string> remote_list(int node,
+                                               const std::string& prefix) = 0;
+
+  /// Delete `remote_key` from the remote store (no-op when absent).
+  virtual void remote_erase(int node, const std::string& remote_key) = 0;
+
+  /// Byte/operation counters recorded by this fabric (shared with the
+  /// simulator's registry for VirtualFabric) — lets engine reports attribute
+  /// traffic the same way on both fabrics.
+  virtual obs::StatsRegistry& stats() = 0;
+
   /// All driven ranks in `nodes` rendezvous; returns when every participant
   /// reached the barrier.
   virtual void barrier(const std::vector<int>& nodes) = 0;
@@ -140,6 +161,20 @@ class VirtualFabric final : public Fabric {
                    const std::string& key) override {
     c_.fetch_from_remote(node, remote_key, key, opts_.deps);
   }
+  bool remote_contains(int node, const std::string& remote_key) override {
+    ECC_CHECK(drives(node));
+    return c_.remote().contains(remote_key);
+  }
+  std::vector<std::string> remote_list(int node,
+                                       const std::string& prefix) override {
+    ECC_CHECK(drives(node));
+    return c_.remote().keys_with_prefix(prefix);
+  }
+  void remote_erase(int node, const std::string& remote_key) override {
+    ECC_CHECK(drives(node));
+    c_.remote().erase(remote_key);
+  }
+  obs::StatsRegistry& stats() override { return c_.stats(); }
   void barrier(const std::vector<int>&) override {
     // Single process, single thread: every driven rank already reached this
     // point; emit the zero-duration join for the schedule only.

@@ -4,6 +4,8 @@
 
 #include "cluster/slice.hpp"
 #include "common/bytes.hpp"
+#include "core/engine_keys.hpp"
+#include "core/fabric_engine.hpp"
 #include "ec/parallel_codec.hpp"
 #include "gf/simd.hpp"
 #include "obs/stats.hpp"
@@ -11,31 +13,13 @@
 #include "runtime/pipeline.hpp"
 
 namespace eccheck::core {
-namespace {
 
-std::string row_key(const std::string& ns, std::int64_t v, int row, int j,
-                    int b) {
-  return ns + "ec/" + std::to_string(v) + "/row/" + std::to_string(row) +
-         "/" + std::to_string(j) + "/" + std::to_string(b);
-}
-std::string meta_key(const std::string& ns, std::int64_t v, int w) {
-  return ns + "ec/" + std::to_string(v) + "/meta/" + std::to_string(w);
-}
-std::string keys_key(const std::string& ns, std::int64_t v, int w) {
-  return ns + "ec/" + std::to_string(v) + "/keys/" + std::to_string(w);
-}
-std::string commit_key(const std::string& ns, std::int64_t v) {
-  return ns + "ec/" + std::to_string(v) + "/commit";
-}
-std::string sums_key(const std::string& ns, std::int64_t v) {
-  return ns + "ec/" + std::to_string(v) + "/sums";
-}
-std::string local_key(const std::string& ns, std::int64_t v, int w, int b) {
-  return ns + "tmp/" + std::to_string(v) + "/local/" + std::to_string(w) +
-         "/" + std::to_string(b);
-}
-
-}  // namespace
+using keys::commit_key;
+using keys::keys_key;
+using keys::local_key;
+using keys::meta_key;
+using keys::row_key;
+using keys::sums_key;
 
 ECCheckEngine::ECCheckEngine(ECCheckConfig cfg) : cfg_(cfg) {
   ECC_CHECK(cfg_.k >= 1 && cfg_.m >= 0);
@@ -54,6 +38,18 @@ Placement ECCheckEngine::plan_for(int num_nodes, int gpus_per_node) const {
 Placement ECCheckEngine::plan_for(
     const cluster::VirtualCluster& cluster) const {
   return plan_for(cluster.num_nodes(), cluster.gpus_per_node());
+}
+
+ckpt::SaveReport ECCheckEngine::save(
+    cluster::Fabric& fabric, const std::vector<const dnn::StateDict*>& shards,
+    std::int64_t version) {
+  return fabric_save(fabric, cfg_, shards, version);
+}
+
+ckpt::LoadReport ECCheckEngine::load(cluster::Fabric& fabric,
+                                     std::int64_t version,
+                                     std::vector<dnn::StateDict>& out) {
+  return fabric_load(fabric, cfg_, version, out);
 }
 
 // ---------------------------------------------------------------------------

@@ -95,6 +95,14 @@ class ECCheckEngine final : public ckpt::CheckpointEngine {
   ckpt::LoadReport load(cluster::VirtualCluster& cluster, std::int64_t version,
                         std::vector<dnn::StateDict>& out) override;
 
+  /// Fabric-generic SPMD entry points (core/fabric_engine.hpp): the same
+  /// protocol over cluster::Fabric, byte-identical to the simulator path.
+  ckpt::SaveReport save(cluster::Fabric& fabric,
+                        const std::vector<const dnn::StateDict*>& shards,
+                        std::int64_t version) override;
+  ckpt::LoadReport load(cluster::Fabric& fabric, std::int64_t version,
+                        std::vector<dnn::StateDict>& out) override;
+
   /// Slice-based entry points: the same protocol over a window of nodes,
   /// sharing the enclosing cluster's timeline (group-based mode, §VI).
   ckpt::SaveReport save_slice(cluster::ClusterSlice cluster,

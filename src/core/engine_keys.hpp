@@ -1,0 +1,60 @@
+// Store-key schema of the ECCheck engine, shared by the simulator engine
+// (core/eccheck_engine.cpp), the fabric-generic SPMD engine
+// (core/fabric_engine.cpp), and the session layers. The two engines must
+// produce byte-identical stores, so the schema lives in exactly one place:
+//
+//   <ns>ec/<version>/row/<row>/<j>/<b>   packet b of stripe j of chunk row
+//   <ns>ec/<version>/meta/<w>            worker w's serialized metadata
+//   <ns>ec/<version>/keys/<w>            worker w's serialized tensor keys
+//   <ns>ec/<version>/sums                per-packet CRC64s of this node's row
+//   <ns>ec/<version>/commit              version marker: the save completed
+//   <ns>tmp/<version>/local/<w>/<b>      staging copy of worker w's packet b
+//
+// Everything under "<ns>ec/<version>/" is the durable footprint of one
+// version (version_prefix); "<ns>tmp/<version>/" holds transient staging
+// keys that a completed save always erases (tmp_prefix — a torn save rolls
+// them back).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eccheck::core::keys {
+
+inline std::string version_prefix(const std::string& ns, std::int64_t v) {
+  return ns + "ec/" + std::to_string(v) + "/";
+}
+
+inline std::string tmp_prefix(const std::string& ns, std::int64_t v) {
+  return ns + "tmp/" + std::to_string(v) + "/";
+}
+
+inline std::string row_key(const std::string& ns, std::int64_t v, int row,
+                           int j, int b) {
+  return version_prefix(ns, v) + "row/" + std::to_string(row) + "/" +
+         std::to_string(j) + "/" + std::to_string(b);
+}
+
+inline std::string meta_key(const std::string& ns, std::int64_t v, int w) {
+  return version_prefix(ns, v) + "meta/" + std::to_string(w);
+}
+
+inline std::string keys_key(const std::string& ns, std::int64_t v, int w) {
+  return version_prefix(ns, v) + "keys/" + std::to_string(w);
+}
+
+inline std::string commit_key(const std::string& ns, std::int64_t v) {
+  return version_prefix(ns, v) + "commit";
+}
+
+inline std::string sums_key(const std::string& ns, std::int64_t v) {
+  return version_prefix(ns, v) + "sums";
+}
+
+inline std::string local_key(const std::string& ns, std::int64_t v, int w,
+                             int b) {
+  return tmp_prefix(ns, v) + "local/" + std::to_string(w) + "/" +
+         std::to_string(b);
+}
+
+}  // namespace eccheck::core::keys

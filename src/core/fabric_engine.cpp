@@ -1,0 +1,825 @@
+#include "core/fabric_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "common/bytes.hpp"
+#include "common/crc64.hpp"
+#include "core/engine_keys.hpp"
+#include "core/placement.hpp"
+#include "core/protocol.hpp"
+#include "ec/crs_codec.hpp"
+#include "obs/stats.hpp"
+#include "obs/tracer.hpp"
+
+namespace eccheck::core {
+namespace {
+
+using keys::commit_key;
+using keys::keys_key;
+using keys::local_key;
+using keys::meta_key;
+using keys::row_key;
+using keys::sums_key;
+using keys::tmp_prefix;
+using keys::version_prefix;
+
+using Clock = std::chrono::steady_clock;
+
+Seconds since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<int> driven_nodes(cluster::Fabric& fabric) {
+  std::vector<int> nodes;
+  for (int node = 0; node < fabric.world_size(); ++node)
+    if (fabric.drives(node)) nodes.push_back(node);
+  ECC_CHECK_MSG(!nodes.empty(), "fabric drives no rank");
+  return nodes;
+}
+
+std::vector<int> all_nodes(int n) {
+  std::vector<int> nodes(static_cast<std::size_t>(n));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  return nodes;
+}
+
+/// Sum of the stats-delta counters matching "net.*.bytes" / the remote
+/// write counter — fills the report's traffic fields identically for the
+/// simulator registry and the transport registry.
+void fill_traffic(const std::map<std::string, std::uint64_t>& delta,
+                  std::size_t* network_bytes, std::size_t* remote_bytes) {
+  for (const auto& [key, value] : delta) {
+    if (key.rfind("net.", 0) == 0 &&
+        key.size() > 6 && key.compare(key.size() - 6, 6, ".bytes") == 0)
+      *network_bytes += value;
+  }
+  auto it = delta.find("remote.write.bytes");
+  if (remote_bytes != nullptr && it != delta.end()) *remote_bytes += it->second;
+}
+
+/// "<ns>ec/<v>/commit" → v, or 0 when the key is not a commit marker.
+std::int64_t commit_version_of(const std::string& key, const std::string& ns) {
+  const std::string head = ns + "ec/";
+  if (key.rfind(head, 0) != 0) return 0;
+  const std::size_t digits = head.size();
+  std::size_t end = digits;
+  while (end < key.size() && std::isdigit(static_cast<unsigned char>(key[end])))
+    ++end;
+  if (end == digits || key.compare(end, std::string::npos, "/commit") != 0)
+    return 0;
+  std::int64_t v = 0;
+  for (std::size_t i = digits; i < end; ++i) {
+    if (v > (INT64_MAX - 9) / 10) return 0;
+    v = v * 10 + (key[i] - '0');
+  }
+  return v;
+}
+
+void put_u64_le(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+
+std::uint64_t get_u64_le(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+/// One SPMD flag round: every driven node contributes 16 bytes
+/// (flag, worker-count) under a per-node tmp key, all_gather makes all n
+/// contributions visible everywhere, and the tmp keys are erased again.
+/// Returns, per node, the (flag, W) pair — identical on every rank.
+struct NodeFlag {
+  std::uint64_t flag = 0;
+  std::uint64_t workers = 0;
+};
+
+std::vector<NodeFlag> exchange_flags(
+    cluster::Fabric& fabric, const std::string& tag,
+    const std::function<NodeFlag(int node)>& local) {
+  const int n = fabric.world_size();
+  auto fkey = [&](int node) { return tag + std::to_string(node); };
+  auto erase_all = [&] {
+    for (int node = 0; node < n; ++node)
+      if (fabric.drives(node))
+        for (int other = 0; other < n; ++other)
+          fabric.store(node).erase(fkey(other));
+  };
+  for (int node = 0; node < n; ++node) {
+    if (!fabric.drives(node)) continue;
+    const NodeFlag f = local(node);
+    Buffer buf(16, Buffer::Init::kZeroed);
+    put_u64_le(buf.data(), f.flag);
+    put_u64_le(buf.data() + 8, f.workers);
+    fabric.store(node).put(fkey(node), std::move(buf));
+  }
+  try {
+    fabric.all_gather(all_nodes(n), fkey);
+  } catch (...) {
+    // A dead peer aborts the gather — the transient exchange keys must not
+    // outlive the failed collective (they are not version-scoped, so the
+    // caller's torn-version rollback would miss them).
+    erase_all();
+    throw;
+  }
+  std::vector<NodeFlag> flags(static_cast<std::size_t>(n));
+  const int home = driven_nodes(fabric).front();
+  for (int node = 0; node < n; ++node) {
+    const Buffer& buf = fabric.store(home).get(fkey(node));
+    ECC_CHECK(buf.size() == 16);
+    flags[static_cast<std::size_t>(node)].flag = get_u64_le(buf.data());
+    flags[static_cast<std::size_t>(node)].workers =
+        get_u64_le(buf.data() + 8);
+  }
+  erase_all();
+  return flags;
+}
+
+}  // namespace
+
+std::vector<int> fabric_driven_workers(cluster::Fabric& fabric,
+                                       int gpus_per_node) {
+  std::vector<int> workers;
+  for (int node : driven_nodes(fabric))
+    for (int l = 0; l < gpus_per_node; ++l)
+      workers.push_back(node * gpus_per_node + l);
+  return workers;
+}
+
+// ---------------------------------------------------------------------------
+// save
+// ---------------------------------------------------------------------------
+
+ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
+                             const std::vector<const dnn::StateDict*>& shards,
+                             std::int64_t version) {
+  const auto t0 = Clock::now();
+  const int n = fabric.world_size();
+  ECC_CHECK_MSG(cfg.k + cfg.m == n, "k+m must equal the fabric world size");
+  const std::vector<int> driven = driven_nodes(fabric);
+  ECC_CHECK_MSG(!shards.empty() && shards.size() % driven.size() == 0,
+                "need the same number of shards per driven rank");
+  const int g = static_cast<int>(shards.size() / driven.size());
+  const int W = n * g;
+  ECC_CHECK_MSG(W % cfg.k == 0, "k must divide the worker count");
+
+  PlacementConfig pc;
+  pc.num_nodes = n;
+  pc.gpus_per_node = g;
+  pc.k = cfg.k;
+  pc.m = cfg.m;
+  const Placement plan = plan_placement(pc);
+  const ec::CrsCodec codec(cfg.k, cfg.m, cfg.gf_width, cfg.kernel);
+  const int per_chunk = plan.workers_per_chunk();
+  const std::size_t P = cfg.packet_size;
+  ECC_CHECK_MSG(P % codec.packet_granularity() == 0,
+                "packet_size must be a multiple of the codec granularity");
+  const std::string& ns = cfg.key_namespace;
+  const std::vector<int> all = all_nodes(n);
+
+  ckpt::SaveReport rep;
+  const auto stats_base = fabric.stats().counters();
+  obs::ScopedSpan span("engine.save[" + fabric.fabric_name() + "]");
+
+  std::map<int, int> shard_index;  // worker → index into `shards`
+  for (std::size_t di = 0; di < driven.size(); ++di)
+    for (int l = 0; l < g; ++l) {
+      const int w = driven[di] * g + l;
+      shard_index[w] = static_cast<int>(di) * g + l;
+      ECC_CHECK_MSG(shards[static_cast<std::size_t>(shard_index[w])] != nullptr,
+                    "null shard for worker " << w);
+    }
+
+  // ---- Step 1: decompose + serialize the tiny components -----------------
+  std::map<int, Decomposition> decs;  // driven worker → decomposition
+  for (const auto& [w, si] : shard_index) {
+    const int node = w / g;
+    Decomposition dec = decompose(*shards[static_cast<std::size_t>(si)]);
+    fabric.store(node).put(meta_key(ns, version, w),
+                           std::move(dec.metadata_blob));
+    fabric.store(node).put(keys_key(ns, version, w),
+                           std::move(dec.keys_blob));
+    decs.emplace(w, std::move(dec));
+  }
+
+  // ---- Step 2: metadata + tensor keys to every node ----------------------
+  for (int l = 0; l < g; ++l) {
+    fabric.all_gather(
+        all, [&](int node) { return meta_key(ns, version, node * g + l); });
+    fabric.all_gather(
+        all, [&](int node) { return keys_key(ns, version, node * g + l); });
+  }
+  rep.breakdown["step2_metadata_broadcast"] = since(t0);
+
+  // Uniform packets-per-worker so reduction groups align (§III-C). Every
+  // rank derives B from the full set of tensor-keys blobs it now holds, so
+  // all ranks agree without another collective.
+  const int home = driven.front();
+  std::size_t B = 1;
+  for (int w = 0; w < W; ++w) {
+    const auto tkeys = dnn::deserialize_tensor_keys(
+        fabric.store(home).get(keys_key(ns, version, w)).span());
+    std::size_t bytes = 0;
+    for (const auto& tm : tkeys) bytes += tm.nbytes();
+    B = std::max(B, packets_needed(bytes, P));
+  }
+
+  // Pack each driven worker's tensor bytes into B fixed-size packets.
+  for (const auto& [w, dec] : decs) {
+    const int node = w / g;
+    std::vector<Buffer> packets = pack_packets(dec.tensor_data, P, B);
+    for (std::size_t b = 0; b < B; ++b)
+      fabric.store(node).put(local_key(ns, version, w, static_cast<int>(b)),
+                             std::move(packets[b]));
+  }
+  rep.stall_time = since(t0);
+  rep.breakdown["step1_snapshot"] = rep.stall_time;
+
+  // ---- Step 3a: relocate data packets to their data nodes ----------------
+  for (int j = 0; j < per_chunk; ++j) {
+    for (int b = 0; b < static_cast<int>(B); ++b) {
+      for (int c = 0; c < cfg.k; ++c) {
+        const int wsrc = c * per_chunk + j;
+        const int src = wsrc / g;
+        const int dst = plan.data_nodes[static_cast<std::size_t>(c)];
+        const std::string lk = local_key(ns, version, wsrc, b);
+        const std::string rk = row_key(ns, version, c, j, b);
+        if (src == dst) {
+          if (fabric.drives(src))
+            fabric.store(src).put(rk, fabric.store(src).get(lk).clone());
+        } else {
+          fabric.send_buffer(src, dst, lk, rk);
+        }
+      }
+    }
+  }
+
+  // ---- Step 3b: parity = XOR all-reduce of per-participant partials ------
+  // Each participant computes its GF partial product locally; the XOR
+  // all-reduce folds them (GF addition is XOR, so this is bit-identical to
+  // the simulator's serial accumulation); the node hosting the reduction
+  // target forwards the finished packet to its parity node.
+  for (int j = 0; j < per_chunk; ++j) {
+    for (int b = 0; b < static_cast<int>(B); ++b) {
+      for (int r = 0; r < cfg.m; ++r) {
+        const auto& op =
+            plan.reductions[static_cast<std::size_t>(j * cfg.m + r)];
+        const std::string pkey = tmp_prefix(ns, version) + "partial/" +
+                                 std::to_string(j) + "/" + std::to_string(b) +
+                                 "/" + std::to_string(r);
+        std::vector<int> pnodes;
+        pnodes.reserve(static_cast<std::size_t>(cfg.k));
+        for (int c = 0; c < cfg.k; ++c) {
+          const int pw = op.participants[static_cast<std::size_t>(c)];
+          const int pn = pw / g;
+          pnodes.push_back(pn);
+          if (fabric.drives(pn)) {
+            Buffer part(P, Buffer::Init::kUninitialized);
+            codec.encode_partial(
+                cfg.k + r, c,
+                fabric.store(pn).get(local_key(ns, version, pw, b)).span(),
+                part.span(), /*accumulate=*/false);
+            fabric.store(pn).put(pkey, std::move(part));
+          }
+        }
+        fabric.ring_all_reduce_xor(pnodes, pkey);
+
+        const int tnode = op.target_worker / g;
+        const std::string rk = row_key(ns, version, cfg.k + r, j, b);
+        if (tnode == op.dest_node) {
+          if (fabric.drives(tnode))
+            fabric.store(tnode).put(rk, fabric.store(tnode).get(pkey).clone());
+        } else {
+          fabric.send_buffer(tnode, op.dest_node, pkey, rk);
+        }
+        for (int pn : pnodes)
+          if (fabric.drives(pn)) fabric.store(pn).erase(pkey);
+      }
+    }
+  }
+
+  // Drop the staging copies; publish checksums and the commit marker.
+  for (const auto& [w, dec] : decs) {
+    (void)dec;
+    const int node = w / g;
+    for (int b = 0; b < static_cast<int>(B); ++b)
+      fabric.store(node).erase(local_key(ns, version, w, b));
+  }
+  for (int node : driven) {
+    if (cfg.verify_integrity) {
+      const int row = plan.generator_row_of_node(node);
+      Buffer sums(static_cast<std::size_t>(per_chunk) * B * 8,
+                  Buffer::Init::kUninitialized);
+      for (int j = 0; j < per_chunk; ++j) {
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          const std::uint64_t crc =
+              crc64(fabric.store(node)
+                        .get(row_key(ns, version, row, j, b))
+                        .span());
+          std::memcpy(sums.data() + (static_cast<std::size_t>(j) * B +
+                                     static_cast<std::size_t>(b)) *
+                                        8,
+                      &crc, 8);
+        }
+      }
+      fabric.store(node).put(sums_key(ns, version), std::move(sums));
+    }
+    fabric.store(node).put(commit_key(ns, version),
+                           Buffer::copy_of(as_bytes_of(version)));
+  }
+  rep.breakdown["step3_encode_pipeline"] = since(t0);
+
+  // ---- Step 4: low-frequency remote flush --------------------------------
+  if (cfg.flush_to_remote) {
+    for (int row = 0; row < cfg.k + cfg.m; ++row) {
+      const int node =
+          row < cfg.k
+              ? plan.data_nodes[static_cast<std::size_t>(row)]
+              : plan.parity_nodes[static_cast<std::size_t>(row - cfg.k)];
+      for (int j = 0; j < per_chunk; ++j)
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          const std::string rk = row_key(ns, version, row, j, b);
+          fabric.remote_write(node, rk, rk);
+        }
+    }
+    for (int w = 0; w < W; ++w) {
+      const int node = w / g;
+      fabric.remote_write(node, meta_key(ns, version, w),
+                          meta_key(ns, version, w));
+      fabric.remote_write(node, keys_key(ns, version, w),
+                          keys_key(ns, version, w));
+    }
+    // Every chunk must be durable before the commit marker appears: a crash
+    // between barrier and commit leaves an uncommitted (invisible) flush,
+    // never a committed torn one.
+    fabric.barrier(all);
+    fabric.remote_write(0, commit_key(ns, version), commit_key(ns, version));
+    rep.breakdown["step4_remote_flush"] = since(t0);
+  }
+
+  fabric.barrier(all);
+  rep.total_time = since(t0);
+  rep.stats = obs::StatsRegistry::delta(fabric.stats().counters(), stats_base);
+  fill_traffic(rep.stats, &rep.network_bytes, &rep.remote_bytes);
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// load
+// ---------------------------------------------------------------------------
+
+ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
+                             std::int64_t version,
+                             std::vector<dnn::StateDict>& out) {
+  const auto t0 = Clock::now();
+  const int n = fabric.world_size();
+  ECC_CHECK_MSG(cfg.k + cfg.m == n, "k+m must equal the fabric world size");
+  const std::vector<int> driven = driven_nodes(fabric);
+  const std::string& ns = cfg.key_namespace;
+  const std::vector<int> all = all_nodes(n);
+
+  ckpt::LoadReport rep;
+  const auto stats_base = fabric.stats().counters();
+  obs::ScopedSpan span("engine.load[" + fabric.fabric_name() + "]");
+  auto finalize = [&]() {
+    rep.total_time = since(t0);
+    rep.stats =
+        obs::StatsRegistry::delta(fabric.stats().counters(), stats_base);
+  };
+
+  // The placement (and with it each node's chunk row) depends on the worker
+  // count W, which a freshly replaced rank does not know — so roles are
+  // derived lazily: first from each node's own stored metadata extent, then
+  // from the fabric-wide agreed W.
+  auto role_plan = [&](int gpus) {
+    PlacementConfig pc;
+    pc.num_nodes = n;
+    pc.gpus_per_node = gpus;
+    pc.k = cfg.k;
+    pc.m = cfg.m;
+    return plan_placement(pc);
+  };
+  const ec::CrsCodec codec(cfg.k, cfg.m, cfg.gf_width, cfg.kernel);
+  const std::size_t P = cfg.packet_size;
+
+  // ---- round 1: every rank reports chunk intactness + metadata extent ----
+  // flag 0 = nothing usable, 1 = chunk row intact (commit + packets + CRC
+  // scrub), each paired with the number of per-worker metadata blobs held
+  // (the step-2 broadcast makes that W on any honest survivor).
+  auto local_state = [&](int node) {
+    NodeFlag f;
+    cluster::Store& store = fabric.store(node);
+    f.workers = store.keys_with_prefix(ns + "ec/" + std::to_string(version) +
+                                       "/meta/")
+                    .size();
+    // A node whose metadata extent is not a valid world shape cannot even
+    // name its own chunk row — treat it as lost.
+    if (f.workers == 0 ||
+        f.workers % static_cast<std::uint64_t>(n) != 0 ||
+        f.workers % static_cast<std::uint64_t>(cfg.k) != 0) {
+      f.flag = 0;
+      return f;
+    }
+    const int row = role_plan(static_cast<int>(f.workers) / n)
+                        .generator_row_of_node(node);
+    bool intact = store.contains(commit_key(ns, version)) &&
+                  store.contains(row_key(ns, version, row, 0, 0));
+    if (intact && cfg.verify_integrity) {
+      intact = store.contains(sums_key(ns, version));
+      if (intact) {
+        const int pch = static_cast<int>(f.workers) / cfg.k;
+        const Buffer& sums = store.get(sums_key(ns, version));
+        const std::size_t B_row =
+            sums.size() / 8 / static_cast<std::size_t>(pch);
+        for (int j = 0; intact && j < pch; ++j) {
+          for (std::size_t b = 0; intact && b < B_row; ++b) {
+            const std::string rk =
+                row_key(ns, version, row, j, static_cast<int>(b));
+            if (!store.contains(rk)) {
+              intact = false;
+              break;
+            }
+            std::uint64_t want;
+            std::memcpy(&want,
+                        sums.data() +
+                            (static_cast<std::size_t>(j) * B_row + b) * 8,
+                        8);
+            intact = crc64(store.get(rk).span()) == want;
+          }
+        }
+      }
+    }
+    f.flag = intact ? 1 : 0;
+    return f;
+  };
+  std::vector<NodeFlag> flags = exchange_flags(
+      fabric, tmp_prefix(ns, version) + "load/flag1/", local_state);
+
+  std::uint64_t W64 = 0;
+  for (const NodeFlag& f : flags) W64 = std::max(W64, f.workers);
+  int survivors = 0;
+  for (const NodeFlag& f : flags) survivors += f.flag >= 1 ? 1 : 0;
+
+  // ---- catastrophic path: fewer than k chunks left -----------------------
+  int remote_rescued_rows = 0;
+  if (survivors < cfg.k) {
+    const int self = driven.front();
+    const bool remote_ok =
+        cfg.remote_fallback &&
+        fabric.remote_contains(self, commit_key(ns, version)) &&
+        fabric.remote_contains(self, row_key(ns, version, 0, 0, 0));
+    if (!remote_ok) {
+      rep.success = false;
+      rep.detail = "only " + std::to_string(survivors) +
+                   " chunks survive, need k=" + std::to_string(cfg.k) +
+                   " and no remote copy exists";
+      finalize();
+      return rep;
+    }
+    if (W64 == 0) {
+      // Even the metadata is gone from every host — count workers from the
+      // remote flush (each rank sees the same shared store).
+      W64 = fabric
+                .remote_list(self, ns + "ec/" + std::to_string(version) +
+                                       "/meta/")
+                .size();
+      if (W64 == 0 || W64 % static_cast<std::uint64_t>(n) != 0 ||
+          W64 % static_cast<std::uint64_t>(cfg.k) != 0) {
+        rep.success = false;
+        rep.detail = "no usable metadata for version " +
+                     std::to_string(version) + " on hosts or remote";
+        finalize();
+        return rep;
+      }
+    }
+    const int pch = static_cast<int>(W64) / cfg.k;
+    const Placement rplan = role_plan(static_cast<int>(W64) / n);
+    std::size_t B_remote = 0;
+    while (fabric.remote_contains(
+        self, row_key(ns, version, 0, 0, static_cast<int>(B_remote))))
+      ++B_remote;
+    for (int node = 0; node < n; ++node) {
+      if (!fabric.drives(node)) continue;
+      if (flags[static_cast<std::size_t>(node)].flag >= 1) continue;
+      const int row = rplan.generator_row_of_node(node);
+      for (int j = 0; j < pch; ++j)
+        for (int b = 0; b < static_cast<int>(B_remote); ++b) {
+          const std::string rk = row_key(ns, version, row, j, b);
+          fabric.remote_read(node, rk, rk);
+        }
+      // The step-2 invariant (every node holds every worker's metadata)
+      // comes back from the remote flush too.
+      for (int w = 0; w < static_cast<int>(W64); ++w) {
+        if (!fabric.store(node).contains(meta_key(ns, version, w))) {
+          fabric.remote_read(node, meta_key(ns, version, w),
+                             meta_key(ns, version, w));
+          fabric.remote_read(node, keys_key(ns, version, w),
+                             keys_key(ns, version, w));
+        }
+      }
+    }
+    flags = exchange_flags(fabric, tmp_prefix(ns, version) + "load/flag2/",
+                           [&](int node) {
+                             NodeFlag f = flags[static_cast<std::size_t>(node)];
+                             if (f.flag == 0) f.flag = 2;
+                             f.workers = W64;
+                             return f;
+                           });
+    // Count rescued rows from the agreed flags so every rank reports the
+    // same detail, including survivors that rescued nothing themselves.
+    for (const NodeFlag& f : flags) remote_rescued_rows += f.flag == 2;
+    survivors = n;
+  }
+
+  ECC_CHECK_MSG(W64 > 0 && W64 % static_cast<std::uint64_t>(n) == 0 &&
+                    W64 % static_cast<std::uint64_t>(cfg.k) == 0,
+                "stored worker count " << W64
+                                       << " inconsistent with fabric shape");
+  const int W = static_cast<int>(W64);
+  const int g = W / n;
+  const Placement plan = role_plan(g);
+  const int per_chunk = plan.workers_per_chunk();
+  auto node_of_row = [&](int row) {
+    return row < cfg.k
+               ? plan.data_nodes[static_cast<std::size_t>(row)]
+               : plan.parity_nodes[static_cast<std::size_t>(row - cfg.k)];
+  };
+
+  // ---- metadata refresh: every node ends up with every worker's blobs ----
+  int meta_holder = -1;
+  for (int node = 0; node < n; ++node) {
+    if (flags[static_cast<std::size_t>(node)].workers ==
+        static_cast<std::uint64_t>(W)) {
+      meta_holder = node;
+      break;
+    }
+  }
+  if (meta_holder < 0) {
+    rep.success = false;
+    rep.detail = "no surviving metadata copy for version " +
+                 std::to_string(version) + " (pruned or never saved)";
+    finalize();
+    return rep;
+  }
+  for (int w = 0; w < W; ++w) {
+    fabric.broadcast(all, meta_holder, meta_key(ns, version, w));
+    fabric.broadcast(all, meta_holder, keys_key(ns, version, w));
+  }
+
+  // Uniform B, re-derived from the tensor-keys blobs like the simulator.
+  const int home = driven.front();
+  std::size_t B = 1;
+  std::vector<std::vector<dnn::TensorMeta>> tkeys(
+      static_cast<std::size_t>(W));
+  for (int w = 0; w < W; ++w) {
+    tkeys[static_cast<std::size_t>(w)] = dnn::deserialize_tensor_keys(
+        fabric.store(home).get(keys_key(ns, version, w)).span());
+    std::size_t bytes = 0;
+    for (const auto& tm : tkeys[static_cast<std::size_t>(w)])
+      bytes += tm.nbytes();
+    B = std::max(B, packets_needed(bytes, P));
+  }
+
+  // ---- reconstruct lost rows from any k survivors ------------------------
+  std::vector<int> survivor_rows, missing_rows;
+  for (int node = 0; node < n; ++node) {
+    const int row = plan.generator_row_of_node(node);
+    (flags[static_cast<std::size_t>(node)].flag >= 1 ? survivor_rows
+                                                     : missing_rows)
+        .push_back(row);
+  }
+  std::sort(survivor_rows.begin(), survivor_rows.end());
+  std::sort(missing_rows.begin(), missing_rows.end());
+  std::vector<int> missing_data, missing_parity;
+  for (int r : missing_rows)
+    (r < cfg.k ? missing_data : missing_parity).push_back(r);
+  const bool data_lost = !missing_data.empty();
+
+  // Distributed SPMD reconstruction: survivors stream their row packets to
+  // each target node, which applies the reconstruction matrix row — the
+  // same accumulate order as the simulator, so reconstructed bytes match.
+  auto reconstruct = [&](const std::vector<int>& basis,
+                         const std::vector<int>& targets) {
+    if (targets.empty()) return;
+    const ec::GfMatrix T = codec.reconstruction_matrix(basis, targets);
+    auto rec_key = [&](int s, int j, int b) {
+      return tmp_prefix(ns, version) + "load/rec/" + std::to_string(s) + "/" +
+             std::to_string(j) + "/" + std::to_string(b);
+    };
+    for (int j = 0; j < per_chunk; ++j) {
+      for (int b = 0; b < static_cast<int>(B); ++b) {
+        for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+          const int target_row = targets[ti];
+          const int target_node = node_of_row(target_row);
+          for (int s = 0; s < cfg.k; ++s) {
+            const int srow = basis[static_cast<std::size_t>(s)];
+            const int snode = node_of_row(srow);
+            if (snode != target_node)
+              fabric.send_buffer(snode, target_node,
+                                 row_key(ns, version, srow, j, b),
+                                 rec_key(s, j, b));
+          }
+          if (fabric.drives(target_node)) {
+            cluster::Store& store = fabric.store(target_node);
+            Buffer acc(P, Buffer::Init::kUninitialized);
+            for (int s = 0; s < cfg.k; ++s) {
+              const int srow = basis[static_cast<std::size_t>(s)];
+              const int snode = node_of_row(srow);
+              const Buffer& pkt =
+                  snode == target_node
+                      ? store.get(row_key(ns, version, srow, j, b))
+                      : store.get(rec_key(s, j, b));
+              codec.mul_packet(T.at(static_cast<int>(ti), s), pkt.span(),
+                               acc.span(), /*accumulate=*/s != 0);
+            }
+            store.put(row_key(ns, version, target_row, j, b), std::move(acc));
+            for (int s = 0; s < cfg.k; ++s) {
+              if (node_of_row(basis[static_cast<std::size_t>(s)]) !=
+                  target_node)
+                store.erase(rec_key(s, j, b));
+            }
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<int> basis(survivor_rows.begin(),
+                         survivor_rows.begin() + cfg.k);
+  reconstruct(basis, missing_data);
+
+  // ---- refill every worker's own packets and rebuild state_dicts ---------
+  std::map<int, int> out_index;  // driven worker → index into `out`
+  {
+    int idx = 0;
+    for (int node : driven)
+      for (int l = 0; l < g; ++l) out_index[node * g + l] = idx++;
+  }
+  out.clear();
+  out.resize(out_index.size());
+  auto refill_key = [&](int w, int b) {
+    return tmp_prefix(ns, version) + "load/refill/" + std::to_string(w) +
+           "/" + std::to_string(b);
+  };
+  for (int w = 0; w < W; ++w) {
+    const int node = w / g;
+    const int c = plan.chunk_of_worker(w);
+    const int src = plan.data_nodes[static_cast<std::size_t>(c)];
+    const int j = w - c * per_chunk;
+    if (src != node)
+      for (int b = 0; b < static_cast<int>(B); ++b)
+        fabric.send_buffer(src, node, row_key(ns, version, c, j, b),
+                           refill_key(w, b));
+    if (!fabric.drives(node)) continue;
+    cluster::Store& store = fabric.store(node);
+    std::vector<ByteSpan> packet_views;
+    for (int b = 0; b < static_cast<int>(B); ++b)
+      packet_views.push_back(
+          src == node ? store.get(row_key(ns, version, c, j, b)).span()
+                      : store.get(refill_key(w, b)).span());
+    dnn::StateDict skel = dnn::make_skeleton(
+        dnn::deserialize_metadata(store.get(meta_key(ns, version, w)).span()),
+        tkeys[static_cast<std::size_t>(w)]);
+    unpack_packets(packet_views, skel);
+    out[static_cast<std::size_t>(out_index.at(w))] = std::move(skel);
+    if (src != node)
+      for (int b = 0; b < static_cast<int>(B); ++b)
+        store.erase(refill_key(w, b));
+  }
+  rep.resume_time = since(t0);
+
+  // Restore redundancy: lost parity rows are re-encoded from the
+  // now-complete set of data rows.
+  {
+    std::vector<int> data_basis;
+    for (int c = 0; c < cfg.k; ++c) data_basis.push_back(c);
+    reconstruct(data_basis, missing_parity);
+  }
+
+  // Replaced/rescued nodes now hold their chunk and metadata: refresh their
+  // checksums and commit marker so future recoveries see them as survivors.
+  for (int node : driven) {
+    cluster::Store& store = fabric.store(node);
+    if (store.contains(commit_key(ns, version))) continue;
+    if (cfg.verify_integrity) {
+      const int row = plan.generator_row_of_node(node);
+      Buffer sums(static_cast<std::size_t>(per_chunk) * B * 8,
+                  Buffer::Init::kUninitialized);
+      for (int j = 0; j < per_chunk; ++j) {
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          const std::uint64_t crc =
+              crc64(store.get(row_key(ns, version, row, j, b)).span());
+          std::memcpy(sums.data() + (static_cast<std::size_t>(j) * B +
+                                     static_cast<std::size_t>(b)) *
+                                        8,
+                      &crc, 8);
+        }
+      }
+      store.put(sums_key(ns, version), std::move(sums));
+    }
+    store.put(commit_key(ns, version), Buffer::copy_of(as_bytes_of(version)));
+  }
+
+  fabric.barrier(all);
+  rep.success = true;
+  if (remote_rescued_rows > 0)
+    rep.detail = "remote fallback (refetched " +
+                 std::to_string(remote_rescued_rows) +
+                 " rows from remote storage)";
+  else if (data_lost)
+    rep.detail = "workflow B (decoded " + std::to_string(missing_rows.size()) +
+                 " rows)";
+  else
+    rep.detail = "workflow A (all data nodes survived)";
+  finalize();
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// prune / version discovery / recover
+// ---------------------------------------------------------------------------
+
+void fabric_prune(cluster::Fabric& fabric, const std::string& key_namespace,
+                  std::int64_t oldest_to_keep) {
+  const std::vector<int> driven = driven_nodes(fabric);
+  for (int node : driven) {
+    const bool prunes_remote = node == driven.front() && node == 0;
+    for (std::int64_t v = oldest_to_keep - 1; v >= 1; --v) {
+      const std::string prefix = version_prefix(key_namespace, v);
+      bool any = false;
+      for (const auto& key : fabric.store(node).keys_with_prefix(prefix)) {
+        fabric.store(node).erase(key);
+        any = true;
+      }
+      if (prunes_remote) {
+        for (const auto& key : fabric.remote_list(node, prefix)) {
+          fabric.remote_erase(node, key);
+          any = true;
+        }
+      }
+      if (!any) break;  // older versions were already pruned
+    }
+  }
+}
+
+std::int64_t fabric_newest_version(cluster::Fabric& fabric,
+                                   const ECCheckConfig& cfg) {
+  const std::string& ns = cfg.key_namespace;
+  std::vector<NodeFlag> flags =
+      exchange_flags(fabric, ns + "tmp/vers/", [&](int node) {
+        NodeFlag f;
+        std::int64_t best = 0;
+        for (const auto& key :
+             fabric.store(node).keys_with_prefix(ns + "ec/"))
+          best = std::max(best, commit_version_of(key, ns));
+        if (cfg.remote_fallback)
+          for (const auto& key : fabric.remote_list(node, ns + "ec/"))
+            best = std::max(best, commit_version_of(key, ns));
+        f.flag = static_cast<std::uint64_t>(best);
+        return f;
+      });
+  std::uint64_t newest = 0;
+  for (const NodeFlag& f : flags) newest = std::max(newest, f.flag);
+  return static_cast<std::int64_t>(newest);
+}
+
+FabricRecoverResult fabric_recover(cluster::Fabric& fabric,
+                                   const ECCheckConfig& cfg,
+                                   int retain_versions,
+                                   std::vector<dnn::StateDict>& out) {
+  FabricRecoverResult result;
+  const std::int64_t newest = fabric_newest_version(fabric, cfg);
+  if (newest < 1) {
+    result.version = 0;
+    result.report.detail = "no committed checkpoint version exists";
+    return result;
+  }
+  const std::int64_t oldest =
+      retain_versions > 0
+          ? std::max<std::int64_t>(1, newest - retain_versions + 1)
+          : 1;
+  for (std::int64_t v = newest; v >= oldest; --v) {
+    result.report = fabric_load(fabric, cfg, v, out);
+    if (result.report.success) {
+      result.version = v;
+      return result;
+    }
+  }
+  result.version = 0;
+  result.report.detail = "no retained version (" + std::to_string(oldest) +
+                         ".." + std::to_string(newest) +
+                         ") is recoverable; last error: " +
+                         result.report.detail;
+  return result;
+}
+
+}  // namespace eccheck::core

@@ -1,0 +1,88 @@
+// The ECCheck save/load/prune protocol expressed against cluster::Fabric —
+// the SPMD form of core/eccheck_engine.cpp that runs unchanged over the
+// in-memory VirtualFabric and over real sockets (net::SocketTransport),
+// one process per rank.
+//
+// Every function here is a *collective*: all ranks of the fabric call it
+// with the same arguments, each executes the sides of the data movement it
+// drives, and all return consistent results. On VirtualFabric (one process
+// drives all ranks) a single call performs the whole protocol.
+//
+// Bit-exactness contract: after fabric_save, every node's volatile store
+// and the remote store hold byte-identical keys/values to a
+// core::ECCheckEngine::save() of the same shards on a VirtualCluster of the
+// same shape, and fabric_load reproduces the simulator's load semantics
+// (workflow A / workflow B / remote fallback) with byte-identical
+// reconstructed shards and post-load stores. GF addition is XOR, so parity
+// produced by XOR-reducing per-participant partials equals the simulator's
+// serial accumulation; everything else is relocation of identical bytes.
+// The differential suite (tests/test_engine_fabric.cpp) enforces this.
+//
+// Failure model: a dead / unreachable peer surfaces as CheckFailure from
+// the fabric mid-call. fabric_save makes no durability claim for the
+// attempted version in that case — the caller (FabricSession) rolls the
+// torn version back locally and recovery falls back to an older committed
+// version, the in-memory analogue of the paper's torn-save handling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/engine.hpp"
+#include "cluster/fabric.hpp"
+#include "core/eccheck_engine.hpp"
+
+namespace eccheck::core {
+
+/// Save one checkpoint version. `shards` holds the shards of the workers
+/// this process drives, in worker order: with g workers per node, entry
+/// i·g+l is worker driven_node_i·g+l. A VirtualFabric caller passes all
+/// W = n·g shards; a socket rank passes its own g. All entries non-null and
+/// alive for the duration of the call. cfg.k + cfg.m must equal the fabric
+/// world size, and k must divide W.
+ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
+                             const std::vector<const dnn::StateDict*>& shards,
+                             std::int64_t version);
+
+/// Load `version` into `out` (resized to the number of driven workers, same
+/// ordering as fabric_save's `shards`). The worker count is rediscovered
+/// from stored metadata, so a freshly replaced rank needs no prior state.
+/// Returns success=false consistently on every rank when fewer than k
+/// chunks survive and the remote store cannot make up the difference.
+/// Dead ranks must have been replaced (fresh process / store) first.
+ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
+                             std::int64_t version,
+                             std::vector<dnn::StateDict>& out);
+
+/// Erase every version older than `oldest_to_keep` from the driven ranks'
+/// stores, and (from the lowest driven rank) from the remote store. Purely
+/// local per rank — no collectives, safe to call with divergent views.
+void fabric_prune(cluster::Fabric& fabric, const std::string& key_namespace,
+                  std::int64_t oldest_to_keep);
+
+/// Collective: the newest version for which any rank holds a commit marker,
+/// also consulting the remote store (from the lowest driven rank) when
+/// cfg.remote_fallback is set. 0 when nothing was ever committed.
+std::int64_t fabric_newest_version(cluster::Fabric& fabric,
+                                   const ECCheckConfig& cfg);
+
+struct FabricRecoverResult {
+  ckpt::LoadReport report;
+  std::int64_t version = 0;  ///< 0 = nothing recoverable
+};
+
+/// Collective: discover the newest committed version and load it, falling
+/// back through at most `retain_versions` older versions (0 = unbounded)
+/// when the newest is unrecoverable — the SPMD form of Session::load.
+FabricRecoverResult fabric_recover(cluster::Fabric& fabric,
+                                   const ECCheckConfig& cfg,
+                                   int retain_versions,
+                                   std::vector<dnn::StateDict>& out);
+
+/// The workers this process drives, ascending (helper for callers mapping
+/// fabric_save/fabric_load shard vectors to global worker indices).
+std::vector<int> fabric_driven_workers(cluster::Fabric& fabric,
+                                       int gpus_per_node);
+
+}  // namespace eccheck::core

@@ -1,5 +1,8 @@
 #include "core/session.hpp"
 
+#include "cluster/fabric.hpp"
+#include "core/engine_keys.hpp"
+#include "core/fabric_engine.hpp"
 #include "obs/tracer.hpp"
 
 namespace eccheck::core {
@@ -86,6 +89,74 @@ Session::RecoverResult Session::load(std::vector<dnn::StateDict>& out) {
   result.report.detail = "no retained version (" + std::to_string(oldest) +
                          ".." + std::to_string(newest) +
                          ") is recoverable; last error: " + result.report.detail;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// FabricSession
+// ---------------------------------------------------------------------------
+
+FabricSession::FabricSession(cluster::Fabric& fabric, ECCheckConfig cfg,
+                             int gpus_per_node, int retain_versions)
+    : fabric_(&fabric), cfg_(std::move(cfg)), gpus_per_node_(gpus_per_node),
+      retain_versions_(retain_versions) {
+  ECC_CHECK(gpus_per_node_ >= 1);
+  ECC_CHECK_MSG(cfg_.k + cfg_.m == fabric.world_size(),
+                "k+m must equal the fabric world size");
+}
+
+std::vector<int> FabricSession::driven_workers() const {
+  return fabric_driven_workers(*fabric_, gpus_per_node_);
+}
+
+void FabricSession::rollback(std::int64_t version) {
+  const std::string& ns = cfg_.key_namespace;
+  for (int node = 0; node < fabric_->world_size(); ++node) {
+    if (!fabric_->drives(node)) continue;
+    cluster::Store& store = fabric_->store(node);
+    for (const auto& prefix : {keys::version_prefix(ns, version),
+                               keys::tmp_prefix(ns, version)})
+      for (const auto& key : store.keys_with_prefix(prefix)) store.erase(key);
+  }
+}
+
+ckpt::SaveReport FabricSession::save(
+    const std::vector<const dnn::StateDict*>& shards) {
+  obs::ScopedSpan span("session.save[" + fabric_->fabric_name() + "]");
+  // Collective version agreement: a rank that just rejoined has no local
+  // version history, so the next version is derived from the fabric-wide
+  // newest commit marker, which every rank sees identically. A torn
+  // (rolled-back) version number gets reused by the retry — harmless, since
+  // the rollback scrubbed it everywhere it existed.
+  const std::int64_t version = fabric_newest_version(*fabric_, cfg_) + 1;
+  next_version_ = version + 1;
+  ckpt::SaveReport rep;
+  try {
+    rep = fabric_save(*fabric_, cfg_, shards, version);
+  } catch (const CheckFailure&) {
+    // Torn save: a peer died (or an invariant broke) mid-protocol. Scrub
+    // every key of the attempted version from the stores this process
+    // drives — partial per-rank state must never look committed — then let
+    // the caller run failure handling. The version number stays consumed so
+    // a retry after peer replacement picks a fresh one on every rank.
+    rollback(version);
+    throw;
+  }
+  if (retain_versions_ > 0)
+    fabric_prune(*fabric_, cfg_.key_namespace, version - retain_versions_ + 1);
+  return rep;
+}
+
+FabricSession::RecoverResult FabricSession::load(
+    std::vector<dnn::StateDict>& out) {
+  obs::ScopedSpan span("session.load[" + fabric_->fabric_name() + "]");
+  FabricRecoverResult r = fabric_recover(*fabric_, cfg_, retain_versions_, out);
+  RecoverResult result;
+  result.report = std::move(r.report);
+  result.version = r.version;
+  // Rejoining ranks discover the version history from the fabric, not from
+  // local state — keep saving above whatever was recovered.
+  next_version_ = std::max(next_version_, result.version + 1);
   return result;
 }
 

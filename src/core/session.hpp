@@ -76,4 +76,50 @@ class Session {
   std::int64_t next_version_ = 1;
 };
 
+/// The session facade over a cluster::Fabric — the SPMD analogue of Session
+/// for real multi-process deployments (and, bit-exactly, VirtualFabric).
+/// Every method is a collective: all ranks call it with equivalent
+/// arguments. No idle-window profiling here — real transports measure real
+/// wire time, so the virtual-time calendar machinery does not apply.
+///
+/// Torn-save handling: when a peer dies mid-save the fabric throws
+/// CheckFailure; save() then rolls the attempted version back from the
+/// local driven stores (durable and staging keys) before rethrowing, so a
+/// later load() never mistakes the torn version for a committed one.
+class FabricSession {
+ public:
+  FabricSession(cluster::Fabric& fabric, ECCheckConfig cfg,
+                int gpus_per_node = 1, int retain_versions = 2);
+
+  const ECCheckConfig& config() const { return cfg_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  std::int64_t latest_version() const { return next_version_ - 1; }
+
+  /// Global worker indices of this process's shards, in `shards` order.
+  std::vector<int> driven_workers() const;
+
+  /// Save the driven workers' shards as the next version; prunes versions
+  /// beyond the retention window on success.
+  ckpt::SaveReport save(const std::vector<const dnn::StateDict*>& shards);
+
+  /// Recover the newest committed version (falling back through retained
+  /// older versions); resyncs the session's version counter so the next
+  /// save continues above what was recovered — also on a freshly replaced
+  /// rank that never saved.
+  struct RecoverResult {
+    ckpt::LoadReport report;
+    std::int64_t version = 0;
+  };
+  RecoverResult load(std::vector<dnn::StateDict>& out);
+
+ private:
+  void rollback(std::int64_t version);
+
+  cluster::Fabric* fabric_;
+  ECCheckConfig cfg_;
+  int gpus_per_node_;
+  int retain_versions_;
+  std::int64_t next_version_ = 1;
+};
+
 }  // namespace eccheck::core

@@ -39,6 +39,8 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kSegment: return "segment";
     case FrameType::kBarrier: return "barrier";
     case FrameType::kAck: return "ack";
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
   }
   return "?";
 }
@@ -62,7 +64,7 @@ FrameHeader decode_frame_header(const std::uint8_t* in,
                 "eccheck transport peer");
   FrameHeader h;
   const std::uint32_t type = get_u32(in + 8);
-  ECC_CHECK_MSG(type >= 1 && type <= 6, "net: unknown frame type " << type);
+  ECC_CHECK_MSG(type >= 1 && type <= 8, "net: unknown frame type " << type);
   h.type = static_cast<FrameType>(type);
   h.src_rank = get_u32(in + 12);
   *key_len = get_u32(in + 16);

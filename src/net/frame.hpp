@@ -33,6 +33,8 @@ enum class FrameType : std::uint32_t {
   kSegment = 4,  ///< ring all-reduce segment; aux = segment index
   kBarrier = 5,  ///< zero-payload rendezvous token
   kAck = 6,      ///< acknowledgement; payload_crc echoes the acked frame's
+  kRequest = 7,  ///< service request; key = command, payload = arguments
+  kResponse = 8, ///< service response; aux = status (0 ok), payload = body
 };
 
 const char* frame_type_name(FrameType t);

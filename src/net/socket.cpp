@@ -11,6 +11,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <thread>
 
 namespace eccheck::net {
@@ -90,6 +92,14 @@ SockAddr resolve(const Endpoint& ep, const std::string& who) {
   return a;
 }
 
+bool is_tcp_fd(int fd) {
+  struct sockaddr_storage ss;
+  socklen_t slen = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&ss), &slen) != 0)
+    return false;
+  return ss.ss_family == AF_INET || ss.ss_family == AF_INET6;
+}
+
 void tune(int fd, const Endpoint& ep) {
   if (ep.kind == Endpoint::Kind::kTcp) {
     int one = 1;
@@ -98,6 +108,21 @@ void tune(int fd, const Endpoint& ep) {
 }
 
 }  // namespace
+
+void set_tcp_nodelay(const Socket& s, bool on) {
+  if (!s.valid() || !is_tcp_fd(s.fd())) return;
+  int v = on ? 1 : 0;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v));
+}
+
+bool tcp_nodelay_on(const Socket& s) {
+  if (!s.valid() || !is_tcp_fd(s.fd())) return false;
+  int v = 0;
+  socklen_t vlen = sizeof(v);
+  if (::getsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &v, &vlen) != 0)
+    return false;
+  return v != 0;
+}
 
 Endpoint Endpoint::uds(std::string path) {
   Endpoint e;
@@ -115,13 +140,28 @@ Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
 }
 
 Endpoint Endpoint::parse(const std::string& spec) {
-  if (spec.rfind("unix:", 0) == 0) return uds(spec.substr(5));
+  if (spec.rfind("unix:", 0) == 0) {
+    ECC_CHECK_MSG(spec.size() > 5, "endpoint spec '" << spec
+                                       << "' has an empty UDS path");
+    return uds(spec.substr(5));
+  }
   if (spec.rfind("tcp:", 0) == 0) {
     const std::string rest = spec.substr(4);
     const auto colon = rest.rfind(':');
-    ECC_CHECK_MSG(colon != std::string::npos && colon + 1 < rest.size(),
+    ECC_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                      colon + 1 < rest.size(),
                   "endpoint spec '" << spec << "' is not tcp:host:port");
-    const unsigned long port = std::stoul(rest.substr(colon + 1));
+    const std::string port_str = rest.substr(colon + 1);
+    // std::stoul would let "abc" / "1e9" / 2^80 escape as std::exception;
+    // the port must be digits only and small enough to parse safely.
+    const bool digits_only =
+        port_str.size() <= 5 &&
+        std::all_of(port_str.begin(), port_str.end(),
+                    [](unsigned char c) { return std::isdigit(c) != 0; });
+    ECC_CHECK_MSG(digits_only, "port '" << port_str << "' in endpoint spec '"
+                                        << spec
+                                        << "' is not a decimal number");
+    const unsigned long port = std::stoul(port_str);
     ECC_CHECK_MSG(port <= 65535, "port out of range in '" << spec << "'");
     return tcp(rest.substr(0, colon), static_cast<std::uint16_t>(port));
   }
@@ -173,7 +213,13 @@ Socket accept_with_timeout(const Socket& listener, Millis timeout,
       fail(who, "accept timed out after " + std::to_string(timeout.count()) +
                     " ms — no peer connected");
     int fd = ::accept(listener.fd(), nullptr, nullptr);
-    if (fd >= 0) return Socket(fd);
+    if (fd >= 0) {
+      Socket accepted(fd);
+      // The connect side tunes in connect_with_retry; without the same on
+      // accepted sockets every CRC-echo ack waits out Nagle/delayed-ack.
+      set_tcp_nodelay(accepted);
+      return accepted;
+    }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
         errno == ECONNABORTED)
       continue;
@@ -197,7 +243,7 @@ Socket connect_with_retry(const Endpoint& ep, Millis connect_timeout,
     if (!s.valid()) fail_errno(who, "socket", errno);
     set_nonblocking(s.fd(), true);
     int rc = ::connect(s.fd(), &addr.u.sa, addr.len);
-    if (rc != 0 && errno == EINPROGRESS) {
+    if (rc != 0 && detail::connect_pending(errno)) {
       const auto deadline = Clock::now() + connect_timeout;
       if (!poll_until(s.fd(), POLLOUT, deadline, who)) {
         last_error = "connect timed out";

@@ -81,10 +81,28 @@ class Socket {
 /// For TCP port 0 the actual bound port is written back into `ep`.
 Socket listen_on(Endpoint& ep, int backlog = 16);
 
+/// Toggle TCP_NODELAY on a connected TCP socket; a no-op for non-TCP fds.
+void set_tcp_nodelay(const Socket& s, bool on = true);
+
+/// True when TCP_NODELAY is set on `s` (false for non-TCP fds).
+bool tcp_nodelay_on(const Socket& s);
+
 /// Accept one connection, waiting at most `timeout`; throws CheckFailure on
-/// timeout ("no peer connected") or listener error.
+/// timeout ("no peer connected") or listener error. Accepted TCP sockets
+/// get TCP_NODELAY, matching the connect side — the CRC-echo ack sent back
+/// on an accepted connection must not sit behind Nagle.
 Socket accept_with_timeout(const Socket& listener, Millis timeout,
                            const std::string& who);
+
+namespace detail {
+/// connect(2) outcomes that mean "in flight, poll for completion": the
+/// canonical EINPROGRESS, and EINTR — a signal interrupted the call but the
+/// connection still proceeds in the background (POSIX), so treating it as
+/// fatal would kill healthy SPMD startups under chaos signals.
+constexpr bool connect_pending(int err) {
+  return err == EINPROGRESS || err == EINTR;
+}
+}  // namespace detail
 
 /// Connect to `ep`, retrying ECONNREFUSED/ENOENT (listener not up yet) with
 /// exponential backoff: attempt i sleeps min(backoff_base·2^i, backoff_max)

@@ -1,11 +1,14 @@
 #include "net/transport.hpp"
 
+#include <fcntl.h>
 #include <stdio.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -57,6 +60,43 @@ std::string escape_key(const std::string& key) {
   return out;
 }
 
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Inverse of escape_key; empty optional-style failure is reported by the
+/// bool. Used to map directory listings back to store keys.
+bool unescape_key(const std::string& escaped, std::string* out) {
+  out->clear();
+  out->reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out->push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) return false;
+    const int hi = hex_nibble(escaped[i + 1]);
+    const int lo = hex_nibble(escaped[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return true;
+}
+
+constexpr const char* kChunkSuffix = ".chunk";
+
+/// fsync a directory so a just-renamed entry survives a crash.
+void fsync_dir(const std::string& dir, const std::string& who) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  ECC_CHECK_MSG(fd >= 0, who << ": cannot open dir " << dir << " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  ECC_CHECK_MSG(rc == 0, who << ": fsync of dir " << dir << " failed");
+}
+
 }  // namespace
 
 SocketTransport::SocketTransport(int rank, std::vector<Endpoint> peers,
@@ -87,6 +127,21 @@ void SocketTransport::set_peers(std::vector<Endpoint> peers) {
 void SocketTransport::reset_peer(int peer) {
   out_.erase(peer);
   in_.erase(peer);
+}
+
+void SocketTransport::reset_all_peers() {
+  out_.clear();
+  in_.clear();
+}
+
+int SocketTransport::debug_inbound_fd(int peer) const {
+  auto it = in_.find(peer);
+  return it == in_.end() ? -1 : it->second.fd();
+}
+
+int SocketTransport::debug_outbound_fd(int peer) const {
+  auto it = out_.find(peer);
+  return it == out_.end() ? -1 : it->second.fd();
 }
 
 void SocketTransport::shutdown() {
@@ -131,6 +186,7 @@ Socket& SocketTransport::conn_to(int peer) {
   stats_->add("net.connect.count");
   if (retries > 0) stats_->add("net.retry.count",
                                static_cast<std::uint64_t>(retries));
+  if (!opts_.tcp_nodelay) set_tcp_nodelay(s, false);
   // Introduce ourselves so the peer can pool this connection by rank.
   FrameHeader hello;
   hello.type = FrameType::kHello;
@@ -152,6 +208,7 @@ Socket& SocketTransport::conn_from(int peer) {
     const std::string ctx = who("await connection from", peer);
     Socket s = accept_with_timeout(listener_, remaining(deadline), ctx);
     stats_->add("net.accept.count");
+    if (!opts_.tcp_nodelay) set_tcp_nodelay(s, false);
     std::uint8_t hdr[kFrameHeaderBytes];
     read_full(s, hdr, sizeof(hdr), remaining(deadline), ctx);
     std::uint32_t key_len = 0;
@@ -405,20 +462,36 @@ void SocketTransport::remote_write(int node, const std::string& key,
   const std::string path = remote_path(remote_key);
   const std::string tmp = path + ".tmp." + std::to_string(rank_);
   {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    ECC_CHECK_MSG(f.good(), "remote store: cannot open " << tmp);
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ECC_CHECK_MSG(fd >= 0, "remote store: cannot open " << tmp);
+    Socket holder(fd);  // RAII close on any throw below
     std::uint8_t hdr[24];
     put_u64_le(hdr, kRemoteChunkMagic);
     put_u64_le(hdr + 8, payload.size());
     put_u64_le(hdr + 16, crc64(payload.span()));
-    f.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
-    f.write(reinterpret_cast<const char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-    ECC_CHECK_MSG(f.good(), "remote store: short write to " << tmp);
+    auto write_all = [&](const void* p, std::size_t n) {
+      const char* c = static_cast<const char*>(p);
+      while (n > 0) {
+        ssize_t w = ::write(fd, c, n);
+        if (w < 0 && errno == EINTR) continue;
+        ECC_CHECK_MSG(w > 0, "remote store: short write to " << tmp);
+        c += w;
+        n -= static_cast<std::size_t>(w);
+      }
+    };
+    write_all(hdr, sizeof(hdr));
+    write_all(payload.data(), payload.size());
+    // Durability before visibility: the data must be on stable storage
+    // before the rename publishes it, and the rename itself must be synced
+    // via the directory — otherwise a host crash can publish a torn chunk
+    // under the final name, which remote_read would then reject forever.
+    ECC_CHECK_MSG(::fsync(fd) == 0, "remote store: fsync of " << tmp
+                                                              << " failed");
   }
   // Atomic publish: a reader (or a crash) never observes a torn chunk.
   ECC_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
                 "remote store: rename to " << path << " failed");
+  fsync_dir(opts_.remote_dir, "remote store");
   stats_->add("remote.write.bytes", payload.size());
   stats_->add("remote.write.count");
 }
@@ -450,6 +523,47 @@ void SocketTransport::remote_read(int node, const std::string& remote_key,
   stats_->add("remote.read.bytes", len);
   stats_->add("remote.read.count");
   store_.put(key, std::move(payload));
+}
+
+bool SocketTransport::remote_contains(int node,
+                                      const std::string& remote_key) {
+  ECC_CHECK_MSG(node == rank_, "remote_contains for a rank not driven here");
+  if (opts_.remote_dir.empty()) return false;
+  std::error_code ec;
+  return std::filesystem::exists(remote_path(remote_key), ec);
+}
+
+std::vector<std::string> SocketTransport::remote_list(
+    int node, const std::string& prefix) {
+  ECC_CHECK_MSG(node == rank_, "remote_list for a rank not driven here");
+  std::vector<std::string> keys;
+  if (opts_.remote_dir.empty()) return keys;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(opts_.remote_dir, ec);
+  if (ec) return keys;  // directory not created yet = empty store
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    // Published chunks end in ".chunk"; in-flight ".chunk.tmp.<rank>" files
+    // are not part of the store.
+    if (name.size() <= std::strlen(kChunkSuffix) ||
+        name.compare(name.size() - std::strlen(kChunkSuffix),
+                     std::string::npos, kChunkSuffix) != 0)
+      continue;
+    std::string key;
+    if (!unescape_key(name.substr(0, name.size() - std::strlen(kChunkSuffix)),
+                      &key))
+      continue;
+    if (key.rfind(prefix, 0) == 0) keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void SocketTransport::remote_erase(int node, const std::string& remote_key) {
+  ECC_CHECK_MSG(node == rank_, "remote_erase for a rank not driven here");
+  if (opts_.remote_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove(remote_path(remote_key), ec);
 }
 
 void SocketTransport::barrier(const std::vector<int>& nodes) {

@@ -53,6 +53,11 @@ struct TransportOptions {
   /// peer can stall a collective before CheckFailure.
   Millis io_timeout{5000};
 
+  /// TCP_NODELAY on both connected and accepted sockets (default on: the
+  /// frame protocol is ack-per-frame, so Nagle/delayed-ack interplay adds a
+  /// full RTT of latency per frame). Off exists for A/B benchmarking.
+  bool tcp_nodelay = true;
+
   /// Directory backing the persistent remote store; empty disables
   /// remote_write/remote_read.
   std::string remote_dir;
@@ -82,13 +87,24 @@ class SocketTransport final : public cluster::Fabric {
   /// was replaced by a fresh one listening on the same endpoint.
   void reset_peer(int peer);
 
+  /// Drop every pooled connection (the listener stays up). After a
+  /// collective aborted mid-flight (peer death), connections between the
+  /// *surviving* ranks can hold half-delivered frames; every survivor calls
+  /// this at a synchronized point before the next collective so all sides
+  /// reconnect with a clean protocol state.
+  void reset_all_peers();
+
   /// Close the listener and every pooled connection. Further fabric calls
   /// on any rank that talks to this one fail with CheckFailure — used by
   /// tests to simulate an orderly peer death.
   void shutdown();
 
   const TransportOptions& options() const { return opts_; }
-  obs::StatsRegistry& stats() { return *stats_; }
+
+  /// Raw fds of pooled connections, -1 when none exists — test/bench hooks
+  /// for asserting socket options on live connections.
+  int debug_inbound_fd(int peer) const;
+  int debug_outbound_fd(int peer) const;
 
   // ---- cluster::Fabric ---------------------------------------------------
   std::string fabric_name() const override;
@@ -111,6 +127,11 @@ class SocketTransport final : public cluster::Fabric {
                     const std::string& remote_key) override;
   void remote_read(int node, const std::string& remote_key,
                    const std::string& key) override;
+  bool remote_contains(int node, const std::string& remote_key) override;
+  std::vector<std::string> remote_list(int node,
+                                       const std::string& prefix) override;
+  void remote_erase(int node, const std::string& remote_key) override;
+  obs::StatsRegistry& stats() override { return *stats_; }
   void barrier(const std::vector<int>& nodes) override;
 
  private:

@@ -1,0 +1,487 @@
+#include "svc/checkpoint_service.hpp"
+
+#include <poll.h>
+
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/crc64.hpp"
+#include "core/fabric_engine.hpp"
+
+namespace eccheck::svc {
+namespace {
+
+ByteSpan span_of(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string string_of(const Buffer& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+std::string hex16(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+/// True when the listener has a connection waiting within `wait`.
+bool listener_readable(const net::Socket& listener, net::Millis wait) {
+  pollfd p{listener.fd(), POLLIN, 0};
+  return ::poll(&p, 1, static_cast<int>(wait.count())) > 0 &&
+         (p.revents & POLLIN) != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Control framing.
+// ---------------------------------------------------------------------------
+
+void send_control(const net::Socket& s, net::FrameType type,
+                  const std::string& key, std::uint32_t aux, ByteSpan payload,
+                  net::Millis io_timeout, const std::string& ctx) {
+  net::FrameHeader h;
+  h.type = type;
+  h.src_rank = 0;
+  h.aux = aux;
+  h.key = key;
+  h.payload_len = payload.size();
+  h.payload_crc = crc64(payload);
+
+  std::vector<std::uint8_t> head(net::kFrameHeaderBytes + key.size());
+  net::encode_frame_header(h, head.data());
+  std::memcpy(head.data() + net::kFrameHeaderBytes, key.data(), key.size());
+  net::write_full(s, head.data(), head.size(), io_timeout, ctx);
+  if (!payload.empty())
+    net::write_full(s, payload.data(), payload.size(), io_timeout, ctx);
+
+  // Same end-to-end contract as the data fabric: the receiver acks with the
+  // payload CRC after verifying it.
+  std::uint8_t ack_hdr[net::kFrameHeaderBytes];
+  net::read_full(s, ack_hdr, sizeof(ack_hdr), io_timeout, ctx);
+  std::uint32_t ack_key_len = 0;
+  net::FrameHeader ack = net::decode_frame_header(ack_hdr, &ack_key_len);
+  ECC_CHECK_MSG(ack.type == net::FrameType::kAck && ack_key_len == 0,
+                ctx << ": expected ack, got "
+                    << net::frame_type_name(ack.type));
+  ECC_CHECK_MSG(ack.payload_crc == h.payload_crc,
+                ctx << ": ack CRC mismatch — payload corrupted in flight");
+}
+
+ControlFrame recv_control(const net::Socket& s, net::FrameType expect,
+                          net::Millis io_timeout, const std::string& ctx) {
+  std::uint8_t hdr[net::kFrameHeaderBytes];
+  net::read_full(s, hdr, sizeof(hdr), io_timeout, ctx);
+  std::uint32_t key_len = 0;
+  ControlFrame r;
+  r.header = net::decode_frame_header(hdr, &key_len);
+  ECC_CHECK_MSG(r.header.type == expect,
+                ctx << ": got " << net::frame_type_name(r.header.type)
+                    << ", expected " << net::frame_type_name(expect));
+  if (key_len > 0) {
+    r.header.key.resize(key_len);
+    net::read_full(s, r.header.key.data(), key_len, io_timeout, ctx);
+  }
+  r.payload = Buffer(r.header.payload_len, Buffer::Init::kUninitialized);
+  if (!r.payload.empty())
+    net::read_full(s, r.payload.data(), r.payload.size(), io_timeout, ctx);
+  ECC_CHECK_MSG(crc64(r.payload.span()) == r.header.payload_crc,
+                ctx << ": payload CRC mismatch — wire corruption");
+
+  net::FrameHeader ack;
+  ack.type = net::FrameType::kAck;
+  ack.src_rank = 0;
+  ack.payload_crc = r.header.payload_crc;
+  std::uint8_t ack_hdr[net::kFrameHeaderBytes];
+  net::encode_frame_header(ack, ack_hdr);
+  net::write_full(s, ack_hdr, sizeof(ack_hdr), io_timeout, ctx);
+  return r;
+}
+
+ControlReply client_request(const net::Endpoint& server,
+                            const std::string& command,
+                            const std::string& args,
+                            const net::TransportOptions& opts) {
+  const std::string ctx = "client request '" + command + "' to " +
+                          server.to_string();
+  net::Socket s = net::connect_with_retry(server, opts.connect_timeout,
+                                          opts.connect_retries,
+                                          opts.backoff_base, opts.backoff_max,
+                                          ctx);
+  net::set_tcp_nodelay(s, opts.tcp_nodelay);
+  send_control(s, net::FrameType::kRequest, command, 0, span_of(args),
+               opts.io_timeout, ctx);
+  ControlFrame resp = recv_control(s, net::FrameType::kResponse,
+                                   opts.io_timeout, ctx);
+  return {resp.header.aux == 0, string_of(resp.payload)};
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic job content.
+// ---------------------------------------------------------------------------
+
+dnn::CheckpointGenConfig job_gen_config(const std::string& job,
+                                        std::int64_t iteration, int world) {
+  dnn::CheckpointGenConfig cfg;
+  cfg.model = dnn::make_model(dnn::ModelFamily::kGPT2, 96, 2, 6, "svc");
+  cfg.model.vocab = 384;
+  cfg.parallelism = world % 2 == 0
+                        ? dnn::ParallelismSpec{2, world / 2, 1}
+                        : dnn::ParallelismSpec{1, world, 1};
+  cfg.seed = crc64(span_of(job)) ^ static_cast<std::uint64_t>(iteration);
+  cfg.iteration = iteration;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// WorkerDaemon.
+// ---------------------------------------------------------------------------
+
+WorkerDaemon::WorkerDaemon(WorkerDaemonConfig cfg)
+    : cfg_(std::move(cfg)),
+      fabric_(cfg_.rank, cfg_.fabric_eps, cfg_.fabric_opts),
+      control_listener_(net::listen_on(cfg_.control_ep)) {
+  ECC_CHECK_MSG(cfg_.ec.k + cfg_.ec.m == fabric_.world_size(),
+                "worker daemon: k+m=" << cfg_.ec.k + cfg_.ec.m
+                                      << " != world size "
+                                      << fabric_.world_size());
+}
+
+core::FabricSession& WorkerDaemon::session_for(const std::string& job) {
+  auto it = sessions_.find(job);
+  if (it != sessions_.end()) return it->second;
+  core::ECCheckConfig jcfg = cfg_.ec;
+  jcfg.key_namespace = job + "/";
+  return sessions_
+      .try_emplace(job, fabric_, jcfg, cfg_.gpus_per_node,
+                   cfg_.retain_versions)
+      .first->second;
+}
+
+std::string WorkerDaemon::do_save(const std::string& job,
+                                  std::int64_t iteration) {
+  core::FabricSession& session = session_for(job);
+  const int world = fabric_.world_size() * cfg_.gpus_per_node;
+  const dnn::CheckpointGenConfig gen = job_gen_config(job, iteration, world);
+  const std::vector<int> workers = session.driven_workers();
+
+  std::vector<dnn::StateDict> mine;
+  mine.reserve(workers.size());
+  for (int w : workers) mine.push_back(dnn::make_worker_state_dict(gen, w));
+  std::vector<const dnn::StateDict*> ptrs;
+  ptrs.reserve(mine.size());
+  for (const dnn::StateDict& sd : mine) ptrs.push_back(&sd);
+
+  session.save(ptrs);
+  ++saves_ok_;
+  std::ostringstream os;
+  os << "version=" << session.latest_version();
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    os << " w" << workers[i] << ":" << hex16(mine[i].digest());
+  return os.str();
+}
+
+std::string WorkerDaemon::do_load(const std::string& job) {
+  core::FabricSession& session = session_for(job);
+  std::vector<dnn::StateDict> out;
+  const core::FabricSession::RecoverResult res = session.load(out);
+  ++loads_ok_;
+  const std::vector<int> workers = session.driven_workers();
+  ECC_CHECK_MSG(out.size() == workers.size(),
+                "load returned " << out.size() << " shards for "
+                                 << workers.size() << " driven workers");
+  std::ostringstream os;
+  os << "version=" << res.version;
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    os << " w" << workers[i] << ":" << hex16(out[i].digest());
+  os << " ; " << res.report.detail;
+  return os.str();
+}
+
+std::string WorkerDaemon::handle(const std::string& command,
+                                 const std::string& args,
+                                 std::uint32_t& status) {
+  status = 0;
+  try {
+    if (command == "ping") {
+      return "pong rank=" + std::to_string(cfg_.rank);
+    }
+    if (command == "save") {
+      std::istringstream is(args);
+      std::string job;
+      std::int64_t iteration = 0;
+      is >> job >> iteration;
+      ECC_CHECK_MSG(!job.empty() && iteration > 0,
+                    "save expects '<job> <iteration>', got '" << args << "'");
+      return do_save(job, iteration);
+    }
+    if (command == "load") {
+      std::istringstream is(args);
+      std::string job;
+      is >> job;
+      ECC_CHECK_MSG(!job.empty(), "load expects '<job>', got '" << args
+                                                               << "'");
+      return do_load(job);
+    }
+    if (command == "reset") {
+      fabric_.reset_all_peers();
+      return "ok";
+    }
+    if (command == "status") {
+      std::ostringstream os;
+      os << "rank=" << cfg_.rank << " jobs=" << sessions_.size()
+         << " saves_ok=" << saves_ok_ << " saves_failed=" << saves_failed_
+         << " loads_ok=" << loads_ok_;
+      return os.str();
+    }
+    if (command == "exit") {
+      return "bye";
+    }
+    status = 1;
+    return "unknown command '" + command + "'";
+  } catch (const CheckFailure& e) {
+    // A torn collective (peer died mid-save) lands here: FabricSession
+    // already rolled the version back; the daemon stays up and reports.
+    if (command == "save") ++saves_failed_;
+    status = 1;
+    return std::string("error: ") + e.what();
+  }
+}
+
+void WorkerDaemon::run() {
+  const std::string ctx = "worker " + std::to_string(cfg_.rank) + " control";
+  for (;;) {
+    if (!listener_readable(control_listener_, net::Millis(250))) continue;
+    net::Socket conn;
+    try {
+      conn = net::accept_with_timeout(control_listener_,
+                                      cfg_.fabric_opts.io_timeout, ctx);
+    } catch (const CheckFailure&) {
+      continue;  // raced client gave up between poll and accept
+    }
+    std::string command;
+    try {
+      ControlFrame req = recv_control(conn, net::FrameType::kRequest,
+                                      cfg_.fabric_opts.io_timeout, ctx);
+      command = req.header.key;
+      std::uint32_t status = 0;
+      const std::string body = handle(command, string_of(req.payload),
+                                      status);
+      send_control(conn, net::FrameType::kResponse, "", status,
+                   span_of(body), cfg_.fabric_opts.io_timeout, ctx);
+    } catch (const CheckFailure&) {
+      continue;  // client died mid-exchange; daemon survives
+    }
+    if (command == "exit") return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+// ---------------------------------------------------------------------------
+
+Coordinator::Coordinator(CoordinatorConfig cfg)
+    : cfg_(std::move(cfg)), listener_(net::listen_on(cfg_.client_ep)) {
+  ECC_CHECK_MSG(!cfg_.worker_eps.empty(), "coordinator needs workers");
+}
+
+bool Coordinator::admit(net::Millis wait) {
+  // Drain everything already waiting, then (if the queue is still empty)
+  // block up to `wait` for the first arrival. Connections admitted while a
+  // previous request was being served keep their arrival order.
+  for (;;) {
+    const net::Millis budget = queue_.empty() ? wait : net::Millis(0);
+    if (!listener_readable(listener_, budget)) break;
+    try {
+      queue_.push_back(
+          {net::accept_with_timeout(listener_, net::Millis(100), "coordinator")});
+    } catch (const CheckFailure&) {
+      break;
+    }
+  }
+  max_depth_ = std::max(max_depth_, queue_.size());
+  return !queue_.empty();
+}
+
+std::vector<ControlReply> Coordinator::fan_out(const std::string& command,
+                                               const std::string& args) {
+  std::vector<ControlReply> replies(cfg_.worker_eps.size());
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.worker_eps.size());
+  for (std::size_t i = 0; i < cfg_.worker_eps.size(); ++i) {
+    threads.emplace_back([this, &replies, &command, &args, i] {
+      try {
+        replies[i] =
+            client_request(cfg_.worker_eps[i], command, args, cfg_.opts);
+      } catch (const CheckFailure& e) {
+        replies[i] = {false, std::string("unreachable: ") + e.what()};
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return replies;
+}
+
+void Coordinator::reset_workers() {
+  fan_out("reset", "");  // best effort: dead workers are simply unreachable
+}
+
+namespace {
+
+/// Merge worker bodies of the form "version=V wN:digest... [; detail]":
+/// checks every reachable worker agreed on V, concatenates the shard
+/// digests in rank order, and surfaces the first worker's detail (loads).
+struct MergedBodies {
+  bool ok = false;
+  std::int64_t version = 0;
+  std::string shards;  ///< "wN:digest wM:digest ..."
+  std::string detail;
+  std::string error;
+};
+
+MergedBodies merge_bodies(const std::vector<ControlReply>& replies) {
+  MergedBodies m;
+  bool have_version = false;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].ok) {
+      m.error = "worker " + std::to_string(i) + ": " + replies[i].body;
+      return m;
+    }
+    std::istringstream is(replies[i].body);
+    std::string tok;
+    is >> tok;
+    std::int64_t v = 0;
+    if (tok.rfind("version=", 0) != 0 ||
+        !(std::istringstream(tok.substr(8)) >> v)) {
+      m.error = "worker " + std::to_string(i) + ": bad body '" +
+                replies[i].body + "'";
+      return m;
+    }
+    if (have_version && v != m.version) {
+      m.error = "workers disagree on version: " + std::to_string(m.version) +
+                " vs " + std::to_string(v);
+      return m;
+    }
+    m.version = v;
+    have_version = true;
+    while (is >> tok) {
+      if (tok == ";") {
+        std::string rest;
+        std::getline(is, rest);
+        if (m.detail.empty() && !rest.empty())
+          m.detail = rest.substr(rest.find_first_not_of(' '));
+        break;
+      }
+      m.shards += (m.shards.empty() ? "" : " ") + tok;
+    }
+  }
+  m.ok = true;
+  return m;
+}
+
+}  // namespace
+
+std::string Coordinator::handle(const std::string& command,
+                                const std::string& args,
+                                std::uint32_t& status) {
+  status = 0;
+  std::istringstream is(args);
+  std::string job;
+  is >> job;
+
+  if (command == "status") {
+    const std::vector<ControlReply> pings = fan_out("ping", "");
+    std::size_t alive = 0;
+    for (const ControlReply& r : pings) alive += r.ok;
+    std::ostringstream os;
+    os << "queue_depth=" << queue_.size() << " max_depth=" << max_depth_
+       << " served=" << served_ << " jobs=" << iterations_.size()
+       << " workers=" << alive << "/" << pings.size();
+    return os.str();
+  }
+  if (command == "reset") {
+    reset_workers();
+    return "ok";
+  }
+  if (command == "shutdown") {
+    fan_out("exit", "");
+    stop_ = true;
+    return "bye";
+  }
+  if (command == "save") {
+    if (job.empty()) {
+      status = 1;
+      return "save expects '<job>'";
+    }
+    const std::int64_t iteration = ++iterations_[job];
+    const std::vector<ControlReply> replies =
+        fan_out("save", job + " " + std::to_string(iteration));
+    const MergedBodies m = merge_bodies(replies);
+    if (!m.ok) {
+      // The collective tore: every survivor rolled its version back; reset
+      // all fabric connections so the next collective starts clean.
+      reset_workers();
+      status = 1;
+      return "save failed: " + m.error;
+    }
+    history_[job][m.version] = iteration;
+    std::ostringstream os;
+    os << "version=" << m.version << " iteration=" << iteration << " "
+       << m.shards;
+    return os.str();
+  }
+  if (command == "load") {
+    if (job.empty()) {
+      status = 1;
+      return "load expects '<job>'";
+    }
+    // Survivors of an earlier failure — and everyone pooling a connection
+    // to a since-replaced rank — must reconnect before the collective.
+    reset_workers();
+    const std::vector<ControlReply> replies = fan_out("load", job);
+    const MergedBodies m = merge_bodies(replies);
+    if (!m.ok) {
+      reset_workers();
+      status = 1;
+      return "load failed: " + m.error;
+    }
+    std::ostringstream os;
+    os << "version=" << m.version;
+    const auto jit = history_.find(job);
+    if (jit != history_.end()) {
+      const auto vit = jit->second.find(m.version);
+      if (vit != jit->second.end()) os << " iteration=" << vit->second;
+    }
+    os << " " << m.shards;
+    if (!m.detail.empty()) os << " ; " << m.detail;
+    return os.str();
+  }
+  status = 1;
+  return "unknown command '" + command + "'";
+}
+
+void Coordinator::run() {
+  while (!stop_) {
+    if (!admit(net::Millis(250))) continue;
+    net::Socket conn = std::move(queue_.front().conn);
+    queue_.erase(queue_.begin());
+    try {
+      ControlFrame req = recv_control(conn, net::FrameType::kRequest,
+                                      cfg_.opts.io_timeout, "coordinator");
+      std::uint32_t status = 0;
+      const std::string body =
+          handle(req.header.key, string_of(req.payload), status);
+      send_control(conn, net::FrameType::kResponse, "", status,
+                   span_of(body), cfg_.opts.io_timeout, "coordinator");
+      ++served_;
+    } catch (const CheckFailure&) {
+      continue;  // client died mid-exchange; coordinator survives
+    }
+  }
+}
+
+}  // namespace eccheck::svc

@@ -1,0 +1,194 @@
+// Checkpoint service: a coordinator daemon fronting k+m worker daemons.
+//
+// This is the deployment shape of the engine-over-Fabric port: every worker
+// process owns one SocketTransport rank and runs the collective
+// save/load protocol (core/fabric_engine) when told to; the coordinator
+// owns the client-facing endpoint, admits requests through a FIFO queue,
+// and fans each job command out to all workers — a collective only makes
+// progress once every rank has joined it, so the fan-out doubles as the
+// barrier that starts it.
+//
+// Control channel: one kRequest/kResponse exchange per connection, using
+// the same 40-byte CRC64 frame header and CRC-echo ack as the data fabric
+// (net/frame.hpp). The key carries the command, the payload the arguments;
+// the response's aux is a status code (0 = ok) and the payload the body.
+//
+// Failure model: a worker SIGKILLed mid-save makes the surviving workers'
+// collective fail fast (CheckFailure inside their io_timeout);
+// FabricSession rolls the torn version back on each survivor, the worker
+// daemon survives and reports the error, and the coordinator resets every
+// fabric connection before the next collective so survivors drop
+// half-delivered frames. A replacement worker started on the dead rank's
+// endpoints recovers the job state from the erasure-coded remainder on the
+// next `load`.
+//
+// Shard payloads are synthesized deterministically from (job, iteration)
+// on the worker side, so any client — including the multi-process demo and
+// the differential tests — can recompute the expected digests without
+// shipping tensor bytes over the control channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "dnn/checkpoint_gen.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace eccheck::svc {
+
+// ---------------------------------------------------------------------------
+// Control-channel framing (shared by client, coordinator, and workers).
+// ---------------------------------------------------------------------------
+
+struct ControlFrame {
+  net::FrameHeader header;
+  Buffer payload;
+};
+
+/// Send one acknowledged control frame: header+key+payload out, CRC-echo
+/// ack back. Unlike the fabric's pooled data path this works on any
+/// connected socket.
+void send_control(const net::Socket& s, net::FrameType type,
+                  const std::string& key, std::uint32_t aux, ByteSpan payload,
+                  net::Millis io_timeout, const std::string& ctx);
+
+/// Receive one control frame of the expected type, verify its CRC and ack
+/// it. Throws CheckFailure on timeout, EOF, or protocol desync.
+ControlFrame recv_control(const net::Socket& s, net::FrameType expect,
+                          net::Millis io_timeout, const std::string& ctx);
+
+struct ControlReply {
+  bool ok = false;       ///< response status was 0
+  std::string body;      ///< response payload (error text when !ok)
+};
+
+/// One request/response exchange over a fresh connection to `server`.
+/// Connect-level failures (server dead, never came up) surface as
+/// CheckFailure; an error *response* comes back as {ok=false, body}.
+ControlReply client_request(const net::Endpoint& server,
+                            const std::string& command,
+                            const std::string& args,
+                            const net::TransportOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Deterministic job content.
+// ---------------------------------------------------------------------------
+
+/// The synthetic model snapshot for (job, iteration) across `world`
+/// workers: seeded by crc64(job) ^ iteration, so every process — worker,
+/// demo parent, test — derives identical tensor bytes independently.
+dnn::CheckpointGenConfig job_gen_config(const std::string& job,
+                                        std::int64_t iteration, int world);
+
+// ---------------------------------------------------------------------------
+// Worker daemon: one process, one fabric rank.
+// ---------------------------------------------------------------------------
+
+struct WorkerDaemonConfig {
+  int rank = 0;
+  std::vector<net::Endpoint> fabric_eps;  ///< data-plane endpoints, all ranks
+  net::Endpoint control_ep;               ///< this worker's command socket
+  net::TransportOptions fabric_opts;
+  core::ECCheckConfig ec;                 ///< k+m must equal fabric_eps.size()
+  int gpus_per_node = 1;                  ///< shards driven per worker
+  int retain_versions = 2;
+};
+
+/// Single-threaded command server wrapping a SocketTransport rank and a
+/// FabricSession per job (namespace `<job>/` keeps jobs collision-free in
+/// every store, including the shared remote directory).
+///
+/// Commands: `ping`, `save <job> <iteration>`, `load <job>`, `reset`,
+/// `status`, `exit`. A failed collective save leaves the daemon alive:
+/// FabricSession already rolled back the torn version, the error travels
+/// back in the response, and the next `reset` re-arms the fabric.
+class WorkerDaemon {
+ public:
+  explicit WorkerDaemon(WorkerDaemonConfig cfg);
+
+  /// Serve commands until `exit` arrives. Accept waits are bounded so a
+  /// wedged client cannot hang the daemon forever.
+  void run();
+
+  net::SocketTransport& fabric() { return fabric_; }
+
+ private:
+  std::string handle(const std::string& command, const std::string& args,
+                     std::uint32_t& status);
+  std::string do_save(const std::string& job, std::int64_t iteration);
+  std::string do_load(const std::string& job);
+  core::FabricSession& session_for(const std::string& job);
+
+  WorkerDaemonConfig cfg_;
+  net::SocketTransport fabric_;
+  net::Socket control_listener_;
+  std::map<std::string, core::FabricSession> sessions_;
+  std::uint64_t saves_ok_ = 0;
+  std::uint64_t saves_failed_ = 0;
+  std::uint64_t loads_ok_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator daemon: client endpoint + admission queue + worker fan-out.
+// ---------------------------------------------------------------------------
+
+struct CoordinatorConfig {
+  net::Endpoint client_ep;                 ///< where clients connect
+  std::vector<net::Endpoint> worker_eps;   ///< workers' control endpoints
+  net::TransportOptions opts;              ///< io_timeout must exceed the
+                                           ///< workers' fabric io_timeout —
+                                           ///< a save response only arrives
+                                           ///< after the collective resolves
+};
+
+/// Serializes client requests through a FIFO admission queue (connections
+/// accepted while a job is running wait their turn; depth is tracked for
+/// `status`) and fans each job command out to every worker concurrently.
+///
+/// Client commands: `save <job>`, `load <job>`, `status`, `reset`,
+/// `shutdown`. The coordinator assigns iteration numbers per job, so
+/// concurrent clients saving the same job get distinct, ordered snapshots.
+/// After any failed fan-out — and before every `load` — it resets all
+/// fabric connections on every reachable worker, the synchronized point
+/// that lets survivors of an aborted collective reconnect cleanly.
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig cfg);
+
+  /// Serve until `shutdown` (which also sends `exit` to every worker).
+  void run();
+
+ private:
+  struct Pending {
+    net::Socket conn;
+  };
+
+  /// Accept every connection currently waiting (bounded, non-blocking-ish)
+  /// into the admission queue; returns true if the queue is non-empty.
+  bool admit(net::Millis wait);
+  std::string handle(const std::string& command, const std::string& args,
+                     std::uint32_t& status);
+  /// Run `command args` on every worker concurrently; entry i is worker
+  /// i's reply (connect failures become {ok=false, body=<error>}).
+  std::vector<ControlReply> fan_out(const std::string& command,
+                                    const std::string& args);
+  void reset_workers();
+
+  CoordinatorConfig cfg_;
+  net::Socket listener_;
+  std::vector<Pending> queue_;
+  std::map<std::string, std::int64_t> iterations_;
+  /// job → version → iteration, so `load` replies can name the iteration
+  /// whose synthetic content the recovered version must equal.
+  std::map<std::string, std::map<std::int64_t, std::int64_t>> history_;
+  std::uint64_t served_ = 0;
+  std::size_t max_depth_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace eccheck::svc

@@ -204,10 +204,13 @@ TEST(Pipeline, BusyPlusBlockedAccountsForStageWall) {
   // (blocked); per-stage busy + blocked must therefore fill the stage's
   // thread lifetime up to loop overhead. A slow producer makes stage 1
   // mostly blocked, which the split must expose.
+  // The producer/consumer asymmetry must stay visible even when a loaded
+  // machine stretches every sleep_for: 10x, not 4x, and generous slack —
+  // this test measures the busy/blocked *split*, not the scheduler.
   std::vector<int> items(8, 0);
   std::vector<std::function<void(int&)>> stages = {
       [](int&) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(4));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
       },
       [](int&) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -223,7 +226,7 @@ TEST(Pipeline, BusyPlusBlockedAccountsForStageWall) {
     EXPECT_GT(wall, 0.0);
     // Accounted time never exceeds the thread's lifetime (small scheduling
     // slack allowed)...
-    EXPECT_LE(busy + blocked, wall + 0.005);
+    EXPECT_LE(busy + blocked, wall + 0.05);
     // ...and covers most of it: the thread does nothing else.
     EXPECT_GE(busy + blocked, 0.5 * wall);
   }

@@ -1,0 +1,257 @@
+// The checkpoint service (src/svc): control-protocol framing, the
+// coordinator's admission/fan-out behaviour, and the daemon lifecycle —
+// multi-job sessions, a worker death that tears a save, replacement, and
+// bit-exact recovery of every job. Daemons run as threads here (one OS
+// process per daemon lives in examples/transport_cli --mode daemon); the
+// socket fabric between them is exactly the multi-process one.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dnn/checkpoint_gen.hpp"
+#include "svc/checkpoint_service.hpp"
+
+namespace eccheck {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/eccheck-svctest-XXXXXX";
+    EXPECT_NE(::mkdtemp(tmpl), nullptr);
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+constexpr int kK = 2;
+constexpr int kM = 2;
+constexpr int kNodes = kK + kM;
+constexpr int kGpn = 2;
+constexpr int kWorld = kNodes * kGpn;
+
+net::TransportOptions fast_opts(const TempDir& dir) {
+  net::TransportOptions o;
+  o.connect_timeout = net::Millis(500);
+  o.connect_retries = 20;
+  o.backoff_base = net::Millis(2);
+  o.backoff_max = net::Millis(50);
+  o.io_timeout = net::Millis(5000);
+  o.remote_dir = dir.path + "/remote";
+  return o;
+}
+
+core::ECCheckConfig ec_config() {
+  core::ECCheckConfig cfg;
+  cfg.k = kK;
+  cfg.m = kM;
+  cfg.packet_size = 16 * 1024;
+  return cfg;
+}
+
+svc::WorkerDaemonConfig worker_config(const TempDir& dir, int rank) {
+  svc::WorkerDaemonConfig cfg;
+  cfg.rank = rank;
+  for (int r = 0; r < kNodes; ++r)
+    cfg.fabric_eps.push_back(net::Endpoint::uds(
+        dir.path + "/rank" + std::to_string(r) + ".sock"));
+  cfg.control_ep =
+      net::Endpoint::uds(dir.path + "/ctl" + std::to_string(rank) + ".sock");
+  cfg.fabric_opts = fast_opts(dir);
+  cfg.ec = ec_config();
+  cfg.gpus_per_node = kGpn;
+  return cfg;
+}
+
+/// A daemon on its own thread; join() after the daemon got `exit`.
+struct DaemonThread {
+  std::unique_ptr<svc::WorkerDaemon> daemon;
+  std::thread thread;
+
+  explicit DaemonThread(svc::WorkerDaemonConfig cfg)
+      : daemon(std::make_unique<svc::WorkerDaemon>(std::move(cfg))) {
+    thread = std::thread([this] { daemon->run(); });
+  }
+  ~DaemonThread() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// Expected digests for (job, iteration): the bit-exactness oracle.
+std::map<int, std::uint64_t> want_digests(const std::string& job,
+                                          std::int64_t iteration) {
+  const dnn::CheckpointGenConfig gen =
+      svc::job_gen_config(job, iteration, kWorld);
+  std::map<int, std::uint64_t> out;
+  for (int w = 0; w < kWorld; ++w)
+    out[w] = dnn::make_worker_state_dict(gen, w).digest();
+  return out;
+}
+
+struct ParsedBody {
+  std::int64_t version = 0;
+  std::int64_t iteration = 0;
+  std::map<int, std::uint64_t> digests;
+  std::string detail;
+};
+
+ParsedBody parse_body(const std::string& body) {
+  ParsedBody p;
+  std::istringstream is(body);
+  std::string tok;
+  while (is >> tok) {
+    if (tok == ";") {
+      std::getline(is, p.detail);
+      if (!p.detail.empty() && p.detail[0] == ' ') p.detail.erase(0, 1);
+      break;
+    }
+    if (tok.rfind("version=", 0) == 0) {
+      p.version = std::stoll(tok.substr(8));
+    } else if (tok.rfind("iteration=", 0) == 0) {
+      p.iteration = std::stoll(tok.substr(10));
+    } else if (tok[0] == 'w' && tok.find(':') != std::string::npos) {
+      const auto colon = tok.find(':');
+      p.digests[std::stoi(tok.substr(1, colon - 1))] =
+          std::stoull(tok.substr(colon + 1), nullptr, 16);
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ServiceProtocol, ClientRequestRoundTripsAndRejectsUnknownCommands) {
+  TempDir dir;
+  std::vector<std::unique_ptr<DaemonThread>> daemons;
+  for (int r = 0; r < kNodes; ++r)
+    daemons.push_back(std::make_unique<DaemonThread>(worker_config(dir, r)));
+  const net::Endpoint ctl0 = net::Endpoint::uds(dir.path + "/ctl0.sock");
+  const net::TransportOptions opts = fast_opts(dir);
+
+  const svc::ControlReply pong = svc::client_request(ctl0, "ping", "", opts);
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.body, "pong rank=0");
+
+  const svc::ControlReply bad =
+      svc::client_request(ctl0, "frobnicate", "", opts);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.body.find("unknown command"), std::string::npos);
+
+  const svc::ControlReply malformed =
+      svc::client_request(ctl0, "save", "onlyjob", opts);
+  EXPECT_FALSE(malformed.ok);
+
+  for (int r = 0; r < kNodes; ++r)
+    svc::client_request(net::Endpoint::uds(dir.path + "/ctl" +
+                                           std::to_string(r) + ".sock"),
+                        "exit", "", opts);
+}
+
+TEST(ServiceDaemon, MultiJobSaveLoadKillRecoverBitExact) {
+  TempDir dir;
+  std::vector<std::unique_ptr<DaemonThread>> daemons;
+  for (int r = 0; r < kNodes; ++r)
+    daemons.push_back(std::make_unique<DaemonThread>(worker_config(dir, r)));
+
+  svc::CoordinatorConfig ccfg;
+  ccfg.client_ep = net::Endpoint::uds(dir.path + "/client.sock");
+  for (int r = 0; r < kNodes; ++r)
+    ccfg.worker_eps.push_back(net::Endpoint::uds(
+        dir.path + "/ctl" + std::to_string(r) + ".sock"));
+  ccfg.opts = fast_opts(dir);
+  ccfg.opts.io_timeout = net::Millis(60000);
+  ccfg.opts.connect_retries = 3;
+  svc::Coordinator coordinator(ccfg);
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+
+  const net::TransportOptions copts = ccfg.opts;
+  auto request = [&](const std::string& cmd, const std::string& args) {
+    return svc::client_request(ccfg.client_ep, cmd, args, copts);
+  };
+
+  // Two jobs interleaved: versions advance independently per namespace.
+  svc::ControlReply r = request("save", "jobA");
+  ASSERT_TRUE(r.ok) << r.body;
+  EXPECT_EQ(parse_body(r.body).version, 1);
+  EXPECT_EQ(parse_body(r.body).digests, want_digests("jobA", 1));
+
+  r = request("save", "jobB");
+  ASSERT_TRUE(r.ok) << r.body;
+  EXPECT_EQ(parse_body(r.body).version, 1);
+
+  r = request("save", "jobA");
+  ASSERT_TRUE(r.ok) << r.body;
+  EXPECT_EQ(parse_body(r.body).version, 2);
+  EXPECT_EQ(parse_body(r.body).digests, want_digests("jobA", 2));
+
+  // Orderly worker death (daemon exits, fabric listener closes): the next
+  // save's collective tears; survivors roll it back and report the error.
+  // Node 2 holds a data row in this placement, so recovery must decode
+  // (workflow B) rather than just re-encode parity.
+  const int victim = 2;
+  svc::client_request(ccfg.worker_eps[victim], "exit", "", copts);
+  daemons[victim].reset();  // joins the dead daemon's thread
+
+  r = request("save", "jobA");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.body.find("save failed"), std::string::npos) << r.body;
+
+  r = request("status", "");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.body.find("workers=3/4"), std::string::npos) << r.body;
+
+  // Replacement on the same endpoints; both jobs recover bit-exactly.
+  daemons[victim] = std::make_unique<DaemonThread>(worker_config(dir, victim));
+
+  r = request("load", "jobA");
+  ASSERT_TRUE(r.ok) << r.body;
+  {
+    const ParsedBody p = parse_body(r.body);
+    EXPECT_EQ(p.version, 2);
+    EXPECT_EQ(p.iteration, 2);
+    EXPECT_EQ(p.digests, want_digests("jobA", 2));
+    EXPECT_NE(p.detail.find("workflow B"), std::string::npos)
+        << "replacement rank lost its chunks, expected a decode: "
+        << p.detail;
+  }
+
+  r = request("load", "jobB");
+  ASSERT_TRUE(r.ok) << r.body;
+  EXPECT_EQ(parse_body(r.body).version, 1);
+  EXPECT_EQ(parse_body(r.body).digests, want_digests("jobB", 1));
+
+  // Training resumes: the next save agrees on version 3 (the torn version
+  // was rolled back everywhere) with a fresh iteration number.
+  r = request("save", "jobA");
+  ASSERT_TRUE(r.ok) << r.body;
+  {
+    const ParsedBody p = parse_body(r.body);
+    EXPECT_EQ(p.version, 3);
+    EXPECT_EQ(p.iteration, 4);
+    EXPECT_EQ(p.digests, want_digests("jobA", 4));
+  }
+
+  r = request("status", "");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.body.find("workers=4/4"), std::string::npos) << r.body;
+
+  r = request("shutdown", "");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "bye");
+  coord_thread.join();
+}
+
+}  // namespace
+}  // namespace eccheck

@@ -7,10 +7,13 @@
 // ephemeral-port TCP handshake, and the CRC-trailered persistent remote
 // store.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <filesystem>
@@ -332,6 +335,138 @@ TEST(SocketTransport, RemoteStoreSurvivesTransportAndDetectsCorruption) {
     net::SocketTransport fabric(0, eps, fast_opts(dir));
     EXPECT_THROW(fabric.remote_read(0, "saved/blob", "restored2"),
                  CheckFailure);
+  }
+}
+
+// ---- satellite regressions -------------------------------------------------
+
+// Malformed endpoint specs used to escape as std::invalid_argument /
+// std::out_of_range from the unguarded std::stoul (or wrap silently for
+// huge ports); they must all surface as the repo-wide CheckFailure.
+TEST(SocketTransport, EndpointParseValidatesSpecsStrictly) {
+  const net::Endpoint u = net::Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, net::Endpoint::Kind::kUds);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  const net::Endpoint t = net::Endpoint::parse("tcp:127.0.0.1:8080");
+  EXPECT_EQ(t.kind, net::Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 8080);
+  EXPECT_EQ(net::Endpoint::parse(t.to_string()).to_string(), t.to_string());
+  EXPECT_EQ(net::Endpoint::parse("tcp:localhost:0").port, 0);  // ephemeral
+
+  for (const char* bad : {
+           "",                   // no scheme
+           "http://x:1",         // unknown scheme
+           "unix:",              // empty UDS path
+           "tcp:host",           // no port
+           "tcp::123",           // empty host
+           "tcp:h:",             // empty port
+           "tcp:h:abc",          // was std::invalid_argument
+           "tcp:h:1e4",          // stoul would stop at 'e' and accept 1
+           "tcp:h:-1",           // sign must not sneak through
+           "tcp:h: 80",          // embedded whitespace
+           "tcp:h:70000",        // > 65535
+           "tcp:h:4294967377",   // was a silent uint16 wrap to port 81
+           "tcp:h:999999999999999999999999",  // was std::out_of_range
+       }) {
+    EXPECT_THROW(net::Endpoint::parse(bad), CheckFailure) << bad;
+  }
+}
+
+// TCP_NODELAY must be applied on *accepted* connections too (the CRC-echo
+// ack a receiver sends back must not sit behind Nagle), and the
+// tcp_nodelay=false A/B-benchmark option must reach both directions.
+TEST(SocketTransport, TcpNodelayAppliedOnBothConnectedAndAcceptedSockets) {
+  for (const bool nodelay : {true, false}) {
+    TempDir dir;
+    net::TransportOptions opts = fast_opts(dir);
+    opts.tcp_nodelay = nodelay;
+    std::vector<net::Endpoint> placeholders(
+        2, net::Endpoint::tcp("127.0.0.1", 0));
+    std::vector<std::unique_ptr<net::SocketTransport>> t;
+    for (int r = 0; r < 2; ++r)
+      t.push_back(std::make_unique<net::SocketTransport>(r, placeholders,
+                                                         opts));
+    std::vector<net::Endpoint> real;
+    for (int r = 0; r < 2; ++r) real.push_back(t[r]->listen_endpoint());
+    for (int r = 0; r < 2; ++r) t[r]->set_peers(real);
+
+    // A barrier opens a connection in each direction on every rank.
+    run_ranks(2, [&](int rank) { t[rank]->barrier({0, 1}); });
+
+    for (int rank = 0; rank < 2; ++rank) {
+      const int peer = 1 - rank;
+      const int out_fd = t[rank]->debug_outbound_fd(peer);
+      const int in_fd = t[rank]->debug_inbound_fd(peer);
+      ASSERT_GE(out_fd, 0) << "rank " << rank;
+      ASSERT_GE(in_fd, 0) << "rank " << rank;
+      EXPECT_EQ(net::tcp_nodelay_on(net::Socket(::dup(out_fd))), nodelay)
+          << "connected socket, rank " << rank;
+      EXPECT_EQ(net::tcp_nodelay_on(net::Socket(::dup(in_fd))), nodelay)
+          << "accepted socket, rank " << rank;
+    }
+  }
+}
+
+// EINTR from a non-blocking connect(2) means the connection proceeds in the
+// background (POSIX) — it must take the EINPROGRESS poll path, not abort a
+// healthy startup just because a signal landed.
+TEST(SocketTransport, ConnectPendingTreatsEintrLikeInProgress) {
+  EXPECT_TRUE(net::detail::connect_pending(EINPROGRESS));
+  EXPECT_TRUE(net::detail::connect_pending(EINTR));
+  EXPECT_FALSE(net::detail::connect_pending(ECONNREFUSED));
+  EXPECT_FALSE(net::detail::connect_pending(ETIMEDOUT));
+  EXPECT_FALSE(net::detail::connect_pending(0));
+}
+
+// A writer SIGKILLed while streaming chunks into the remote store must
+// never publish a torn chunk: fsync-before-rename means every *listed*
+// chunk is readable with a valid CRC, and in-flight ".tmp.<rank>" files are
+// invisible to remote_list.
+TEST(SocketTransport, TornRemoteWriterLeavesOnlyValidChunks) {
+  TempDir dir;
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(ready[0]);
+    try {
+      net::SocketTransport writer(
+          0, uds_endpoints(dir, 1), fast_opts(dir));
+      for (int i = 0;; ++i) {
+        Buffer b(4096 + static_cast<std::size_t>(i % 7) * 512,
+                 Buffer::Init::kUninitialized);
+        fill_random(b.span(), 0xFEED + static_cast<std::uint64_t>(i));
+        writer.store(0).put("blob", std::move(b));
+        writer.remote_write(0, "blob", "t/" + std::to_string(i));
+        if (i == 8) {
+          const char c = 'r';
+          (void)!::write(ready[1], &c, 1);
+        }
+      }
+    } catch (...) {
+    }
+    ::_exit(1);
+  }
+  ::close(ready[1]);
+  char c = 0;
+  ASSERT_EQ(::read(ready[0], &c, 1), 1);  // ≥ 9 chunks are published
+  ::close(ready[0]);
+  ::kill(pid, SIGKILL);  // likely mid-write or mid-rename of a later chunk
+  ::waitpid(pid, nullptr, 0);
+
+  net::SocketTransport reader(
+      0, {net::Endpoint::uds(dir.path + "/verify.sock")}, fast_opts(dir));
+  const std::vector<std::string> listed = reader.remote_list(0, "");
+  EXPECT_GE(listed.size(), 9u);
+  for (const std::string& key : listed) {
+    EXPECT_EQ(key.rfind("t/", 0), 0u) << "unexpected remote key: " << key;
+    EXPECT_EQ(key.find(".tmp"), std::string::npos)
+        << "in-flight temp file leaked into the listing: " << key;
+    // remote_read CRC-verifies the payload; a torn published chunk throws.
+    reader.remote_read(0, key, "check");
+    EXPECT_FALSE(reader.store(0).get("check").empty()) << key;
   }
 }
 
