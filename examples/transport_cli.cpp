@@ -31,6 +31,15 @@
 // Options: --k, --m, --gpn (workers per process, engine/daemon modes),
 // --bytes, --seed, --transport uds|tcp, --dir, --kill "a,b", --flush
 // (remote flush during encode/save), --keep (leave the work dir).
+//
+// Observability (engine/daemon modes): --trace-out F writes one merged,
+// clock-aligned Chrome trace of every process — in daemon mode pulled
+// through the coordinator's `trace` verb (ping-pong offset corrected), in
+// engine mode merged from per-rank snapshot dumps aligned on the shared
+// CLOCK_MONOTONIC epoch. --stats-json F writes the aggregated fleet stats
+// (per-process + merged). Either flag enables the tracer in every forked
+// process; the parent validates the merged trace with
+// obs::check_merged_trace before declaring PASS.
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
@@ -56,6 +65,11 @@
 #include "core/session.hpp"
 #include "dnn/checkpoint_gen.hpp"
 #include "net/transport.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/distributed.hpp"
+#include "obs/json.hpp"
+#include "obs/stats.hpp"
+#include "obs/tracer.hpp"
 #include "svc/checkpoint_service.hpp"
 
 namespace fs = std::filesystem;
@@ -77,6 +91,10 @@ struct Args {
   bool keep = false;
   int io_timeout_ms = 5000;
   int connect_timeout_ms = 1000;
+  std::string trace_out;  // merged Chrome trace path (engine/daemon modes)
+  std::string stats_out;  // aggregated stats JSON path (engine/daemon modes)
+
+  bool observed() const { return !trace_out.empty() || !stats_out.empty(); }
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -84,7 +102,8 @@ struct Args {
       << "usage: transport_cli [--mode cycle|peerdeath|engine|daemon]\n"
          "         [--k N] [--m N] [--gpn N] [--bytes N] [--seed S]\n"
          "         [--transport uds|tcp] [--dir D] [--kill a,b] [--flush]\n"
-         "         [--keep] [--io-timeout-ms N] [--connect-timeout-ms N]\n";
+         "         [--keep] [--io-timeout-ms N] [--connect-timeout-ms N]\n"
+         "         [--trace-out F] [--stats-json F]   (engine/daemon modes)\n";
   std::exit(2);
 }
 
@@ -110,6 +129,8 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--io-timeout-ms") a.io_timeout_ms = std::stoi(need(i));
     else if (arg == "--connect-timeout-ms")
       a.connect_timeout_ms = std::stoi(need(i));
+    else if (arg == "--trace-out") a.trace_out = need(i);
+    else if (arg == "--stats-json") a.stats_out = need(i);
     else usage_and_exit();
   }
   if (a.mode != "cycle" && a.mode != "peerdeath" && a.mode != "engine" &&
@@ -117,6 +138,10 @@ Args parse_args(int argc, char** argv) {
     usage_and_exit();
   if (a.transport != "uds" && a.transport != "tcp") usage_and_exit();
   if (a.k < 1 || a.m < 0 || a.gpn < 1 || a.bytes == 0) usage_and_exit();
+  if (a.observed() && a.mode != "engine" && a.mode != "daemon") {
+    std::cerr << "--trace-out/--stats-json need --mode engine or daemon\n";
+    usage_and_exit();
+  }
   return a;
 }
 
@@ -269,7 +294,9 @@ void dump_chunk(const Args& a, cluster::Fabric& f, int rank) {
       std::ostringstream os;
       os << "RECOVERED " << std::hex << core::stripe_chunk_crc(fabric, rank)
          << std::dec << " sent=" << fabric.stats().counter("net.send.bytes")
-         << " recvd=" << fabric.stats().counter("net.recv.bytes");
+         << " recvd=" << fabric.stats().counter("net.recv.bytes")
+         << " accepted=" << fabric.stats().counter("net.accept.count")
+         << " resets=" << fabric.stats().counter("net.reset.connections");
       status(os.str());
     }
     (void)ctl.read_line(600000);  // EXIT
@@ -357,6 +384,29 @@ std::vector<int> parse_kill_list(const Args& a) {
   ECC_CHECK_MSG(static_cast<int>(out.size()) <= a.m,
                 "--kill names more ranks than parity can recover");
   return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  ECC_CHECK_MSG(f.good(), "missing file " << path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary);
+  f << body;
+  ECC_CHECK_MSG(f.good(), "cannot write " << path);
+}
+
+void print_net_counters(const obs::StatsRegistry& agg) {
+  std::cout << "  net: accepted=" << agg.counter("net.accept.count")
+            << " connects=" << agg.counter("net.connect.count")
+            << " retries=" << agg.counter("net.retry.count")
+            << " resets=" << agg.counter("net.reset.connections")
+            << " io_errors=" << agg.counter("net.io_error.count")
+            << " trace_dropped=" << agg.counter("obs.tracer.dropped") << "\n";
 }
 
 Buffer read_file(const std::string& path) {
@@ -579,6 +629,10 @@ std::map<int, std::string> expected_digests(const std::string& job,
   return out;
 }
 
+std::string snapshot_dump_path(const Args& a, int rank) {
+  return a.dir + "/out/obs-rank" + std::to_string(rank) + ".json";
+}
+
 /// Worker body for --mode engine: a FabricSession over real sockets, driven
 /// by SAVE/RESET/LOAD/EXIT lines from the parent.
 [[noreturn]] void worker_engine(const Args& a,
@@ -586,6 +640,7 @@ std::map<int, std::string> expected_digests(const std::string& job,
                                 int rank, int ctl_r, int status_w) {
   LineReader ctl{ctl_r, {}};
   auto status = [&](const std::string& s) { write_line(status_w, s); };
+  if (a.observed()) obs::Tracer::global().enable();
   try {
     net::SocketTransport fabric(rank, eps, transport_options(a));
     core::FabricSession session(fabric, engine_ec_config(a), a.gpn,
@@ -597,33 +652,57 @@ std::map<int, std::string> expected_digests(const std::string& job,
       const std::string line = ctl.read_line(600000);
       if (line.rfind("SAVE ", 0) == 0) {
         const std::int64_t iter = std::stoll(line.substr(5));
-        try {
-          const dnn::CheckpointGenConfig gen =
-              svc::job_gen_config("engine", iter, world);
-          std::vector<dnn::StateDict> mine;
-          for (int w : workers)
-            mine.push_back(dnn::make_worker_state_dict(gen, w));
-          std::vector<const dnn::StateDict*> ptrs;
-          for (const dnn::StateDict& sd : mine) ptrs.push_back(&sd);
-          session.save(ptrs);
-          std::ostringstream os;
-          os << "SAVED " << session.latest_version()
-             << digest_tokens(workers, mine);
-          status(os.str());
-        } catch (const CheckFailure&) {
-          // Torn collective: FabricSession already rolled the version back.
-          status("SAVEFAIL");
+        std::string reply;
+        {
+          // Each command roots a fresh distributed trace at this rank; the
+          // collective's frames carry the context to every peer, so the
+          // merged file shows one tree per command per rank.
+          obs::ScopedTraceContext tctx(
+              a.observed() ? obs::Tracer::new_trace_id() : 0, 0);
+          obs::ScopedSpan root("engine.save:" + std::to_string(iter));
+          try {
+            const dnn::CheckpointGenConfig gen =
+                svc::job_gen_config("engine", iter, world);
+            std::vector<dnn::StateDict> mine;
+            for (int w : workers)
+              mine.push_back(dnn::make_worker_state_dict(gen, w));
+            std::vector<const dnn::StateDict*> ptrs;
+            for (const dnn::StateDict& sd : mine) ptrs.push_back(&sd);
+            session.save(ptrs);
+            std::ostringstream os;
+            os << "SAVED " << session.latest_version()
+               << digest_tokens(workers, mine);
+            reply = os.str();
+          } catch (const CheckFailure&) {
+            // Torn collective: FabricSession already rolled the version back.
+            reply = "SAVEFAIL";
+          }
         }
+        status(reply);
       } else if (line == "RESET") {
         fabric.reset_all_peers();
         status("RESETOK");
       } else if (line == "LOAD") {
-        std::vector<dnn::StateDict> out;
-        const core::FabricSession::RecoverResult res = session.load(out);
-        std::ostringstream os;
-        os << "LOADED " << res.version << digest_tokens(workers, out);
-        status(os.str());
+        std::string reply;
+        {
+          obs::ScopedTraceContext tctx(
+              a.observed() ? obs::Tracer::new_trace_id() : 0, 0);
+          obs::ScopedSpan root("engine.load");
+          std::vector<dnn::StateDict> out;
+          const core::FabricSession::RecoverResult res = session.load(out);
+          std::ostringstream os;
+          os << "LOADED " << res.version << digest_tokens(workers, out);
+          reply = os.str();
+        }
+        status(reply);
       } else if (line == "EXIT") {
+        if (a.observed()) {
+          // All spans are closed here (commands scope theirs), so the
+          // snapshot is complete; _exit below skips destructors by design.
+          std::ofstream f(snapshot_dump_path(a, rank));
+          f << obs::serialize_snapshot(obs::Tracer::global(), &fabric.stats(),
+                                       "rank" + std::to_string(rank));
+        }
         ::_exit(0);
       } else {
         throw CheckFailure("worker: unexpected control '" + line + "'");
@@ -633,6 +712,74 @@ std::map<int, std::string> expected_digests(const std::string& job,
     status(std::string("ERROR ") + e.what());
     ::_exit(1);
   }
+}
+
+/// Merge the per-rank snapshot dumps written at EXIT into one Chrome trace
+/// and one aggregated stats document. Engine mode has no coordinator to
+/// ping-pong against, but every rank runs on this host: each snapshot's
+/// (clock_ns, abs_ns) pair anchors its tracer epoch on the shared
+/// CLOCK_MONOTONIC timeline, so alignment is exact, not estimated.
+void merge_engine_observability(const Args& a, int total) {
+  std::vector<std::string> snaps;
+  std::vector<std::int64_t> epoch_abs;
+  for (int r = 0; r < total; ++r) {
+    snaps.push_back(slurp(snapshot_dump_path(a, r)));
+    std::string perr;
+    const std::unique_ptr<obs::JsonValue> doc =
+        obs::JsonValue::parse(snaps.back(), &perr);
+    ECC_CHECK_MSG(doc != nullptr, "rank " << r << " snapshot: " << perr);
+    const obs::JsonValue* clock = doc->find("clock_ns");
+    const obs::JsonValue* abs = doc->find("abs_ns");
+    ECC_CHECK_MSG(clock != nullptr && abs != nullptr,
+                  "rank " << r << " snapshot has no clock anchor");
+    epoch_abs.push_back(static_cast<std::int64_t>(abs->as_number()) -
+                        static_cast<std::int64_t>(clock->as_number()));
+  }
+  const std::int64_t base =
+      *std::min_element(epoch_abs.begin(), epoch_abs.end());
+
+  obs::ChromeTraceWriter w;
+  obs::StatsRegistry agg;
+  std::ostringstream per_rank;
+  for (int r = 0; r < total; ++r) {
+    std::string err;
+    ECC_CHECK_MSG(obs::append_snapshot_to_trace(
+                      w, snaps[static_cast<std::size_t>(r)], "",
+                      epoch_abs[static_cast<std::size_t>(r)] - base, &err),
+                  "rank " << r << ": " << err);
+    ECC_CHECK_MSG(obs::accumulate_snapshot_stats(
+                      snaps[static_cast<std::size_t>(r)], agg, &err),
+                  "rank " << r << ": " << err);
+    obs::StatsRegistry one;
+    obs::accumulate_snapshot_stats(snaps[static_cast<std::size_t>(r)], one,
+                                   &err);
+    per_rank << (r ? "," : "") << "\"rank" << r << "\":" << one.to_json();
+  }
+
+  if (!a.trace_out.empty()) {
+    std::ostringstream os;
+    w.write(os);
+    const std::string trace = os.str();
+    // The ranks the demo SIGKILLed took their buffers with them, so their
+    // send spans are legitimately unresolvable by survivors' recv spans.
+    const obs::MergedTraceCheck chk = obs::check_merged_trace(
+        trace, static_cast<std::size_t>(total), /*require_all_resolved=*/false);
+    ECC_CHECK_MSG(chk.ok, "merged trace check: " << chk.error);
+    ECC_CHECK_MSG(chk.cross_process_links >= 3,
+                  "only " << chk.cross_process_links
+                          << " cross-process links in the merged trace");
+    write_text_file(a.trace_out, trace);
+    std::cout << "  trace: " << chk.spans << " spans across " << chk.processes
+              << " processes, " << chk.cross_process_links
+              << " cross-process links (" << chk.unresolved_parents
+              << " parents lost with killed ranks) -> " << a.trace_out << "\n";
+  }
+  if (!a.stats_out.empty()) {
+    write_text_file(a.stats_out, "{\"ranks\":{" + per_rank.str() +
+                                     "},\"aggregate\":" + agg.to_json() + "}");
+    std::cout << "  stats -> " << a.stats_out << "\n";
+  }
+  print_net_counters(agg);
 }
 
 int run_engine(const Args& a) {
@@ -731,6 +878,8 @@ int run_engine(const Args& a) {
   for (int r = 0; r < total; ++r)
     ::waitpid(w[static_cast<std::size_t>(r)].pid, nullptr, 0);
 
+  if (a.observed()) merge_engine_observability(a, total);
+
   // ---- single-process VirtualFabric reference of the same history --------
   cluster::ClusterConfig ccfg;
   ccfg.num_nodes = total;
@@ -806,6 +955,7 @@ int run_daemon(const Args& a) {
   auto spawn_worker_daemon = [&](int rank) {
     return spawn_proc([&, rank](int, int status_w) {
       try {
+        if (a.observed()) obs::Tracer::global().enable();
         svc::WorkerDaemonConfig cfg;
         cfg.rank = rank;
         cfg.fabric_eps = fabric_eps;
@@ -832,6 +982,7 @@ int run_daemon(const Args& a) {
 
   WorkerHandle coord = spawn_proc([&](int, int status_w) {
     try {
+      if (a.observed()) obs::Tracer::global().enable();
       svc::CoordinatorConfig cfg;
       cfg.client_ep = client_ep;
       cfg.worker_eps = ctl_eps;
@@ -934,6 +1085,88 @@ int run_daemon(const Args& a) {
     ECC_CHECK(check_shards(expect_ok(request("save", "jobA"), "save jobA"),
                            "jobA") == 3);
     std::cout << "  post-recovery save jobA landed on version 3\n";
+
+    // ---- live job-health endpoint -----------------------------------------
+    const std::string health = expect_ok(request("health", ""), "health");
+    {
+      std::string perr;
+      const std::unique_ptr<obs::JsonValue> doc =
+          obs::JsonValue::parse(health, &perr);
+      ECC_CHECK_MSG(doc != nullptr, "health is not JSON: " << perr);
+      const obs::JsonValue* jobs = doc->find("jobs");
+      const obs::JsonValue* jobA =
+          jobs != nullptr ? jobs->find("jobA") : nullptr;
+      const obs::JsonValue* ver =
+          jobA != nullptr ? jobA->find("last_version") : nullptr;
+      ECC_CHECK_MSG(ver != nullptr && ver->as_number() == 3,
+                    "health does not show jobA at version 3: " << health);
+      const obs::JsonValue* ws = doc->find("workers");
+      std::size_t alive = 0;
+      if (ws != nullptr && ws->is_array())
+        for (const obs::JsonValue& wj : ws->as_array()) {
+          const obs::JsonValue* a_ = wj.find("alive");
+          if (a_ != nullptr && a_->is_bool() && a_->as_bool()) ++alive;
+        }
+      ECC_CHECK_MSG(alive == static_cast<std::size_t>(total),
+                    "health shows " << alive << "/" << total
+                                    << " workers alive: " << health);
+      std::cout << "  health: jobA v3, " << alive << "/" << total
+                << " workers alive, saves_failed="
+                << (jobA->find("saves_failed") != nullptr
+                        ? jobA->find("saves_failed")->as_number()
+                        : -1)
+                << "\n";
+    }
+
+    // ---- merged trace + aggregated stats through the coordinator ----------
+    if (!a.trace_out.empty()) {
+      const std::string trace = expect_ok(request("trace", ""), "trace");
+      // One worker was SIGKILLed mid-save: its buffers died with it, so
+      // survivors' recv spans may carry unresolvable parents — expected.
+      const obs::MergedTraceCheck chk = obs::check_merged_trace(
+          trace, std::min<std::size_t>(4, 1 + static_cast<std::size_t>(total)),
+          /*require_all_resolved=*/false);
+      ECC_CHECK_MSG(chk.ok, "merged trace check: " << chk.error);
+      ECC_CHECK_MSG(chk.cross_process_links >= 3,
+                    "only " << chk.cross_process_links
+                            << " cross-process links in the merged trace");
+      write_text_file(a.trace_out, trace);
+      std::cout << "  trace: " << chk.spans << " spans across "
+                << chk.processes << " processes, " << chk.cross_process_links
+                << " cross-process links (" << chk.unresolved_parents
+                << " parents lost with the killed worker) -> " << a.trace_out
+                << "\n";
+    }
+    if (a.observed()) {
+      const std::string stats = expect_ok(request("stats", ""), "stats");
+      if (!a.stats_out.empty()) {
+        write_text_file(a.stats_out, stats);
+        std::cout << "  stats -> " << a.stats_out << "\n";
+      }
+      std::string perr;
+      const std::unique_ptr<obs::JsonValue> doc =
+          obs::JsonValue::parse(stats, &perr);
+      ECC_CHECK_MSG(doc != nullptr, "stats is not JSON: " << perr);
+      const obs::JsonValue* aggregate = doc->find("aggregate");
+      ECC_CHECK_MSG(aggregate != nullptr && aggregate->is_object(),
+                    "stats has no aggregate object");
+      const obs::JsonValue* counters = aggregate->find("counters");
+      auto c = [&](const std::string& name) -> std::uint64_t {
+        const obs::JsonValue* v =
+            counters != nullptr ? counters->find(name) : nullptr;
+        return v != nullptr && v->is_number()
+                   ? static_cast<std::uint64_t>(v->as_number())
+                   : 0;
+      };
+      ECC_CHECK_MSG(c("net.send.count") > 0,
+                    "aggregate stats carry no fabric traffic");
+      std::cout << "  net: accepted=" << c("net.accept.count")
+                << " connects=" << c("net.connect.count")
+                << " retries=" << c("net.retry.count")
+                << " resets=" << c("net.reset.connections")
+                << " io_errors=" << c("net.io_error.count")
+                << " trace_dropped=" << c("obs.tracer.dropped") << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "daemon cycle failed: " << e.what() << "\n";
     ok = false;

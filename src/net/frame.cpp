@@ -49,7 +49,9 @@ void encode_frame_header(const FrameHeader& h, std::uint8_t* out) {
   ECC_CHECK(h.key.size() <= kMaxKeyLen);
   ECC_CHECK(h.payload_len <= kMaxPayloadLen);
   put_u64(out, kFrameMagic);
-  put_u32(out + 8, static_cast<std::uint32_t>(h.type));
+  std::uint32_t wire_type = static_cast<std::uint32_t>(h.type);
+  if (h.trace.trace_id != 0) wire_type |= kFrameFlagTrace;
+  put_u32(out + 8, wire_type);
   put_u32(out + 12, h.src_rank);
   put_u32(out + 16, static_cast<std::uint32_t>(h.key.size()));
   put_u32(out + 20, h.aux);
@@ -57,13 +59,31 @@ void encode_frame_header(const FrameHeader& h, std::uint8_t* out) {
   put_u64(out + 32, h.payload_crc);
 }
 
+void encode_trace_context(const WireTraceContext& t, std::uint8_t* out) {
+  put_u64(out, t.trace_id);
+  put_u64(out + 8, t.parent_span);
+  put_u32(out + 16, t.op);
+  put_u32(out + 20, t.flags);
+}
+
+WireTraceContext decode_trace_context(const std::uint8_t* in) {
+  WireTraceContext t;
+  t.trace_id = get_u64(in);
+  t.parent_span = get_u64(in + 8);
+  t.op = get_u32(in + 16);
+  t.flags = get_u32(in + 20);
+  return t;
+}
+
 FrameHeader decode_frame_header(const std::uint8_t* in,
-                                std::uint32_t* key_len) {
+                                std::uint32_t* key_len, bool* has_trace) {
   ECC_CHECK_MSG(get_u64(in) == kFrameMagic,
                 "net: bad frame magic — stream desynchronised or not an "
                 "eccheck transport peer");
   FrameHeader h;
-  const std::uint32_t type = get_u32(in + 8);
+  const std::uint32_t wire_type = get_u32(in + 8);
+  *has_trace = (wire_type & kFrameFlagTrace) != 0;
+  const std::uint32_t type = wire_type & ~kFrameFlagTrace;
   ECC_CHECK_MSG(type >= 1 && type <= 8, "net: unknown frame type " << type);
   h.type = static_cast<FrameType>(type);
   h.src_rank = get_u32(in + 12);

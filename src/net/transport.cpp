@@ -125,13 +125,21 @@ void SocketTransport::set_peers(std::vector<Endpoint> peers) {
 }
 
 void SocketTransport::reset_peer(int peer) {
-  out_.erase(peer);
-  in_.erase(peer);
+  const std::size_t dropped = out_.erase(peer) + in_.erase(peer);
+  if (dropped > 0) {
+    stats_->add("net.reset.connections", dropped);
+    stats_->add("net.reset.count");
+  }
 }
 
 void SocketTransport::reset_all_peers() {
+  const std::size_t dropped = out_.size() + in_.size();
   out_.clear();
   in_.clear();
+  if (dropped > 0) {
+    stats_->add("net.reset.connections", dropped);
+    stats_->add("net.reset.count");
+  }
 }
 
 int SocketTransport::debug_inbound_fd(int peer) const {
@@ -212,7 +220,9 @@ Socket& SocketTransport::conn_from(int peer) {
     std::uint8_t hdr[kFrameHeaderBytes];
     read_full(s, hdr, sizeof(hdr), remaining(deadline), ctx);
     std::uint32_t key_len = 0;
-    FrameHeader h = decode_frame_header(hdr, &key_len);
+    bool has_trace = false;
+    FrameHeader h = decode_frame_header(hdr, &key_len, &has_trace);
+    ECC_CHECK_MSG(!has_trace, ctx << ": hello frames carry no trace context");
     ECC_CHECK_MSG(h.type == FrameType::kHello && key_len == 0 &&
                       h.payload_len == 0,
                   ctx << ": first frame was " << frame_type_name(h.type)
@@ -236,35 +246,58 @@ void SocketTransport::send_frame(int dst, FrameType type,
   const std::string ctx = who(std::string("send ") + frame_type_name(type) +
                                   " to",
                               dst);
-  Socket& s = conn_to(dst);
-  FrameHeader h;
-  h.type = type;
-  h.src_rank = static_cast<std::uint32_t>(rank_);
-  h.aux = aux;
-  h.key = key;
-  h.payload_len = payload.size();
-  h.payload_crc = crc64(payload);
+  try {
+    Socket& s = conn_to(dst);
+    FrameHeader h;
+    h.type = type;
+    h.src_rank = static_cast<std::uint32_t>(rank_);
+    h.aux = aux;
+    h.key = key;
+    h.payload_len = payload.size();
+    h.payload_crc = crc64(payload);
+    // Propagate the distributed trace: parent the receiver's recv span
+    // under THIS send span (not the surrounding context), so the merged
+    // trace shows the hop itself. Only stamped while tracing is on — an
+    // untraced run ships byte-identical frames.
+    if (span.active() && span.span_id() != 0) {
+      const obs::TraceContext tc = obs::current_trace_context();
+      h.trace.trace_id = tc.trace_id;
+      h.trace.parent_span = span.span_id();
+      h.trace.op = static_cast<std::uint32_t>(type);
+    }
+    const bool traced = h.trace.trace_id != 0;
+    const std::size_t trace_bytes = traced ? kTraceContextBytes : 0;
 
-  std::vector<std::uint8_t> head(kFrameHeaderBytes + key.size());
-  encode_frame_header(h, head.data());
-  std::memcpy(head.data() + kFrameHeaderBytes, key.data(), key.size());
-  write_full(s, head.data(), head.size(), opts_.io_timeout, ctx);
-  if (!payload.empty())
-    write_full(s, payload.data(), payload.size(), opts_.io_timeout, ctx);
-  stats_->add("net.send.bytes", payload.size());
-  stats_->add("net.send.count");
+    std::vector<std::uint8_t> head(kFrameHeaderBytes + trace_bytes +
+                                   key.size());
+    encode_frame_header(h, head.data());
+    if (traced) encode_trace_context(h.trace, head.data() + kFrameHeaderBytes);
+    std::memcpy(head.data() + kFrameHeaderBytes + trace_bytes, key.data(),
+                key.size());
+    write_full(s, head.data(), head.size(), opts_.io_timeout, ctx);
+    if (!payload.empty())
+      write_full(s, payload.data(), payload.size(), opts_.io_timeout, ctx);
+    stats_->add("net.send.bytes", payload.size());
+    stats_->add("net.send.count");
 
-  // End-to-end confirmation: the receiver acks with the payload CRC after
-  // verifying it. A dead or corrupting peer fails here, inside the timeout.
-  std::uint8_t ack_hdr[kFrameHeaderBytes];
-  read_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
-  std::uint32_t ack_key_len = 0;
-  FrameHeader ack = decode_frame_header(ack_hdr, &ack_key_len);
-  ECC_CHECK_MSG(ack.type == FrameType::kAck && ack_key_len == 0,
-                ctx << ": expected ack, got " << frame_type_name(ack.type));
-  ECC_CHECK_MSG(ack.payload_crc == h.payload_crc,
-                ctx << ": ack CRC mismatch — payload corrupted in flight");
-  stats_->add("net.ack.count");
+    // End-to-end confirmation: the receiver acks with the payload CRC after
+    // verifying it. A dead or corrupting peer fails here, inside the
+    // timeout.
+    std::uint8_t ack_hdr[kFrameHeaderBytes];
+    read_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
+    std::uint32_t ack_key_len = 0;
+    bool ack_trace = false;
+    FrameHeader ack = decode_frame_header(ack_hdr, &ack_key_len, &ack_trace);
+    ECC_CHECK_MSG(ack.type == FrameType::kAck && ack_key_len == 0 &&
+                      !ack_trace,
+                  ctx << ": expected ack, got " << frame_type_name(ack.type));
+    ECC_CHECK_MSG(ack.payload_crc == h.payload_crc,
+                  ctx << ": ack CRC mismatch — payload corrupted in flight");
+    stats_->add("net.ack.count");
+  } catch (...) {
+    stats_->add("net.io_error.count");
+    throw;
+  }
 }
 
 SocketTransport::Received SocketTransport::recv_frame(int src,
@@ -273,37 +306,51 @@ SocketTransport::Received SocketTransport::recv_frame(int src,
   const std::string ctx = who(std::string("recv ") + frame_type_name(expect) +
                                   " from",
                               src);
-  Socket& s = conn_from(src);
-  std::uint8_t hdr[kFrameHeaderBytes];
-  read_full(s, hdr, sizeof(hdr), opts_.io_timeout, ctx);
-  std::uint32_t key_len = 0;
-  Received r;
-  r.header = decode_frame_header(hdr, &key_len);
-  ECC_CHECK_MSG(r.header.type == expect,
-                ctx << ": got " << frame_type_name(r.header.type));
-  ECC_CHECK_MSG(static_cast<int>(r.header.src_rank) == src,
-                ctx << ": frame claims rank " << r.header.src_rank);
-  if (key_len > 0) {
-    r.header.key.resize(key_len);
-    read_full(s, r.header.key.data(), key_len, opts_.io_timeout, ctx);
-  }
-  r.payload = Buffer(r.header.payload_len, Buffer::Init::kUninitialized);
-  if (!r.payload.empty())
-    read_full(s, r.payload.data(), r.payload.size(), opts_.io_timeout, ctx);
-  ECC_CHECK_MSG(crc64(r.payload.span()) == r.header.payload_crc,
-                ctx << ": payload CRC mismatch — wire corruption");
-  stats_->add("net.recv.bytes", r.payload.size());
-  stats_->add("net.recv.count");
-  span.set_bytes(r.payload.size());
+  try {
+    Socket& s = conn_from(src);
+    std::uint8_t hdr[kFrameHeaderBytes];
+    read_full(s, hdr, sizeof(hdr), opts_.io_timeout, ctx);
+    std::uint32_t key_len = 0;
+    bool has_trace = false;
+    Received r;
+    r.header = decode_frame_header(hdr, &key_len, &has_trace);
+    if (has_trace) {
+      std::uint8_t tbuf[kTraceContextBytes];
+      read_full(s, tbuf, sizeof(tbuf), opts_.io_timeout, ctx);
+      r.header.trace = decode_trace_context(tbuf);
+      // Link this recv under the sender's send span — the cross-process
+      // edge of the merged trace.
+      span.adopt(r.header.trace.trace_id, r.header.trace.parent_span);
+    }
+    ECC_CHECK_MSG(r.header.type == expect,
+                  ctx << ": got " << frame_type_name(r.header.type));
+    ECC_CHECK_MSG(static_cast<int>(r.header.src_rank) == src,
+                  ctx << ": frame claims rank " << r.header.src_rank);
+    if (key_len > 0) {
+      r.header.key.resize(key_len);
+      read_full(s, r.header.key.data(), key_len, opts_.io_timeout, ctx);
+    }
+    r.payload = Buffer(r.header.payload_len, Buffer::Init::kUninitialized);
+    if (!r.payload.empty())
+      read_full(s, r.payload.data(), r.payload.size(), opts_.io_timeout, ctx);
+    ECC_CHECK_MSG(crc64(r.payload.span()) == r.header.payload_crc,
+                  ctx << ": payload CRC mismatch — wire corruption");
+    stats_->add("net.recv.bytes", r.payload.size());
+    stats_->add("net.recv.count");
+    span.set_bytes(r.payload.size());
 
-  FrameHeader ack;
-  ack.type = FrameType::kAck;
-  ack.src_rank = static_cast<std::uint32_t>(rank_);
-  ack.payload_crc = r.header.payload_crc;
-  std::uint8_t ack_hdr[kFrameHeaderBytes];
-  encode_frame_header(ack, ack_hdr);
-  write_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
-  return r;
+    FrameHeader ack;
+    ack.type = FrameType::kAck;
+    ack.src_rank = static_cast<std::uint32_t>(rank_);
+    ack.payload_crc = r.header.payload_crc;
+    std::uint8_t ack_hdr[kFrameHeaderBytes];
+    encode_frame_header(ack, ack_hdr);
+    write_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
+    return r;
+  } catch (...) {
+    stats_->add("net.io_error.count");
+    throw;
+  }
 }
 
 void SocketTransport::net_send(int src, int dst, std::size_t bytes,
@@ -332,6 +379,7 @@ void SocketTransport::send_buffer(int src, int dst, const std::string& src_key,
 void SocketTransport::broadcast(const std::vector<int>& nodes, int root,
                                 const std::string& key) {
   if (!contains(nodes, rank_)) return;
+  obs::ScopedSpan span("fabric.broadcast");
   if (rank_ == root) {
     for (int dst : nodes) {
       if (dst == root) continue;
@@ -350,6 +398,7 @@ void SocketTransport::all_gather(
     const std::function<std::string(int)>& key_of) {
   const int p = static_cast<int>(nodes.size());
   if (!contains(nodes, rank_) || p <= 1) return;
+  obs::ScopedSpan span("fabric.all_gather");
   const int pos = static_cast<int>(
       std::find(nodes.begin(), nodes.end(), rank_) - nodes.begin());
   const int right = nodes[static_cast<std::size_t>((pos + 1) % p)];
@@ -389,6 +438,7 @@ void SocketTransport::ring_all_reduce_xor(const std::vector<int>& nodes,
                                           const std::string& key) {
   const int p = static_cast<int>(nodes.size());
   if (!contains(nodes, rank_) || p <= 1) return;
+  obs::ScopedSpan span("fabric.ring_all_reduce_xor");
   const int pos = static_cast<int>(
       std::find(nodes.begin(), nodes.end(), rank_) - nodes.begin());
   const int right = nodes[static_cast<std::size_t>((pos + 1) % p)];
@@ -568,6 +618,7 @@ void SocketTransport::remote_erase(int node, const std::string& remote_key) {
 
 void SocketTransport::barrier(const std::vector<int>& nodes) {
   if (!contains(nodes, rank_) || nodes.size() <= 1) return;
+  obs::ScopedSpan span("fabric.barrier");
   const int root = nodes[0];
   if (rank_ == root) {
     // Gather then release: every participant checked in before anyone

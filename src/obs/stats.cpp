@@ -10,6 +10,33 @@ namespace eccheck::obs {
 
 double HistSummary::stddev() const { return std::sqrt(variance()); }
 
+void HistSummary::merge(const HistSummary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count);
+  const double nb = static_cast<double>(other.count);
+  const double delta = other.running_mean - running_mean;
+  m2 += other.m2 + delta * delta * na * nb / (na + nb);
+  running_mean += delta * nb / (na + nb);
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+}
+
+std::string hist_summary_json(const HistSummary& h) {
+  std::ostringstream os;
+  os << "{\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+     << ",\"min\":" << json_number(h.min) << ",\"max\":" << json_number(h.max)
+     << ",\"mean\":" << json_number(h.mean())
+     << ",\"stddev\":" << json_number(h.stddev())
+     << ",\"m2\":" << json_number(h.m2) << "}";
+  return os.str();
+}
+
 void StatsRegistry::add(const std::string& name, std::uint64_t delta) {
   std::lock_guard lock(mu_);
   counters_[name] += delta;
@@ -23,6 +50,12 @@ void StatsRegistry::set_gauge(const std::string& name, double value) {
 void StatsRegistry::observe(const std::string& name, double sample) {
   std::lock_guard lock(mu_);
   hists_[name].observe(sample);
+}
+
+void StatsRegistry::merge_hist(const std::string& name,
+                               const HistSummary& other) {
+  std::lock_guard lock(mu_);
+  hists_[name].merge(other);
 }
 
 std::uint64_t StatsRegistry::counter(const std::string& name) const {
@@ -121,10 +154,7 @@ void StatsRegistry::write_json(std::ostream& os) const {
   for (const auto& [k, v] : h) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << json_escape(k) << "\":{\"count\":" << v.count
-       << ",\"sum\":" << json_number(v.sum) << ",\"min\":" << json_number(v.min)
-       << ",\"max\":" << json_number(v.max)
-       << ",\"stddev\":" << json_number(v.stddev()) << "}";
+    os << "\"" << json_escape(k) << "\":" << hist_summary_json(v);
   }
   os << "}}";
 }

@@ -54,7 +54,16 @@ struct HistSummary {
     return count > 1 ? m2 / static_cast<double>(count - 1) : 0;
   }
   double stddev() const;
+
+  /// Fold `other` into this summary (Chan's parallel Welford combine), as
+  /// if every sample of both had been observed here. The aggregation path
+  /// uses this to merge per-worker latency histograms into one fleet view.
+  void merge(const HistSummary& other);
 };
+
+/// {"count":N,"sum":...,"min":...,"max":...,"mean":...,"stddev":...,"m2":...}
+/// — m2 rides along so a parsed summary can be merge()d losslessly.
+std::string hist_summary_json(const HistSummary& h);
 
 class StatsRegistry {
  public:
@@ -70,6 +79,10 @@ class StatsRegistry {
 
   /// Histogram sample (task durations, packet latencies, ...).
   void observe(const std::string& name, double sample);
+
+  /// Fold a whole pre-built summary into the named histogram (see
+  /// HistSummary::merge) — the aggregation path for remote snapshots.
+  void merge_hist(const std::string& name, const HistSummary& other);
 
   /// Current counter value (0 if never touched).
   std::uint64_t counter(const std::string& name) const;

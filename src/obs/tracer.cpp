@@ -1,6 +1,9 @@
 #include "obs/tracer.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
@@ -21,7 +24,45 @@ struct CachedBuf {
 thread_local std::vector<CachedBuf> t_bufs;
 thread_local std::string t_pending_name;
 
+// The calling thread's active distributed-trace context. Deliberately a
+// process-global (not per-tracer): a context established at a service
+// entry point must be visible to every instrumentation site the request
+// touches, whichever tracer they record to.
+thread_local TraceContext t_ctx;
+
+// SplitMix64 finalizer — spreads the (pid, counter) seed over 64 bits so
+// ids minted by different processes land in disjoint-looking spaces.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t next_id() {
+  // The pid salt makes ids unique across the forked worker processes that
+  // contribute to one merged trace; the counter makes them unique within a
+  // process. fork() duplicates the counter, so the salt must come from
+  // post-fork state (getpid), not a static seed.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t id =
+      mix64((static_cast<std::uint64_t>(::getpid()) << 32) ^ n);
+  if (id == 0) id = 1;  // 0 is the "no id" sentinel
+  return id;
+}
+
 }  // namespace
+
+TraceContext current_trace_context() { return t_ctx; }
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id,
+                                       std::uint64_t parent_span)
+    : prev_(t_ctx) {
+  t_ctx = {trace_id, parent_span};
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_ctx = prev_; }
 
 Tracer::Tracer()
     : epoch_(std::chrono::steady_clock::now()),
@@ -31,6 +72,10 @@ Tracer& Tracer::global() {
   static Tracer tracer;
   return tracer;
 }
+
+std::uint64_t Tracer::new_trace_id() { return next_id(); }
+
+std::uint64_t Tracer::new_span_id() { return next_id(); }
 
 Tracer::ThreadBuf* Tracer::thread_buf() {
   for (const auto& c : t_bufs)
@@ -57,18 +102,45 @@ void Tracer::set_thread_name(const std::string& name) {
   }
 }
 
+void Tracer::append_span(ThreadBuf* buf, SpanRec rec) {
+  const std::size_t cap = max_per_thread_.load(std::memory_order_relaxed);
+  std::lock_guard lock(buf->mu);
+  if (buf->spans.size() >= cap) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (!warned_drop_.exchange(true, std::memory_order_relaxed))
+      std::fprintf(stderr,
+                   "eccheck: tracer thread buffer full (%zu spans); "
+                   "dropping further spans (counted in obs.tracer.dropped)\n",
+                   cap);
+    return;
+  }
+  buf->spans.push_back(std::move(rec));
+}
+
 void Tracer::record_span(const std::string& name, std::uint64_t start_ns,
                          std::uint64_t end_ns, std::uint64_t bytes) {
   if (!enabled()) return;
   ThreadBuf* buf = thread_buf();
-  std::lock_guard lock(buf->mu);
-  buf->spans.push_back({name, start_ns, end_ns, bytes, buf->live_depth});
+  append_span(buf, {name, start_ns, end_ns, bytes, buf->live_depth,
+                    t_ctx.trace_id, t_ctx.trace_id ? new_span_id() : 0,
+                    t_ctx.span_id});
 }
 
 void Tracer::record_counter(const std::string& name, double value) {
   if (!enabled()) return;
   ThreadBuf* buf = thread_buf();
+  const std::size_t cap = max_per_thread_.load(std::memory_order_relaxed);
   std::lock_guard lock(buf->mu);
+  if (buf->counters.size() >= cap) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (!warned_drop_.exchange(true, std::memory_order_relaxed))
+      std::fprintf(stderr,
+                   "eccheck: tracer thread buffer full (%zu counters); "
+                   "dropping further records (counted in "
+                   "obs.tracer.dropped)\n",
+                   cap);
+    return;
+  }
   buf->counters.push_back({name, now_ns(), value});
 }
 
@@ -109,6 +181,8 @@ void Tracer::clear() {
     buf->spans.clear();
     buf->counters.clear();
   }
+  dropped_.store(0, std::memory_order_relaxed);
+  warned_drop_.store(false, std::memory_order_relaxed);
 }
 
 void Tracer::export_to(ChromeTraceWriter& w,
@@ -129,6 +203,20 @@ void Tracer::export_to(ChromeTraceWriter& w,
                               (1024.0 * 1024.0 * 1024.0) / dur_s);
         }
       }
+      // 64-bit ids as hex strings: JSON doubles only hold 53 bits.
+      if (s.trace_id != 0) {
+        char idbuf[64];
+        std::snprintf(idbuf, sizeof(idbuf),
+                      ",\"trace\":\"%016llx\",\"span\":\"%016llx\"",
+                      static_cast<unsigned long long>(s.trace_id),
+                      static_cast<unsigned long long>(s.span_id));
+        args += idbuf;
+        if (s.parent_span != 0) {
+          std::snprintf(idbuf, sizeof(idbuf), ",\"parent\":\"%016llx\"",
+                        static_cast<unsigned long long>(s.parent_span));
+          args += idbuf;
+        }
+      }
       w.add_complete(pid, track.tid, s.name,
                      static_cast<double>(s.start_ns) / 1e3,
                      static_cast<double>(s.end_ns - s.start_ns) / 1e3, args);
@@ -147,6 +235,21 @@ ScopedSpan::ScopedSpan(Tracer& tracer, const std::string& name,
   name_ = name;
   start_ns_ = tracer.now_ns();
   ++tracer.thread_buf()->live_depth;
+  if (t_ctx.trace_id != 0) {
+    trace_id_ = t_ctx.trace_id;
+    parent_span_ = t_ctx.span_id;
+    span_id_ = Tracer::new_span_id();
+    prev_innermost_ = t_ctx.span_id;
+    t_ctx.span_id = span_id_;
+    pushed_ctx_ = true;
+  }
+}
+
+void ScopedSpan::adopt(std::uint64_t trace_id, std::uint64_t parent_span) {
+  if (!tracer_ || trace_id == 0) return;
+  trace_id_ = trace_id;
+  parent_span_ = parent_span;
+  if (span_id_ == 0) span_id_ = Tracer::new_span_id();
 }
 
 ScopedSpan::~ScopedSpan() {
@@ -154,9 +257,11 @@ ScopedSpan::~ScopedSpan() {
   const std::uint64_t end = tracer_->now_ns();
   Tracer::ThreadBuf* buf = tracer_->thread_buf();
   --buf->live_depth;
-  std::lock_guard lock(buf->mu);
-  buf->spans.push_back({std::move(name_), start_ns_, end, bytes_,
-                        buf->live_depth});
+  if (pushed_ctx_ && t_ctx.trace_id == trace_id_)
+    t_ctx.span_id = prev_innermost_;
+  tracer_->append_span(buf, {std::move(name_), start_ns_, end, bytes_,
+                             buf->live_depth, trace_id_, span_id_,
+                             parent_span_});
 }
 
 }  // namespace eccheck::obs

@@ -1,5 +1,6 @@
 // Wall-clock span tracer for the real data path (thread pool, staged
-// pipeline, coding kernels).
+// pipeline, coding kernels) — and, since the distributed-observability work,
+// the cross-process causality plane of the socket fabric.
 //
 // PR 1 made the *virtual* timing plane observable; this is the same idea for
 // real time: RAII ScopedSpans append {name, start, end, bytes} records to
@@ -9,11 +10,27 @@
 // takes no clock readings, so instrumentation can stay compiled into
 // production paths.
 //
+// Distributed tracing: a thread can carry an active TraceContext
+// (trace_id + innermost span id). While one is active, every ScopedSpan
+// allocates a process-unique span id, records its parent, and becomes the
+// context's innermost span for its lifetime — so nested spans chain, and
+// the socket transport can stamp (trace_id, parent_span) into outgoing
+// frames. The receiving side adopts the wire context onto its recv span,
+// which is what links a coordinator request to the worker collectives it
+// fans out into. Span ids are salted with the pid so ids minted by
+// different processes never collide in a merged trace.
+//
+// Buffers are bounded (see set_span_capacity): a long-running daemon cannot
+// grow memory without limit — once a thread's buffer is full further spans
+// are counted in dropped_count() (surfaced as the `obs.tracer.dropped`
+// stat by the service snapshot) and a single warning is printed.
+//
 // Export goes through the same ChromeTraceWriter as the sim::Timeline
 // exporter, so a "real" process (pool workers, pipeline stage threads, codec
 // slices) opens side by side with the virtual save/load processes in
 // chrome://tracing / Perfetto. Spans carrying a byte count get a GiB/s
-// argument computed at export time.
+// argument computed at export time; spans carrying trace ids get
+// "trace"/"span"/"parent" arguments for cross-process correlation.
 #pragma once
 
 #include <atomic>
@@ -28,6 +45,33 @@ namespace eccheck::obs {
 
 class ChromeTraceWriter;
 
+/// The propagated identity of a distributed operation: which trace this
+/// thread is working for and the innermost span to parent new work under.
+/// trace_id == 0 means "no active context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  ///< innermost span (the parent for new work)
+};
+
+/// The calling thread's active context ({0,0} when none). What the socket
+/// transport stamps into outgoing frames while tracing is enabled.
+TraceContext current_trace_context();
+
+/// RAII: make (trace_id, parent_span) the calling thread's active context —
+/// used by a server adopting the context a request carried, and by a
+/// request entry point starting a fresh trace (parent_span = 0). Restores
+/// the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t trace_id, std::uint64_t parent_span);
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext();
+
+ private:
+  TraceContext prev_;
+};
+
 class Tracer {
  public:
   struct SpanRec {
@@ -36,6 +80,9 @@ class Tracer {
     std::uint64_t end_ns = 0;
     std::uint64_t bytes = 0;     ///< payload processed; 0 = not a data span
     int depth = 0;               ///< ScopedSpan nesting depth at start
+    std::uint64_t trace_id = 0;  ///< distributed trace (0 = unlinked span)
+    std::uint64_t span_id = 0;   ///< process-unique id of this span
+    std::uint64_t parent_span = 0;  ///< 0 = root of its trace
   };
   struct CounterRec {
     std::string name;
@@ -57,6 +104,14 @@ class Tracer {
   void enable() { enabled_.store(true, std::memory_order_relaxed); }
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// A fresh process-unique nonzero trace id (pid-salted, so concurrent
+  /// processes never mint the same id).
+  static std::uint64_t new_trace_id();
+
+  /// A fresh process-unique nonzero span id (same id space as the ids
+  /// ScopedSpan allocates).
+  static std::uint64_t new_span_id();
 
   /// Nanoseconds since this tracer's epoch (monotonic).
   std::uint64_t now_ns() const {
@@ -85,7 +140,23 @@ class Tracer {
 
   std::size_t span_count() const;
 
+  /// Bound each per-thread buffer to `n` spans (counters share the bound).
+  /// Records beyond the bound are dropped and counted — a daemon tracing
+  /// for days must not grow without limit. Default: 1<<18 per thread.
+  void set_span_capacity(std::size_t n) {
+    max_per_thread_.store(n, std::memory_order_relaxed);
+  }
+  std::size_t span_capacity() const {
+    return max_per_thread_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans/counters dropped because a thread buffer hit the capacity bound.
+  std::uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Drop all recorded spans/counters; thread registrations survive.
+  /// Resets the dropped counter.
   void clear();
 
   /// Append one process named `process_name` holding every recorded track.
@@ -102,11 +173,16 @@ class Tracer {
   };
 
   ThreadBuf* thread_buf();
+  /// Capacity-checked append; counts drops and warns once.
+  void append_span(ThreadBuf* buf, SpanRec rec);
 
   friend class ScopedSpan;
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> max_per_thread_{std::size_t{1} << 18};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> warned_drop_{false};
   const std::uint64_t tracer_id_;
 
   mutable std::mutex registry_mu_;
@@ -116,6 +192,9 @@ class Tracer {
 /// RAII span: records [construction, destruction) on the calling thread.
 /// Decides at construction whether the tracer is enabled — a span opened
 /// while disabled stays disabled even if the tracer is enabled mid-span.
+/// When the thread carries an active TraceContext, the span joins it: it
+/// gets a span id, its parent is the context's innermost span, and it is
+/// the innermost span until destruction.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const std::string& name, std::uint64_t bytes = 0)
@@ -133,11 +212,26 @@ class ScopedSpan {
 
   bool active() const { return tracer_ != nullptr; }
 
+  /// This span's id in the distributed trace (0 while inactive or outside
+  /// any trace context) — what a sender stamps into a frame so the
+  /// receiver's span can claim it as parent.
+  std::uint64_t span_id() const { return span_id_; }
+
+  /// Adopt a remote parent: link this span under (trace_id, parent_span)
+  /// received off the wire. Allocates a span id if the span did not join a
+  /// local context at construction. No-op on an inactive span.
+  void adopt(std::uint64_t trace_id, std::uint64_t parent_span);
+
  private:
   Tracer* tracer_ = nullptr;  // null = disabled at construction
   std::string name_;
   std::uint64_t start_ns_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
+  std::uint64_t prev_innermost_ = 0;
+  bool pushed_ctx_ = false;
 };
 
 }  // namespace eccheck::obs

@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <chrono>
 #include <cstring>
 #include <iomanip>
 #include <sstream>
@@ -10,6 +11,10 @@
 #include "common/check.hpp"
 #include "common/crc64.hpp"
 #include "core/fabric_engine.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/distributed.hpp"
+#include "obs/json.hpp"
+#include "obs/tracer.hpp"
 
 namespace eccheck::svc {
 namespace {
@@ -51,10 +56,24 @@ void send_control(const net::Socket& s, net::FrameType type,
   h.key = key;
   h.payload_len = payload.size();
   h.payload_crc = crc64(payload);
+  if (obs::Tracer::global().enabled()) {
+    const obs::TraceContext tc = obs::current_trace_context();
+    if (tc.trace_id != 0) {
+      h.trace.trace_id = tc.trace_id;
+      h.trace.parent_span = tc.span_id;
+      h.trace.op = static_cast<std::uint32_t>(type);
+    }
+  }
+  const std::size_t trace_bytes =
+      h.trace.trace_id != 0 ? net::kTraceContextBytes : 0;
 
-  std::vector<std::uint8_t> head(net::kFrameHeaderBytes + key.size());
+  std::vector<std::uint8_t> head(net::kFrameHeaderBytes + trace_bytes +
+                                 key.size());
   net::encode_frame_header(h, head.data());
-  std::memcpy(head.data() + net::kFrameHeaderBytes, key.data(), key.size());
+  if (trace_bytes > 0)
+    net::encode_trace_context(h.trace, head.data() + net::kFrameHeaderBytes);
+  std::memcpy(head.data() + net::kFrameHeaderBytes + trace_bytes, key.data(),
+              key.size());
   net::write_full(s, head.data(), head.size(), io_timeout, ctx);
   if (!payload.empty())
     net::write_full(s, payload.data(), payload.size(), io_timeout, ctx);
@@ -64,8 +83,11 @@ void send_control(const net::Socket& s, net::FrameType type,
   std::uint8_t ack_hdr[net::kFrameHeaderBytes];
   net::read_full(s, ack_hdr, sizeof(ack_hdr), io_timeout, ctx);
   std::uint32_t ack_key_len = 0;
-  net::FrameHeader ack = net::decode_frame_header(ack_hdr, &ack_key_len);
-  ECC_CHECK_MSG(ack.type == net::FrameType::kAck && ack_key_len == 0,
+  bool ack_trace = false;
+  net::FrameHeader ack =
+      net::decode_frame_header(ack_hdr, &ack_key_len, &ack_trace);
+  ECC_CHECK_MSG(ack.type == net::FrameType::kAck && ack_key_len == 0 &&
+                    !ack_trace,
                 ctx << ": expected ack, got "
                     << net::frame_type_name(ack.type));
   ECC_CHECK_MSG(ack.payload_crc == h.payload_crc,
@@ -77,8 +99,14 @@ ControlFrame recv_control(const net::Socket& s, net::FrameType expect,
   std::uint8_t hdr[net::kFrameHeaderBytes];
   net::read_full(s, hdr, sizeof(hdr), io_timeout, ctx);
   std::uint32_t key_len = 0;
+  bool has_trace = false;
   ControlFrame r;
-  r.header = net::decode_frame_header(hdr, &key_len);
+  r.header = net::decode_frame_header(hdr, &key_len, &has_trace);
+  if (has_trace) {
+    std::uint8_t tbuf[net::kTraceContextBytes];
+    net::read_full(s, tbuf, sizeof(tbuf), io_timeout, ctx);
+    r.header.trace = net::decode_trace_context(tbuf);
+  }
   ECC_CHECK_MSG(r.header.type == expect,
                 ctx << ": got " << net::frame_type_name(r.header.type)
                     << ", expected " << net::frame_type_name(expect));
@@ -108,6 +136,8 @@ ControlReply client_request(const net::Endpoint& server,
                             const net::TransportOptions& opts) {
   const std::string ctx = "client request '" + command + "' to " +
                           server.to_string();
+  obs::ScopedSpan span("svc.request:" + command);
+  const auto t0 = std::chrono::steady_clock::now();
   net::Socket s = net::connect_with_retry(server, opts.connect_timeout,
                                           opts.connect_retries,
                                           opts.backoff_base, opts.backoff_max,
@@ -117,7 +147,11 @@ ControlReply client_request(const net::Endpoint& server,
                opts.io_timeout, ctx);
   ControlFrame resp = recv_control(s, net::FrameType::kResponse,
                                    opts.io_timeout, ctx);
-  return {resp.header.aux == 0, string_of(resp.payload)};
+  const double rtt_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return {resp.header.aux == 0, string_of(resp.payload), rtt_ms};
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +272,26 @@ std::string WorkerDaemon::handle(const std::string& command,
          << " loads_ok=" << loads_ok_;
       return os.str();
     }
+    if (command == "clock") {
+      // The coordinator's ping-pong clock probe: our tracer clock, read as
+      // close to the wire as a single-threaded server gets.
+      return std::to_string(obs::Tracer::global().now_ns());
+    }
+    if (command == "obs") {
+      // Snapshot request for trace/stats aggregation. Service-level state
+      // rides along as gauges so one pull carries everything.
+      obs::StatsRegistry& stats = fabric_.stats();
+      stats.set_gauge("svc.jobs", static_cast<double>(sessions_.size()));
+      stats.set_gauge("svc.saves_ok", static_cast<double>(saves_ok_));
+      stats.set_gauge("svc.saves_failed", static_cast<double>(saves_failed_));
+      stats.set_gauge("svc.loads_ok", static_cast<double>(loads_ok_));
+      stats.set_gauge(
+          "obs.tracer.dropped",
+          static_cast<double>(obs::Tracer::global().dropped_count()));
+      if (args == "stats") return stats.to_json();
+      return obs::serialize_snapshot(obs::Tracer::global(), &stats,
+                                     "worker" + std::to_string(cfg_.rank));
+    }
     if (command == "exit") {
       return "bye";
     }
@@ -269,8 +323,16 @@ void WorkerDaemon::run() {
                                       cfg_.fabric_opts.io_timeout, ctx);
       command = req.header.key;
       std::uint32_t status = 0;
-      const std::string body = handle(command, string_of(req.payload),
-                                      status);
+      std::string body;
+      {
+        // Adopt the request's trace context (if any): every span recorded
+        // while handling — fabric sends, engine stages, the handler span
+        // itself — chains back to the coordinator's root span.
+        obs::ScopedTraceContext tctx(req.header.trace.trace_id,
+                                     req.header.trace.parent_span);
+        obs::ScopedSpan span("worker.handle:" + command);
+        body = handle(command, string_of(req.payload), status);
+      }
       send_control(conn, net::FrameType::kResponse, "", status,
                    span_of(body), cfg_.fabric_opts.io_timeout, ctx);
     } catch (const CheckFailure&) {
@@ -312,8 +374,12 @@ std::vector<ControlReply> Coordinator::fan_out(const std::string& command,
   std::vector<ControlReply> replies(cfg_.worker_eps.size());
   std::vector<std::thread> threads;
   threads.reserve(cfg_.worker_eps.size());
+  // Trace context is thread-local; carry the serving thread's context into
+  // each fan-out thread so every per-worker request chains to the root.
+  const obs::TraceContext tc = obs::current_trace_context();
   for (std::size_t i = 0; i < cfg_.worker_eps.size(); ++i) {
-    threads.emplace_back([this, &replies, &command, &args, i] {
+    threads.emplace_back([this, &replies, &command, &args, i, tc] {
+      obs::ScopedTraceContext tctx(tc.trace_id, tc.span_id);
       try {
         replies[i] =
             client_request(cfg_.worker_eps[i], command, args, cfg_.opts);
@@ -328,6 +394,126 @@ std::vector<ControlReply> Coordinator::fan_out(const std::string& command,
 
 void Coordinator::reset_workers() {
   fan_out("reset", "");  // best effort: dead workers are simply unreachable
+}
+
+bool Coordinator::clock_offset_ns(std::size_t i, std::int64_t* offset) {
+  // A few ping-pong exchanges against the worker's `clock` verb; the
+  // minimum-RTT midpoint estimate bounds the error by rtt/2 — far below
+  // the millisecond-scale spans the merged trace is read for.
+  constexpr int kProbes = 5;
+  std::vector<obs::ClockSample> samples;
+  samples.reserve(kProbes);
+  const obs::Tracer& tracer = obs::Tracer::global();
+  try {
+    for (int p = 0; p < kProbes; ++p) {
+      obs::ClockSample s;
+      s.local_send_ns = static_cast<std::int64_t>(tracer.now_ns());
+      const ControlReply r =
+          client_request(cfg_.worker_eps[i], "clock", "", cfg_.opts);
+      s.local_recv_ns = static_cast<std::int64_t>(tracer.now_ns());
+      if (!r.ok) return false;
+      s.remote_ns = std::stoll(r.body);
+      samples.push_back(s);
+    }
+  } catch (const CheckFailure&) {
+    return false;
+  } catch (const std::exception&) {
+    return false;  // unparsable clock body
+  }
+  *offset = obs::estimate_clock_offset_ns(samples);
+  return true;
+}
+
+std::string Coordinator::merged_trace_json() {
+  // One Chrome trace for the whole job: our own spans in our clock domain,
+  // every reachable worker's snapshot shifted by its estimated offset.
+  // Dead workers are skipped — their buffers died with them, which is why
+  // check_merged_trace lets callers tolerate unresolved parent ids.
+  obs::ChromeTraceWriter w;
+  obs::Tracer::global().export_to(w, "coordinator");
+  for (std::size_t i = 0; i < cfg_.worker_eps.size(); ++i) {
+    std::int64_t offset = 0;
+    if (!clock_offset_ns(i, &offset)) continue;
+    ControlReply snap;
+    try {
+      snap = client_request(cfg_.worker_eps[i], "obs", "", cfg_.opts);
+    } catch (const CheckFailure&) {
+      continue;
+    }
+    if (!snap.ok) continue;
+    std::string err;
+    if (!obs::append_snapshot_to_trace(w, snap.body, "", -offset, &err))
+      std::fprintf(stderr, "coordinator: worker %zu snapshot rejected: %s\n",
+                   i, err.c_str());
+  }
+  std::ostringstream os;
+  w.write(os);
+  return os.str();
+}
+
+std::string Coordinator::aggregated_stats_json() {
+  std::ostringstream os;
+  obs::StatsRegistry agg;
+  os << "{\"workers\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < cfg_.worker_eps.size(); ++i) {
+    ControlReply r;
+    try {
+      r = client_request(cfg_.worker_eps[i], "obs", "stats", cfg_.opts);
+    } catch (const CheckFailure&) {
+      continue;
+    }
+    if (!r.ok) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"worker" << i << "\":" << r.body;
+    std::string err;
+    if (!obs::accumulate_snapshot_stats(r.body, agg, &err))
+      std::fprintf(stderr, "coordinator: worker %zu stats rejected: %s\n", i,
+                   err.c_str());
+  }
+  os << "}";
+  if (cfg_.opts.stats != nullptr)
+    os << ",\"coordinator\":" << cfg_.opts.stats->to_json();
+  // Counters sum across workers, histograms merge losslessly; gauges are
+  // last-write-wins and only meaningful per worker.
+  os << ",\"aggregate\":" << agg.to_json() << "}";
+  return os.str();
+}
+
+std::string Coordinator::health_json(const std::string& job_filter) {
+  std::ostringstream os;
+  os << "{\"queue_depth\":" << queue_.size()
+     << ",\"max_queue_depth\":" << max_depth_ << ",\"served\":" << served_
+     << ",\"in_flight\":" << in_flight_ << ",\"workers\":[";
+  const std::vector<ControlReply> pings = fan_out("ping", "");
+  for (std::size_t i = 0; i < pings.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"rank\":" << i << ",\"alive\":"
+       << (pings[i].ok ? "true" : "false");
+    if (pings[i].ok)
+      os << ",\"rtt_ms\":" << obs::json_number(pings[i].rtt_ms);
+    os << "}";
+  }
+  os << "],\"jobs\":{";
+  bool first = true;
+  for (const auto& [job, js] : job_stats_) {
+    if (!job_filter.empty() && job != job_filter) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(job) << "\":{"
+       << "\"last_version\":" << js.last_version
+       << ",\"iterations\":" << js.iterations
+       << ",\"saves_ok\":" << js.saves_ok
+       << ",\"saves_failed\":" << js.saves_failed
+       << ",\"loads_ok\":" << js.loads_ok
+       << ",\"loads_failed\":" << js.loads_failed
+       << ",\"save_latency_s\":" << obs::hist_summary_json(js.save_latency_s)
+       << ",\"load_latency_s\":" << obs::hist_summary_json(js.load_latency_s)
+       << ",\"last_error\":\"" << obs::json_escape(js.last_error) << "\"}";
+  }
+  os << "}}";
+  return os.str();
 }
 
 namespace {
@@ -407,6 +593,15 @@ std::string Coordinator::handle(const std::string& command,
     reset_workers();
     return "ok";
   }
+  if (command == "health") {
+    return health_json(job);
+  }
+  if (command == "stats") {
+    return aggregated_stats_json();
+  }
+  if (command == "trace") {
+    return merged_trace_json();
+  }
   if (command == "shutdown") {
     fan_out("exit", "");
     stop_ = true;
@@ -417,17 +612,39 @@ std::string Coordinator::handle(const std::string& command,
       status = 1;
       return "save expects '<job>'";
     }
+    JobStats& js = job_stats_[job];
     const std::int64_t iteration = ++iterations_[job];
-    const std::vector<ControlReply> replies =
-        fan_out("save", job + " " + std::to_string(iteration));
+    js.iterations = iteration;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ControlReply> replies;
+    {
+      // Each save is the root of a fresh distributed trace: the root span
+      // covers the whole fan-out, every worker chains under it.
+      obs::ScopedTraceContext tctx(obs::Tracer::global().enabled()
+                                       ? obs::Tracer::new_trace_id()
+                                       : 0,
+                                   0);
+      obs::ScopedSpan root("coord.save:" + job);
+      ++in_flight_;
+      replies = fan_out("save", job + " " + std::to_string(iteration));
+      --in_flight_;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     const MergedBodies m = merge_bodies(replies);
     if (!m.ok) {
       // The collective tore: every survivor rolled its version back; reset
       // all fabric connections so the next collective starts clean.
       reset_workers();
+      ++js.saves_failed;
+      js.last_error = m.error;
       status = 1;
       return "save failed: " + m.error;
     }
+    ++js.saves_ok;
+    js.last_version = m.version;
+    js.save_latency_s.observe(secs);
     history_[job][m.version] = iteration;
     std::ostringstream os;
     os << "version=" << m.version << " iteration=" << iteration << " "
@@ -439,16 +656,36 @@ std::string Coordinator::handle(const std::string& command,
       status = 1;
       return "load expects '<job>'";
     }
+    JobStats& js = job_stats_[job];
     // Survivors of an earlier failure — and everyone pooling a connection
     // to a since-replaced rank — must reconnect before the collective.
     reset_workers();
-    const std::vector<ControlReply> replies = fan_out("load", job);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ControlReply> replies;
+    {
+      obs::ScopedTraceContext tctx(obs::Tracer::global().enabled()
+                                       ? obs::Tracer::new_trace_id()
+                                       : 0,
+                                   0);
+      obs::ScopedSpan root("coord.load:" + job);
+      ++in_flight_;
+      replies = fan_out("load", job);
+      --in_flight_;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     const MergedBodies m = merge_bodies(replies);
     if (!m.ok) {
       reset_workers();
+      ++js.loads_failed;
+      js.last_error = m.error;
       status = 1;
       return "load failed: " + m.error;
     }
+    ++js.loads_ok;
+    js.last_version = m.version;
+    js.load_latency_s.observe(secs);
     std::ostringstream os;
     os << "version=" << m.version;
     const auto jit = history_.find(job);

@@ -38,6 +38,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/stats.hpp"
 
 namespace eccheck::svc {
 
@@ -52,19 +53,25 @@ struct ControlFrame {
 
 /// Send one acknowledged control frame: header+key+payload out, CRC-echo
 /// ack back. Unlike the fabric's pooled data path this works on any
-/// connected socket.
+/// connected socket. While the global tracer is enabled and the calling
+/// thread carries a trace context, the frame is stamped with it
+/// (net::WireTraceContext), so a request's causal chain crosses the
+/// control channel exactly like the data fabric.
 void send_control(const net::Socket& s, net::FrameType type,
                   const std::string& key, std::uint32_t aux, ByteSpan payload,
                   net::Millis io_timeout, const std::string& ctx);
 
 /// Receive one control frame of the expected type, verify its CRC and ack
-/// it. Throws CheckFailure on timeout, EOF, or protocol desync.
+/// it. A stamped trace context lands in the returned header's `trace`
+/// field (the server adopts it around handling). Throws CheckFailure on
+/// timeout, EOF, or protocol desync.
 ControlFrame recv_control(const net::Socket& s, net::FrameType expect,
                           net::Millis io_timeout, const std::string& ctx);
 
 struct ControlReply {
   bool ok = false;       ///< response status was 0
   std::string body;      ///< response payload (error text when !ok)
+  double rtt_ms = 0;     ///< request→response wall time (client side)
 };
 
 /// One request/response exchange over a fresh connection to `server`.
@@ -104,7 +111,10 @@ struct WorkerDaemonConfig {
 /// every store, including the shared remote directory).
 ///
 /// Commands: `ping`, `save <job> <iteration>`, `load <job>`, `reset`,
-/// `status`, `exit`. A failed collective save leaves the daemon alive:
+/// `status`, `clock` (tracer nanoseconds, for ping-pong offset
+/// estimation), `obs [stats]` (obs::serialize_snapshot of this process —
+/// tracer buffers + fabric stats; `obs stats` returns the stats object
+/// alone), `exit`. A failed collective save leaves the daemon alive:
 /// FabricSession already rolled back the torn version, the error travels
 /// back in the response, and the next `reset` re-arms the fabric.
 class WorkerDaemon {
@@ -151,11 +161,22 @@ struct CoordinatorConfig {
 /// `status`) and fans each job command out to every worker concurrently.
 ///
 /// Client commands: `save <job>`, `load <job>`, `status`, `reset`,
+/// `health [job]` (JSON: queue/served/in-flight state, per-worker
+/// liveness with ping RTTs, per-job versions + save/load latency
+/// histograms), `stats` (aggregated fleet StatsRegistry JSON: per-worker
+/// snapshots plus their merged sum), `trace` (merged, clock-aligned
+/// Chrome trace of the coordinator + every reachable worker; offsets
+/// estimated by ping-pong midpoint against each worker's `clock` verb),
 /// `shutdown`. The coordinator assigns iteration numbers per job, so
 /// concurrent clients saving the same job get distinct, ordered snapshots.
 /// After any failed fan-out — and before every `load` — it resets all
 /// fabric connections on every reachable worker, the synchronized point
 /// that lets survivors of an aborted collective reconnect cleanly.
+///
+/// Each `save`/`load` opens a fresh distributed trace (when the global
+/// tracer is enabled) whose root span covers the whole fan-out, so one
+/// client request shows up as one causally-linked tree across the
+/// coordinator, the workers, and the fabric collectives between them.
 class Coordinator {
  public:
   explicit Coordinator(CoordinatorConfig cfg);
@@ -167,6 +188,18 @@ class Coordinator {
   struct Pending {
     net::Socket conn;
   };
+  /// Health-endpoint state per job, fed by every save/load fan-out.
+  struct JobStats {
+    std::int64_t last_version = -1;
+    std::int64_t iterations = 0;
+    std::uint64_t saves_ok = 0;
+    std::uint64_t saves_failed = 0;
+    std::uint64_t loads_ok = 0;
+    std::uint64_t loads_failed = 0;
+    obs::HistSummary save_latency_s;
+    obs::HistSummary load_latency_s;
+    std::string last_error;
+  };
 
   /// Accept every connection currently waiting (bounded, non-blocking-ish)
   /// into the admission queue; returns true if the queue is non-empty.
@@ -174,10 +207,17 @@ class Coordinator {
   std::string handle(const std::string& command, const std::string& args,
                      std::uint32_t& status);
   /// Run `command args` on every worker concurrently; entry i is worker
-  /// i's reply (connect failures become {ok=false, body=<error>}).
+  /// i's reply (connect failures become {ok=false, body=<error>}). The
+  /// caller's trace context propagates into every fan-out thread.
   std::vector<ControlReply> fan_out(const std::string& command,
                                     const std::string& args);
   void reset_workers();
+  std::string health_json(const std::string& job_filter);
+  std::string merged_trace_json();
+  std::string aggregated_stats_json();
+  /// Ping-pong offset of worker i's tracer clock vs ours (see
+  /// obs::estimate_clock_offset_ns); ok=false when the worker is dead.
+  bool clock_offset_ns(std::size_t i, std::int64_t* offset);
 
   CoordinatorConfig cfg_;
   net::Socket listener_;
@@ -186,8 +226,10 @@ class Coordinator {
   /// job → version → iteration, so `load` replies can name the iteration
   /// whose synthetic content the recovered version must equal.
   std::map<std::string, std::map<std::int64_t, std::int64_t>> history_;
+  std::map<std::string, JobStats> job_stats_;
   std::uint64_t served_ = 0;
   std::size_t max_depth_ = 0;
+  int in_flight_ = 0;  ///< fan-outs currently executing
   bool stop_ = false;
 };
 

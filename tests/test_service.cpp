@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dnn/checkpoint_gen.hpp"
+#include "obs/json.hpp"
 #include "svc/checkpoint_service.hpp"
 
 namespace eccheck {
@@ -212,6 +213,37 @@ TEST(ServiceDaemon, MultiJobSaveLoadKillRecoverBitExact) {
   ASSERT_TRUE(r.ok);
   EXPECT_NE(r.body.find("workers=3/4"), std::string::npos) << r.body;
 
+  // The health endpoint in the torn-save aftermath: the dead worker shows
+  // up as not alive, the failed save is counted against jobA with its
+  // error preserved, and the last *committed* version is still 2 — the
+  // torn version must not leak into health.
+  r = request("health", "jobA");
+  ASSERT_TRUE(r.ok) << r.body;
+  {
+    std::string perr;
+    const std::unique_ptr<obs::JsonValue> doc =
+        obs::JsonValue::parse(r.body, &perr);
+    ASSERT_NE(doc, nullptr) << perr << ": " << r.body;
+    const obs::JsonValue* workers = doc->find("workers");
+    ASSERT_TRUE(workers != nullptr && workers->is_array()) << r.body;
+    int alive = 0;
+    for (const obs::JsonValue& w : workers->as_array()) {
+      const obs::JsonValue* a = w.find("alive");
+      ASSERT_NE(a, nullptr);
+      if (a->as_bool()) ++alive;
+    }
+    EXPECT_EQ(alive, kNodes - 1) << r.body;
+    const obs::JsonValue* jobs = doc->find("jobs");
+    const obs::JsonValue* jobA = jobs != nullptr ? jobs->find("jobA") : nullptr;
+    ASSERT_NE(jobA, nullptr) << r.body;
+    EXPECT_EQ(jobA->find("last_version")->as_number(), 2);
+    EXPECT_EQ(jobA->find("saves_ok")->as_number(), 2);
+    EXPECT_EQ(jobA->find("saves_failed")->as_number(), 1);
+    EXPECT_FALSE(jobA->find("last_error")->as_string().empty());
+    EXPECT_EQ(jobs->find("jobB"), nullptr)
+        << "the job filter must hide other jobs";
+  }
+
   // Replacement on the same endpoints; both jobs recover bit-exactly.
   daemons[victim] = std::make_unique<DaemonThread>(worker_config(dir, victim));
 
@@ -246,6 +278,57 @@ TEST(ServiceDaemon, MultiJobSaveLoadKillRecoverBitExact) {
   r = request("status", "");
   ASSERT_TRUE(r.ok);
   EXPECT_NE(r.body.find("workers=4/4"), std::string::npos) << r.body;
+
+  // Health after recovery: everyone alive again, latency histograms have
+  // one sample per completed operation.
+  r = request("health", "");
+  ASSERT_TRUE(r.ok) << r.body;
+  {
+    std::string perr;
+    const std::unique_ptr<obs::JsonValue> doc =
+        obs::JsonValue::parse(r.body, &perr);
+    ASSERT_NE(doc, nullptr) << perr;
+    int alive = 0;
+    for (const obs::JsonValue& w : doc->find("workers")->as_array())
+      if (w.find("alive")->as_bool()) ++alive;
+    EXPECT_EQ(alive, kNodes);
+    const obs::JsonValue* jobA = doc->find("jobs")->find("jobA");
+    ASSERT_NE(jobA, nullptr);
+    EXPECT_EQ(jobA->find("last_version")->as_number(), 3);
+    EXPECT_EQ(jobA->find("saves_ok")->as_number(), 3);
+    EXPECT_EQ(jobA->find("loads_ok")->as_number(), 1);
+    EXPECT_EQ(jobA->find("save_latency_s")->find("count")->as_number(), 3);
+    EXPECT_EQ(jobA->find("load_latency_s")->find("count")->as_number(), 1);
+    ASSERT_NE(doc->find("jobs")->find("jobB"), nullptr)
+        << "unfiltered health must list every job";
+    EXPECT_GE(doc->find("queue_depth")->as_number(), 0);
+  }
+
+  // Aggregated fleet stats: per-worker sections plus a merged view that
+  // actually sums the workers' fabric counters.
+  r = request("stats", "");
+  ASSERT_TRUE(r.ok) << r.body;
+  {
+    std::string perr;
+    const std::unique_ptr<obs::JsonValue> doc =
+        obs::JsonValue::parse(r.body, &perr);
+    ASSERT_NE(doc, nullptr) << perr;
+    const obs::JsonValue* workers = doc->find("workers");
+    ASSERT_TRUE(workers != nullptr && workers->is_object());
+    EXPECT_EQ(workers->as_object().size(), static_cast<std::size_t>(kNodes));
+    const obs::JsonValue* agg = doc->find("aggregate");
+    ASSERT_NE(agg, nullptr);
+    double sum = 0;
+    for (const auto& [name, snap] : workers->as_object()) {
+      (void)name;
+      const obs::JsonValue* c = snap.find("counters");
+      const obs::JsonValue* v =
+          c != nullptr ? c->find("net.send.count") : nullptr;
+      if (v != nullptr) sum += v->as_number();
+    }
+    EXPECT_GT(sum, 0);
+    EXPECT_EQ(agg->find("counters")->find("net.send.count")->as_number(), sum);
+  }
 
   r = request("shutdown", "");
   EXPECT_TRUE(r.ok);
