@@ -1,0 +1,621 @@
+#include "chaos/socket_campaign.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "chaos/schedule.hpp"
+#include "common/check.hpp"
+#include "dnn/checkpoint_gen.hpp"
+#include "obs/json.hpp"
+#include "svc/checkpoint_service.hpp"
+
+namespace eccheck::chaos {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Crude but sufficient JSON field scan: the integer right after
+/// `"key":`. Returns `fallback` when the key is absent.
+std::int64_t json_int_field(const std::string& body, const std::string& key,
+                            std::int64_t fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::atoll(body.c_str() + at + needle.size());
+}
+
+/// Per-rank "state" values in workers-array order (rank order).
+std::vector<std::string> json_states(const std::string& body) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  const std::string needle = "\"state\":\"";
+  while ((at = body.find(needle, at)) != std::string::npos) {
+    at += needle.size();
+    const std::size_t end = body.find('"', at);
+    if (end == std::string::npos) break;
+    out.push_back(body.substr(at, end - at));
+    at = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SocketCampaignSummary::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << seed << ",\"events\":" << events
+     << ",\"saves_ok\":" << saves_ok << ",\"saves_failed\":" << saves_failed
+     << ",\"degraded_saves\":" << degraded_saves
+     << ",\"degraded_loads\":" << degraded_loads
+     << ",\"loads_ok\":" << loads_ok << ",\"sigkills\":" << sigkills
+     << ",\"sigstops\":" << sigstops << ",\"corrupts\":" << corrupts
+     << ",\"repairs\":" << repairs << ",\"fenced_exits\":" << fenced_exits
+     << ",\"busy_retries\":" << busy_retries
+     << ",\"violations\":" << violations << ",\"messages\":[";
+  for (std::size_t i = 0; i < violation_messages.size(); ++i)
+    os << (i ? "," : "") << "\"" << obs::json_escape(violation_messages[i])
+       << "\"";
+  os << "]}";
+  return os.str();
+}
+
+SocketCampaign::SocketCampaign(SocketCampaignConfig cfg)
+    : cfg_(std::move(cfg)), world_(cfg_.k + cfg_.m) {
+  ECC_CHECK_MSG(!cfg_.dir.empty(), "socket campaign needs a scratch dir");
+  ECC_CHECK(cfg_.k >= 1 && cfg_.m >= 1);
+  summary_.seed = cfg_.seed;
+  next_kill_gray_ = cfg_.first_kill_gray;
+}
+
+SocketCampaign::~SocketCampaign() {
+  // Leave no orphans behind, whatever state the campaign died in.
+  for (const auto& [rank, pid] : worker_pids_) {
+    (void)rank;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+  if (coordinator_pid_ > 0) {
+    ::kill(coordinator_pid_, SIGKILL);
+    ::waitpid(coordinator_pid_, nullptr, 0);
+  }
+}
+
+net::Endpoint SocketCampaign::client_ep() const {
+  return net::Endpoint::uds(cfg_.dir + "/client.sock");
+}
+net::Endpoint SocketCampaign::liveness_ep() const {
+  return net::Endpoint::uds(cfg_.dir + "/live.sock");
+}
+net::Endpoint SocketCampaign::worker_ctl_ep(int rank) const {
+  return net::Endpoint::uds(cfg_.dir + "/ctl" + std::to_string(rank) +
+                            ".sock");
+}
+
+namespace {
+
+net::TransportOptions campaign_opts(const SocketCampaignConfig& cfg,
+                                    net::Millis io) {
+  net::TransportOptions o;
+  o.connect_timeout = net::Millis(500);
+  o.connect_retries = 20;
+  o.backoff_base = net::Millis(2);
+  o.backoff_max = net::Millis(50);
+  o.io_timeout = io;
+  o.heartbeat_period = cfg.heartbeat_period;
+  o.heartbeat_timeout = cfg.heartbeat_timeout;
+  o.suspect_probes = cfg.suspect_probes;
+  return o;
+}
+
+}  // namespace
+
+void SocketCampaign::spawn_worker(int rank) {
+  svc::WorkerDaemonConfig wcfg;
+  wcfg.rank = rank;
+  for (int r = 0; r < world_; ++r)
+    wcfg.fabric_eps.push_back(
+        net::Endpoint::uds(cfg_.dir + "/rank" + std::to_string(r) + ".sock"));
+  wcfg.control_ep = worker_ctl_ep(rank);
+  wcfg.fabric_opts = campaign_opts(cfg_, cfg_.worker_io_timeout);
+  wcfg.ec.k = cfg_.k;
+  wcfg.ec.m = cfg_.m;
+  wcfg.ec.packet_size = 4096;
+  wcfg.gpus_per_node = 1;
+  wcfg.coordinator_ep = liveness_ep();
+
+  const pid_t pid = ::fork();
+  ECC_CHECK_MSG(pid >= 0, "fork failed for worker " << rank);
+  if (pid == 0) {
+    try {
+      svc::WorkerDaemon daemon(std::move(wcfg));
+      daemon.run();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  worker_pids_[rank] = pid;
+}
+
+void SocketCampaign::spawn_coordinator() {
+  svc::CoordinatorConfig ccfg;
+  ccfg.client_ep = client_ep();
+  for (int r = 0; r < world_; ++r) ccfg.worker_eps.push_back(worker_ctl_ep(r));
+  // The coordinator's per-worker budget must outlive a worker's collective
+  // (worker_io_timeout bounds a torn save); the client's budget must in
+  // turn outlive the coordinator's whole fan-out.
+  ccfg.opts = campaign_opts(
+      cfg_, net::Millis(cfg_.worker_io_timeout.count() * 3));
+  ccfg.opts.connect_retries = 4;  // dead workers must fail fast
+  ccfg.liveness_ep = liveness_ep();
+  ccfg.max_queue = 8;
+  ccfg.data_k = cfg_.k;
+  ccfg.parity_m = cfg_.m;
+
+  const pid_t pid = ::fork();
+  ECC_CHECK_MSG(pid >= 0, "fork failed for coordinator");
+  if (pid == 0) {
+    try {
+      svc::Coordinator coord(std::move(ccfg));
+      coord.run();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  coordinator_pid_ = pid;
+}
+
+SocketCampaign::Reply SocketCampaign::request(const std::string& command,
+                                              const std::string& args) {
+  const net::TransportOptions opts =
+      campaign_opts(cfg_, cfg_.client_io_timeout);
+  const auto start = Clock::now();
+  for (;;) {
+    try {
+      const svc::ControlReply r =
+          svc::client_request(client_ep(), command, args, opts);
+      if (r.status == svc::kStatusBusy && elapsed_s(start) < 30.0) {
+        ++summary_.busy_retries;
+        sleep_ms(50);
+        continue;
+      }
+      return {r.ok, r.status, r.body};
+    } catch (const CheckFailure& e) {
+      if (elapsed_s(start) > 30.0)
+        return {false, svc::kStatusError,
+                std::string("coordinator unreachable: ") + e.what()};
+      sleep_ms(100);
+    }
+  }
+}
+
+SocketCampaign::ParsedBody SocketCampaign::parse_body(
+    const std::string& body) {
+  ParsedBody p;
+  p.degraded = body.find("degraded") != std::string::npos;
+  std::istringstream is(body);
+  std::string tok;
+  while (is >> tok) {
+    if (tok == ";") break;
+    if (tok.rfind("version=", 0) == 0)
+      p.version = std::stoll(tok.substr(8));
+    else if (tok.rfind("iteration=", 0) == 0)
+      p.iteration = std::stoll(tok.substr(10));
+    else if (tok.size() > 2 && tok[0] == 'w' &&
+             tok.find(':') != std::string::npos) {
+      const std::size_t colon = tok.find(':');
+      p.digests[std::stoi(tok.substr(1, colon - 1))] =
+          std::stoull(tok.substr(colon + 1), nullptr, 16);
+    }
+  }
+  return p;
+}
+
+void SocketCampaign::verify_digests(const char* op, const ParsedBody& p) {
+  // Bit-exactness oracle: shard content is a pure function of
+  // (job, iteration, worker), recomputed here independently of the service.
+  const dnn::CheckpointGenConfig gen =
+      svc::job_gen_config(cfg_.job, p.iteration, world_);
+  if (static_cast<int>(p.digests.size()) != world_) {
+    violation("bitexact", std::string(op) + " covered " +
+                              std::to_string(p.digests.size()) + " of " +
+                              std::to_string(world_) + " workers");
+    return;
+  }
+  for (int w = 0; w < world_; ++w) {
+    const auto it = p.digests.find(w);
+    if (it == p.digests.end()) {
+      violation("bitexact",
+                std::string(op) + " missing worker " + std::to_string(w));
+      return;
+    }
+    const std::uint64_t want = dnn::make_worker_state_dict(gen, w).digest();
+    if (it->second != want) {
+      violation("bitexact", std::string(op) + " worker " + std::to_string(w) +
+                                " digest mismatch at version " +
+                                std::to_string(p.version));
+      return;
+    }
+  }
+}
+
+bool SocketCampaign::wait_health(
+    const std::string& what, double deadline_s,
+    const std::function<bool(const std::string&)>& pred) {
+  const auto start = Clock::now();
+  while (elapsed_s(start) < deadline_s) {
+    const Reply r = request("health", "");
+    if (r.ok && pred(r.body)) return true;
+    sleep_ms(150);
+  }
+  violation("repair", "timed out waiting for " + what + " after " +
+                          std::to_string(deadline_s) + "s");
+  return false;
+}
+
+void SocketCampaign::violation(const std::string& invariant,
+                               const std::string& msg) {
+  ++summary_.violations;
+  summary_.violation_messages.push_back(
+      invariant + ": " + msg + " (seed " + std::to_string(cfg_.seed) + ")");
+  std::fprintf(stderr, "socket-campaign VIOLATION %s\n",
+               summary_.violation_messages.back().c_str());
+}
+
+int SocketCampaign::pick_victim(std::uint64_t pick) {
+  std::vector<int> alive;
+  for (int r = 0; r < world_; ++r)
+    if (dead_.count(r) == 0) alive.push_back(r);
+  return alive[static_cast<std::size_t>(pick % alive.size())];
+}
+
+void SocketCampaign::do_kill(int victim, bool gray) {
+  const pid_t pid = worker_pids_.at(victim);
+  if (cfg_.verbose)
+    std::fprintf(stderr, "socket-campaign: %s rank %d (pid %d)\n",
+                 gray ? "SIGSTOP" : "SIGKILL", victim, pid);
+  if (gray) {
+    ECC_CHECK(::kill(pid, SIGSTOP) == 0);
+    stopped_.insert(victim);
+    ++summary_.sigstops;
+  } else {
+    ECC_CHECK(::kill(pid, SIGKILL) == 0);
+    ::waitpid(pid, nullptr, 0);
+    ++summary_.sigkills;
+  }
+  dead_.insert(victim);
+  declared_waited_ = false;
+}
+
+namespace {
+
+/// All ranks in `dead` shown as "dead" in the health body's workers array.
+bool all_declared(const std::string& body, const std::set<int>& dead) {
+  const std::vector<std::string> states = json_states(body);
+  for (int r : dead)
+    if (static_cast<std::size_t>(r) >= states.size() ||
+        states[static_cast<std::size_t>(r)] != "dead")
+      return false;
+  return true;
+}
+
+}  // namespace
+
+void SocketCampaign::do_degraded_load() {
+  // Availability invariant: deaths are declared and dead ≤ m, so load MUST
+  // serve — workflow B decodes the missing rows and the adopter answers
+  // for the dead ranks' workers.
+  const Reply r = request("load", cfg_.job);
+  if (!r.ok) {
+    violation("availability", "load with " + std::to_string(dead_.size()) +
+                                  " declared dead ranks failed: " + r.body);
+    return;
+  }
+  const ParsedBody p = parse_body(r.body);
+  ++summary_.loads_ok;
+  if (p.degraded || !dead_.empty()) ++summary_.degraded_loads;
+  if (p.version != last_version_)
+    violation("monotone", "load returned version " +
+                              std::to_string(p.version) + ", expected " +
+                              std::to_string(last_version_));
+  verify_digests("load", p);
+}
+
+void SocketCampaign::do_save(bool expect_failure_ok) {
+  // A save right after an undeclared kill legitimately tears (the dead
+  // peer is still in the membership); once deaths are declared the next
+  // attempt runs degraded and must commit.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    if (!dead_.empty() && !declared_waited_) {
+      declared_waited_ = wait_health(
+          "death declaration of ranks {" +
+              std::to_string(*dead_.begin()) + "..}",
+          20.0, [this](const std::string& b) { return all_declared(b, dead_); });
+    }
+    const Reply r = request("save", cfg_.job);
+    if (!r.ok) {
+      ++summary_.saves_failed;
+      if (expect_failure_ok) return;
+      sleep_ms(100);
+      continue;
+    }
+    const ParsedBody p = parse_body(r.body);
+    if (p.version <= last_version_)
+      violation("monotone", "save committed version " +
+                                std::to_string(p.version) + " after " +
+                                std::to_string(last_version_));
+    verify_digests("save", p);
+    last_version_ = p.version;
+    last_iteration_ = p.iteration;
+    ++summary_.saves_ok;
+    if (p.degraded) ++summary_.degraded_saves;
+    return;
+  }
+  violation("availability", "save never committed within 6 attempts with " +
+                                std::to_string(dead_.size()) + " dead ranks");
+}
+
+void SocketCampaign::do_corrupt() {
+  // Arm a one-byte payload flip on a live worker's next fabric frame, then
+  // drive a save through it: the receiver sees a genuine wire CRC
+  // mismatch, the collective tears, every survivor rolls back, and the
+  // retry commits clean.
+  const int target = pick_victim(static_cast<std::uint64_t>(world_ - 1));
+  try {
+    const svc::ControlReply r = svc::client_request(
+        worker_ctl_ep(target), "inject", "corrupt",
+        campaign_opts(cfg_, cfg_.worker_io_timeout));
+    if (!r.ok) return;  // worker raced away; nothing armed
+  } catch (const CheckFailure&) {
+    return;
+  }
+  ++summary_.corrupts;
+  if (cfg_.verbose)
+    std::fprintf(stderr, "socket-campaign: armed corrupt frame on rank %d\n",
+                 target);
+  const Reply r = request("save", cfg_.job);
+  if (r.ok) {
+    // The corrupted frame happened to hit a retried/reset path; the commit
+    // is still bound by the digest oracle.
+    const ParsedBody p = parse_body(r.body);
+    verify_digests("save", p);
+    last_version_ = p.version;
+    last_iteration_ = p.iteration;
+    ++summary_.saves_ok;
+  } else {
+    ++summary_.saves_failed;
+    // Rollback must leave the service able to commit the retry.
+    do_save(/*expect_failure_ok=*/false);
+  }
+}
+
+void SocketCampaign::do_recover() {
+  if (dead_.empty()) return;
+  if (!declared_waited_)
+    declared_waited_ = wait_health(
+        "death declaration before repair", 20.0,
+        [this](const std::string& b) { return all_declared(b, dead_); });
+
+  const Reply before = request("health", "");
+  const std::int64_t repairs0 =
+      before.ok ? json_int_field(before.body, "repairs", 0) : 0;
+  const std::int64_t fenced0 =
+      before.ok ? json_int_field(before.body, "fenced_beats", 0) : 0;
+
+  // Gray corpses first: SIGCONT wakes them, their next beat carries a
+  // stale rank (declared dead) and gets a fenced reply — the daemon must
+  // exit on its own. That exit IS the fencing invariant.
+  for (int r : stopped_) {
+    const pid_t pid = worker_pids_.at(r);
+    ECC_CHECK(::kill(pid, SIGCONT) == 0);
+    const auto start = Clock::now();
+    bool exited = false;
+    while (elapsed_s(start) < 10.0) {
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        exited = true;
+        break;
+      }
+      sleep_ms(50);
+    }
+    if (exited) {
+      ++summary_.fenced_exits;
+    } else {
+      violation("fencing", "resurrected rank " + std::to_string(r) +
+                               " did not fence-exit within 10s");
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  // Replacements join on the dead ranks' endpoints; the repair controller
+  // bumps the epoch, resets the members, and recovers every known job —
+  // survivors keep running throughout.
+  const std::set<int> repaired = dead_;
+  for (int r : repaired) spawn_worker(r);
+
+  const bool healed = wait_health(
+      "repair of ranks to full redundancy", 45.0,
+      [&](const std::string& b) {
+        if (json_int_field(b, "repairs", 0) <= repairs0) return false;
+        if (json_int_field(b, "effective_m", -1) != cfg_.m) return false;
+        const std::vector<std::string> states = json_states(b);
+        for (const std::string& s : states)
+          if (s != "alive") return false;
+        return !states.empty();
+      });
+  if (healed) {
+    ++summary_.repairs;
+    dead_.clear();
+    stopped_.clear();
+    declared_waited_ = false;
+    // The corpse's stale beats (if any arrived before it exited) must have
+    // been answered with a fence, never re-admission.
+    const Reply after = request("health", "");
+    if (after.ok && !repaired.empty() &&
+        json_int_field(after.body, "fenced_beats", 0) < fenced0)
+      violation("fencing", "fenced_beats went backwards");
+  }
+
+  // Full redundancy restored: the next save must commit non-degraded and
+  // the loaded bytes must still be exact.
+  do_save(/*expect_failure_ok=*/false);
+  const Reply r = request("load", cfg_.job);
+  if (!r.ok) {
+    violation("availability", "post-repair load failed: " + r.body);
+    return;
+  }
+  const ParsedBody p = parse_body(r.body);
+  ++summary_.loads_ok;
+  if (p.degraded)
+    violation("repair", "post-repair load still reports degraded: " + r.body);
+  verify_digests("load", p);
+}
+
+void SocketCampaign::shutdown_service() {
+  request("shutdown", "");
+  const auto start = Clock::now();
+  auto reap = [&](pid_t pid) {
+    while (elapsed_s(start) < 10.0) {
+      if (::waitpid(pid, nullptr, WNOHANG) == pid) return true;
+      sleep_ms(50);
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  };
+  for (const auto& [rank, pid] : worker_pids_)
+    if (dead_.count(rank) == 0) reap(pid);
+  if (coordinator_pid_ > 0) reap(coordinator_pid_);
+  worker_pids_.clear();
+  coordinator_pid_ = -1;
+}
+
+const SocketCampaignSummary& SocketCampaign::run() {
+  spawn_coordinator();
+  for (int r = 0; r < world_; ++r) spawn_worker(r);
+
+  // Seeded schedule, reusing the simulator's generator: same seed → same
+  // event sequence, which is what makes a failing campaign replayable.
+  ChaosConfig scfg;
+  scfg.num_nodes = world_;
+  scfg.k = cfg_.k;
+  scfg.m = cfg_.m;
+  scfg.events = cfg_.events;
+  scfg.seed = cfg_.seed;
+  scfg.w_burst = 0;     // > m concurrent deaths is un-serveable by design
+  scfg.w_mid_load = 0;  // folded into kKill at the process level
+  const std::vector<ChaosEvent> schedule = generate_schedule(scfg);
+
+  for (const ChaosEvent& ev : schedule) {
+    ++summary_.events;
+    if (cfg_.verbose)
+      std::fprintf(stderr, "socket-campaign: event %zu %s\n", summary_.events,
+                   event_kind_name(ev.kind));
+    switch (ev.kind) {
+      case EventKind::kTrain:
+        sleep_ms(static_cast<int>(ev.train_seconds * cfg_.train_scale *
+                                  1000));
+        break;
+      case EventKind::kSave:
+        do_save(/*expect_failure_ok=*/false);
+        break;
+      case EventKind::kKill:
+      case EventKind::kMidLoadKill: {
+        if (static_cast<int>(dead_.size()) >= cfg_.m) break;  // no budget
+        const bool gray = next_kill_gray_;
+        next_kill_gray_ = !next_kill_gray_;
+        do_kill(pick_victim(ev.picks.empty() ? 0 : ev.picks[0]), gray);
+        declared_waited_ = wait_health(
+            "death declaration", 20.0,
+            [this](const std::string& b) { return all_declared(b, dead_); });
+        do_degraded_load();
+        break;
+      }
+      case EventKind::kMidSaveKill: {
+        if (static_cast<int>(dead_.size()) >= cfg_.m) break;
+        const int victim = pick_victim(ev.picks.empty() ? 0 : ev.picks[0]);
+        // Fire the save, then land the kill inside its fabric-op window.
+        Reply rep;
+        std::thread saver([&] { rep = request("save", cfg_.job); });
+        sleep_ms(20 + static_cast<int>(ev.op_frac * 120));
+        do_kill(victim, /*gray=*/false);
+        saver.join();
+        if (rep.ok) {
+          const ParsedBody p = parse_body(rep.body);
+          verify_digests("save", p);
+          last_version_ = p.version;
+          last_iteration_ = p.iteration;
+          ++summary_.saves_ok;
+        } else {
+          ++summary_.saves_failed;  // torn: survivors rolled back
+        }
+        declared_waited_ = wait_health(
+            "death declaration after mid-save kill", 20.0,
+            [this](const std::string& b) { return all_declared(b, dead_); });
+        do_degraded_load();
+        break;
+      }
+      case EventKind::kCorrupt:
+        if (dead_.empty()) do_corrupt();
+        break;
+      case EventKind::kRecover:
+        do_recover();
+        break;
+    }
+    if (summary_.violations > 0) break;  // fail fast, state is suspect
+  }
+
+  // Forced tail: the acceptance bar requires every campaign to have seen
+  // at least one hard death, one gray failure, and one corrupt frame.
+  if (summary_.violations == 0 && summary_.sigkills == 0) {
+    do_kill(pick_victim(1), /*gray=*/false);
+    declared_waited_ = wait_health(
+        "forced SIGKILL declaration", 20.0,
+        [this](const std::string& b) { return all_declared(b, dead_); });
+    do_degraded_load();
+    do_recover();
+  }
+  if (summary_.violations == 0 && summary_.sigstops == 0) {
+    do_kill(pick_victim(2), /*gray=*/true);
+    declared_waited_ = wait_health(
+        "forced SIGSTOP declaration", 20.0,
+        [this](const std::string& b) { return all_declared(b, dead_); });
+    do_degraded_load();
+    do_recover();
+  }
+  if (summary_.violations == 0 && summary_.corrupts == 0) do_corrupt();
+  if (summary_.violations == 0 && !dead_.empty()) do_recover();
+
+  // Final verification at full strength, then an orderly shutdown.
+  if (summary_.violations == 0) {
+    do_save(/*expect_failure_ok=*/false);
+    const Reply r = request("load", cfg_.job);
+    if (!r.ok) {
+      violation("availability", "final load failed: " + r.body);
+    } else {
+      const ParsedBody p = parse_body(r.body);
+      ++summary_.loads_ok;
+      verify_digests("load", p);
+    }
+  }
+  shutdown_service();
+  return summary_;
+}
+
+}  // namespace eccheck::chaos

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
@@ -105,6 +107,149 @@ class FailureDetector {
 
  private:
   FailureDetectorConfig cfg_;
+};
+
+/// A worker's liveness as the coordinator sees it.
+///
+///   kAlive   — beating within the timeout.
+///   kSuspect — silent past the timeout; being probed. A suspect is *gray*:
+///              it may be SIGSTOP'd, overloaded, or partitioned, and may
+///              yet come back. No repair is started for a suspect.
+///   kDead    — confirmed: either hard evidence (connection refused — the
+///              process is gone) or `suspect_probes` consecutive probes
+///              failed to elicit a beat. Repair starts here.
+enum class Liveness { kAlive, kSuspect, kDead };
+
+inline const char* to_string(Liveness s) {
+  switch (s) {
+    case Liveness::kAlive:   return "alive";
+    case Liveness::kSuspect: return "suspect";
+    case Liveness::kDead:    return "dead";
+  }
+  return "?";
+}
+
+/// LivenessTracker: FailureDetector's wall-clock sibling. FailureDetector
+/// *models* detection latency in virtual time for the simulator;
+/// LivenessTracker *performs* detection against real heartbeats arriving
+/// over sockets. The coordinator feeds it beats as they arrive and calls
+/// evaluate() periodically; silence past `heartbeat_timeout` turns a worker
+/// into a suspect, and suspects are confirmed dead either by hard socket
+/// evidence (probe refused) or by `suspect_probes` consecutive probe rounds
+/// that elicited no fresh beat — the wall-clock analogue of the simulated
+/// detector's observer quorum. All time is passed in explicitly, so tests
+/// drive it deterministically without sleeping.
+class LivenessTracker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    Clock::duration heartbeat_timeout = std::chrono::milliseconds(1500);
+    int suspect_probes = 2;
+  };
+
+  struct Peer {
+    Liveness state = Liveness::kAlive;
+    Clock::time_point last_beat{};
+    std::uint64_t beats = 0;        ///< total beats received
+    std::uint64_t epoch = 0;        ///< epoch carried by the newest beat
+    int failed_probes = 0;          ///< consecutive probes without a beat
+  };
+
+  LivenessTracker(Config cfg, int world, Clock::time_point now)
+      : cfg_(cfg), peers_(static_cast<std::size_t>(world)) {
+    ECC_CHECK(world >= 1);
+    ECC_CHECK(cfg.heartbeat_timeout.count() > 0);
+    ECC_CHECK(cfg.suspect_probes >= 1);
+    for (Peer& p : peers_) p.last_beat = now;  // grace period at startup
+  }
+
+  int world() const { return static_cast<int>(peers_.size()); }
+  const Peer& peer(int rank) const { return peers_.at(idx(rank)); }
+  Liveness state(int rank) const { return peer(rank).state; }
+
+  /// A heartbeat from `rank`. Revives a *suspect* (it was gray, not gone)
+  /// but never a dead worker: death is a one-way door until mark_alive() —
+  /// the repair controller may already be fencing/replacing it, and a beat
+  /// from a corpse is exactly the stale-resurrection case fencing exists
+  /// for. Returns the resulting state so the caller can tell a revived
+  /// suspect (kAlive) from a fenced corpse (kDead).
+  Liveness beat(int rank, std::uint64_t epoch, Clock::time_point now) {
+    Peer& p = peers_.at(idx(rank));
+    p.beats += 1;
+    p.epoch = epoch;
+    if (p.state == Liveness::kDead) return Liveness::kDead;
+    p.last_beat = now;
+    p.failed_probes = 0;
+    p.state = Liveness::kAlive;
+    return p.state;
+  }
+
+  /// Sweep: every alive worker silent past heartbeat_timeout becomes a
+  /// suspect. Returns the ranks that changed state this call.
+  std::vector<int> evaluate(Clock::time_point now) {
+    std::vector<int> fresh;
+    for (int r = 0; r < world(); ++r) {
+      Peer& p = peers_[idx(r)];
+      if (p.state != Liveness::kAlive) continue;
+      if (now - p.last_beat > cfg_.heartbeat_timeout) {
+        p.state = Liveness::kSuspect;
+        p.failed_probes = 0;
+        fresh.push_back(r);
+      }
+    }
+    return fresh;
+  }
+
+  /// Outcome of probing a suspect. `alive_evidence` (probe answered AND a
+  /// beat arrived since the last probe) clears the suspicion; a refused
+  /// probe (`hard_dead`) kills immediately; anything else counts toward
+  /// suspect_probes. Returns the new state.
+  Liveness probe_result(int rank, bool hard_dead, bool alive_evidence,
+                        Clock::time_point now) {
+    Peer& p = peers_.at(idx(rank));
+    if (p.state != Liveness::kSuspect) return p.state;
+    if (alive_evidence) {
+      p.state = Liveness::kAlive;
+      p.last_beat = now;
+      p.failed_probes = 0;
+    } else if (hard_dead || ++p.failed_probes >= cfg_.suspect_probes) {
+      p.state = Liveness::kDead;
+    }
+    return p.state;
+  }
+
+  /// Hard external evidence (connection reset mid-request, EOF on the
+  /// control socket): straight to dead, no probing.
+  void mark_dead(int rank) { peers_.at(idx(rank)).state = Liveness::kDead; }
+
+  /// Repair finished / replacement admitted: the rank is alive again with a
+  /// fresh grace period and epoch.
+  void mark_alive(int rank, std::uint64_t epoch, Clock::time_point now) {
+    Peer& p = peers_.at(idx(rank));
+    p.state = Liveness::kAlive;
+    p.last_beat = now;
+    p.failed_probes = 0;
+    p.epoch = epoch;
+  }
+
+  std::vector<int> ranks_in(Liveness s) const {
+    std::vector<int> out;
+    for (int r = 0; r < world(); ++r)
+      if (peers_[idx(r)].state == s) out.push_back(r);
+    return out;
+  }
+  std::vector<int> dead() const { return ranks_in(Liveness::kDead); }
+  std::vector<int> suspects() const { return ranks_in(Liveness::kSuspect); }
+  int alive_count() const {
+    return static_cast<int>(ranks_in(Liveness::kAlive).size());
+  }
+
+ private:
+  static std::size_t idx(int rank) { return static_cast<std::size_t>(rank); }
+
+  Config cfg_;
+  std::vector<Peer> peers_;
 };
 
 }  // namespace eccheck::cluster

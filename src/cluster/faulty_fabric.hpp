@@ -1,0 +1,166 @@
+// FaultyFabric: a fault-injecting decorator around any cluster::Fabric.
+//
+// Chaos campaigns over real sockets need frame-level faults — drops,
+// delays, corruption — injected into a *live* transport without teaching
+// the transport about chaos. This decorator sits between the engine and
+// the underlying fabric and, with seeded pseudo-randomness, turns data
+// movement calls into:
+//
+//   drop    — throw CheckFailure before the operation runs, which is
+//             byte-for-byte the signal a dead peer produces, so the whole
+//             rollback / failure-detection machinery downstream is
+//             exercised through its production path;
+//   delay   — sleep before the operation (late frames, congested links);
+//   corrupt — invoke a caller-provided hook before a send; the checkpoint
+//             service wires this to SocketTransport::corrupt_next_frame,
+//             so the receiver sees a genuine wire CRC mismatch.
+//
+// Determinism: decisions come from a SplitMix64 stream seeded at
+// construction, one draw per faultable operation, so a campaign seed
+// replays the same fault sequence (same process, same call order).
+// Store access and remote I/O pass through untouched — faults model the
+// network, not host memory.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/fabric.hpp"
+#include "common/check.hpp"
+
+namespace eccheck::cluster {
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double drop_prob = 0.0;     ///< P(throw CheckFailure) per operation
+  double delay_prob = 0.0;    ///< P(sleep delay_ms) per operation
+  int delay_ms = 20;
+  double corrupt_prob = 0.0;  ///< P(corrupt hook) per send_buffer
+
+  bool any() const {
+    return drop_prob > 0 || delay_prob > 0 || corrupt_prob > 0;
+  }
+};
+
+class FaultyFabric final : public Fabric {
+ public:
+  /// `corrupt_hook` (optional) arms payload corruption on the transport
+  /// underneath; unset means corrupt_prob is ignored.
+  FaultyFabric(Fabric& inner, FaultSpec spec,
+               std::function<void()> corrupt_hook = {})
+      : inner_(&inner), spec_(spec), state_(spec.seed ? spec.seed : 1),
+        corrupt_hook_(std::move(corrupt_hook)) {}
+
+  const FaultSpec& spec() const { return spec_; }
+  /// Re-arm at runtime (the worker daemon's `inject` verb). The SplitMix64
+  /// stream keeps its position — probabilities change, the draws don't.
+  void set_spec(const FaultSpec& spec) { spec_ = spec; }
+  std::uint64_t faults_injected() const { return injected_; }
+
+  // ---- cluster::Fabric ---------------------------------------------------
+  /// Transparent while inactive, so a permanently-installed decorator does
+  /// not change span names or reports until faults are actually armed.
+  std::string fabric_name() const override {
+    return spec_.any() ? "faulty[" + inner_->fabric_name() + "]"
+                       : inner_->fabric_name();
+  }
+  int world_size() const override { return inner_->world_size(); }
+  bool drives(int node) const override { return inner_->drives(node); }
+  int self_rank() const override { return inner_->self_rank(); }
+  Store& store(int node) override { return inner_->store(node); }
+
+  void net_send(int src, int dst, std::size_t bytes,
+                const std::string& label) override {
+    inner_->net_send(src, dst, bytes, label);
+  }
+
+  void send_buffer(int src, int dst, const std::string& src_key,
+                   const std::string& dst_key) override {
+    maybe_fault("send_buffer", /*corruptible=*/true);
+    inner_->send_buffer(src, dst, src_key, dst_key);
+  }
+
+  void broadcast(const std::vector<int>& nodes, int root,
+                 const std::string& key) override {
+    maybe_fault("broadcast", /*corruptible=*/false);
+    inner_->broadcast(nodes, root, key);
+  }
+
+  void all_gather(const std::vector<int>& nodes,
+                  const std::function<std::string(int)>& key_of) override {
+    maybe_fault("all_gather", /*corruptible=*/false);
+    inner_->all_gather(nodes, key_of);
+  }
+
+  void ring_all_reduce_xor(const std::vector<int>& nodes,
+                           const std::string& key) override {
+    maybe_fault("ring_all_reduce_xor", /*corruptible=*/false);
+    inner_->ring_all_reduce_xor(nodes, key);
+  }
+
+  void remote_write(int node, const std::string& key,
+                    const std::string& remote_key) override {
+    inner_->remote_write(node, key, remote_key);
+  }
+  void remote_read(int node, const std::string& remote_key,
+                   const std::string& key) override {
+    inner_->remote_read(node, remote_key, key);
+  }
+  bool remote_contains(int node, const std::string& remote_key) override {
+    return inner_->remote_contains(node, remote_key);
+  }
+  std::vector<std::string> remote_list(int node,
+                                       const std::string& prefix) override {
+    return inner_->remote_list(node, prefix);
+  }
+  void remote_erase(int node, const std::string& remote_key) override {
+    inner_->remote_erase(node, remote_key);
+  }
+  obs::StatsRegistry& stats() override { return inner_->stats(); }
+  void barrier(const std::vector<int>& nodes) override {
+    inner_->barrier(nodes);
+  }
+
+ private:
+  /// One uniform draw in [0, 1) from the SplitMix64 stream.
+  double draw() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  void maybe_fault(const char* op, bool corruptible) {
+    if (spec_.drop_prob > 0 && draw() < spec_.drop_prob) {
+      injected_ += 1;
+      stats().add("chaos.fault.drop");
+      throw CheckFailure(std::string("injected fault: dropped ") + op +
+                         " on rank " + std::to_string(self_rank()));
+    }
+    if (spec_.delay_prob > 0 && draw() < spec_.delay_prob) {
+      injected_ += 1;
+      stats().add("chaos.fault.delay");
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
+    }
+    if (corruptible && corrupt_hook_ && spec_.corrupt_prob > 0 &&
+        draw() < spec_.corrupt_prob) {
+      injected_ += 1;
+      stats().add("chaos.fault.corrupt");
+      corrupt_hook_();
+    }
+  }
+
+  Fabric* inner_;
+  FaultSpec spec_;
+  std::uint64_t state_;
+  std::function<void()> corrupt_hook_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace eccheck::cluster

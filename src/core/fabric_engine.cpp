@@ -50,6 +50,31 @@ std::vector<int> all_nodes(int n) {
   return nodes;
 }
 
+/// The ranks participating in collectives under `members`: the alive list,
+/// or everyone under full membership.
+std::vector<int> active_nodes(int n, const Membership& members) {
+  return members.full() ? all_nodes(n) : members.alive;
+}
+
+/// Nodes whose per-node protocol state this process is responsible for:
+/// every node whose site (itself when alive, the adopter when dead) is
+/// driven here. Ascending.
+std::vector<int> sited_nodes(cluster::Fabric& fabric,
+                             const Membership& members) {
+  std::vector<int> nodes;
+  for (int node = 0; node < fabric.world_size(); ++node)
+    if (fabric.drives(members.site(node))) nodes.push_back(node);
+  return nodes;
+}
+
+/// First alive node this process drives — the rank whose store "home"
+/// reads (B derivation, gathered flags) come from.
+int home_node(cluster::Fabric& fabric, const std::vector<int>& act) {
+  for (int node : act)
+    if (fabric.drives(node)) return node;
+  throw CheckFailure("fabric drives no alive rank");
+}
+
 /// Sum of the stats-delta counters matching "net.*.bytes" / the remote
 /// write counter — fills the report's traffic fields identically for the
 /// simulator registry and the transport registry.
@@ -103,18 +128,20 @@ struct NodeFlag {
   std::uint64_t workers = 0;
 };
 
+/// `act` is the participating (alive) node list; excluded ranks' entries in
+/// the returned vector stay zeroed, so dead ranks read as "nothing usable".
 std::vector<NodeFlag> exchange_flags(
     cluster::Fabric& fabric, const std::string& tag,
-    const std::function<NodeFlag(int node)>& local) {
+    const std::function<NodeFlag(int node)>& local,
+    const std::vector<int>& act) {
   const int n = fabric.world_size();
   auto fkey = [&](int node) { return tag + std::to_string(node); };
   auto erase_all = [&] {
-    for (int node = 0; node < n; ++node)
+    for (int node : act)
       if (fabric.drives(node))
-        for (int other = 0; other < n; ++other)
-          fabric.store(node).erase(fkey(other));
+        for (int other : act) fabric.store(node).erase(fkey(other));
   };
-  for (int node = 0; node < n; ++node) {
+  for (int node : act) {
     if (!fabric.drives(node)) continue;
     const NodeFlag f = local(node);
     Buffer buf(16, Buffer::Init::kZeroed);
@@ -123,7 +150,7 @@ std::vector<NodeFlag> exchange_flags(
     fabric.store(node).put(fkey(node), std::move(buf));
   }
   try {
-    fabric.all_gather(all_nodes(n), fkey);
+    fabric.all_gather(act, fkey);
   } catch (...) {
     // A dead peer aborts the gather — the transient exchange keys must not
     // outlive the failed collective (they are not version-scoped, so the
@@ -132,8 +159,8 @@ std::vector<NodeFlag> exchange_flags(
     throw;
   }
   std::vector<NodeFlag> flags(static_cast<std::size_t>(n));
-  const int home = driven_nodes(fabric).front();
-  for (int node = 0; node < n; ++node) {
+  const int home = home_node(fabric, act);
+  for (int node : act) {
     const Buffer& buf = fabric.store(home).get(fkey(node));
     ECC_CHECK(buf.size() == 16);
     flags[static_cast<std::size_t>(node)].flag = get_u64_le(buf.data());
@@ -155,20 +182,41 @@ std::vector<int> fabric_driven_workers(cluster::Fabric& fabric,
   return workers;
 }
 
+std::vector<int> fabric_sited_workers(cluster::Fabric& fabric,
+                                      int gpus_per_node,
+                                      const Membership& members) {
+  std::vector<int> workers;
+  for (int node : sited_nodes(fabric, members))
+    for (int l = 0; l < gpus_per_node; ++l)
+      workers.push_back(node * gpus_per_node + l);
+  return workers;
+}
+
 // ---------------------------------------------------------------------------
 // save
 // ---------------------------------------------------------------------------
 
 ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
                              const std::vector<const dnn::StateDict*>& shards,
-                             std::int64_t version) {
+                             std::int64_t version,
+                             const Membership& members) {
   const auto t0 = Clock::now();
   const int n = fabric.world_size();
   ECC_CHECK_MSG(cfg.k + cfg.m == n, "k+m must equal the fabric world size");
+  members.check(n);
+  const int n_alive = members.alive_count(n);
+  ECC_CHECK_MSG(n_alive >= cfg.k, "degraded save impossible: only "
+                                      << n_alive << " of " << n
+                                      << " ranks alive, need at least k="
+                                      << cfg.k);
+  const std::vector<int> act = active_nodes(n, members);
   const std::vector<int> driven = driven_nodes(fabric);
-  ECC_CHECK_MSG(!shards.empty() && shards.size() % driven.size() == 0,
-                "need the same number of shards per driven rank");
-  const int g = static_cast<int>(shards.size() / driven.size());
+  const std::vector<int> handled = sited_nodes(fabric, members);
+  ECC_CHECK_MSG(!handled.empty(),
+                "this process sites no rank under the given membership");
+  ECC_CHECK_MSG(!shards.empty() && shards.size() % handled.size() == 0,
+                "need the same number of shards per sited rank");
+  const int g = static_cast<int>(shards.size() / handled.size());
   const int W = n * g;
   ECC_CHECK_MSG(W % cfg.k == 0, "k must divide the worker count");
 
@@ -184,29 +232,32 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
   ECC_CHECK_MSG(P % codec.packet_granularity() == 0,
                 "packet_size must be a multiple of the codec granularity");
   const std::string& ns = cfg.key_namespace;
-  const std::vector<int> all = all_nodes(n);
 
   ckpt::SaveReport rep;
   const auto stats_base = fabric.stats().counters();
   obs::ScopedSpan span("engine.save[" + fabric.fabric_name() + "]");
 
   std::map<int, int> shard_index;  // worker → index into `shards`
-  for (std::size_t di = 0; di < driven.size(); ++di)
-    for (int l = 0; l < g; ++l) {
-      const int w = driven[di] * g + l;
-      shard_index[w] = static_cast<int>(di) * g + l;
-      ECC_CHECK_MSG(shards[static_cast<std::size_t>(shard_index[w])] != nullptr,
-                    "null shard for worker " << w);
-    }
+  {
+    int idx = 0;
+    for (int node : handled)  // ascending, matching fabric_sited_workers
+      for (int l = 0; l < g; ++l) {
+        const int w = node * g + l;
+        shard_index[w] = idx++;
+        ECC_CHECK_MSG(
+            shards[static_cast<std::size_t>(shard_index[w])] != nullptr,
+            "null shard for worker " << w);
+      }
+  }
 
   // ---- Step 1: decompose + serialize the tiny components -----------------
-  std::map<int, Decomposition> decs;  // driven worker → decomposition
+  std::map<int, Decomposition> decs;  // sited worker → decomposition
   for (const auto& [w, si] : shard_index) {
-    const int node = w / g;
+    const int site = members.site(w / g);
     Decomposition dec = decompose(*shards[static_cast<std::size_t>(si)]);
-    fabric.store(node).put(meta_key(ns, version, w),
+    fabric.store(site).put(meta_key(ns, version, w),
                            std::move(dec.metadata_blob));
-    fabric.store(node).put(keys_key(ns, version, w),
+    fabric.store(site).put(keys_key(ns, version, w),
                            std::move(dec.keys_blob));
     decs.emplace(w, std::move(dec));
   }
@@ -214,16 +265,29 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
   // ---- Step 2: metadata + tensor keys to every node ----------------------
   for (int l = 0; l < g; ++l) {
     fabric.all_gather(
-        all, [&](int node) { return meta_key(ns, version, node * g + l); });
+        act, [&](int node) { return meta_key(ns, version, node * g + l); });
     fabric.all_gather(
-        all, [&](int node) { return keys_key(ns, version, node * g + l); });
+        act, [&](int node) { return keys_key(ns, version, node * g + l); });
+  }
+  // The gather only moved alive nodes' own workers; dead nodes' adopted
+  // metadata goes out from the adopter explicitly.
+  if (!members.full()) {
+    for (int node = 0; node < n; ++node) {
+      if (members.is_alive(node)) continue;
+      for (int l = 0; l < g; ++l) {
+        fabric.broadcast(act, members.site(node),
+                         meta_key(ns, version, node * g + l));
+        fabric.broadcast(act, members.site(node),
+                         keys_key(ns, version, node * g + l));
+      }
+    }
   }
   rep.breakdown["step2_metadata_broadcast"] = since(t0);
 
   // Uniform packets-per-worker so reduction groups align (§III-C). Every
   // rank derives B from the full set of tensor-keys blobs it now holds, so
   // all ranks agree without another collective.
-  const int home = driven.front();
+  const int home = home_node(fabric, act);
   std::size_t B = 1;
   for (int w = 0; w < W; ++w) {
     const auto tkeys = dnn::deserialize_tensor_keys(
@@ -233,24 +297,28 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
     B = std::max(B, packets_needed(bytes, P));
   }
 
-  // Pack each driven worker's tensor bytes into B fixed-size packets.
+  // Pack each sited worker's tensor bytes into B fixed-size packets.
   for (const auto& [w, dec] : decs) {
-    const int node = w / g;
+    const int site = members.site(w / g);
     std::vector<Buffer> packets = pack_packets(dec.tensor_data, P, B);
     for (std::size_t b = 0; b < B; ++b)
-      fabric.store(node).put(local_key(ns, version, w, static_cast<int>(b)),
+      fabric.store(site).put(local_key(ns, version, w, static_cast<int>(b)),
                              std::move(packets[b]));
   }
   rep.stall_time = since(t0);
   rep.breakdown["step1_snapshot"] = rep.stall_time;
 
   // ---- Step 3a: relocate data packets to their data nodes ----------------
+  // A row homed on a dead rank is skipped entirely: the degraded stripe
+  // keeps the n_alive ≥ k rows hosted by survivors (reduced redundancy —
+  // any k of them still decode), rather than blocking the save.
   for (int j = 0; j < per_chunk; ++j) {
     for (int b = 0; b < static_cast<int>(B); ++b) {
       for (int c = 0; c < cfg.k; ++c) {
         const int wsrc = c * per_chunk + j;
-        const int src = wsrc / g;
+        const int src = members.site(wsrc / g);
         const int dst = plan.data_nodes[static_cast<std::size_t>(c)];
+        if (!members.is_alive(dst)) continue;
         const std::string lk = local_key(ns, version, wsrc, b);
         const std::string rk = row_key(ns, version, c, j, b);
         if (src == dst) {
@@ -276,33 +344,48 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
         const std::string pkey = tmp_prefix(ns, version) + "partial/" +
                                  std::to_string(j) + "/" + std::to_string(b) +
                                  "/" + std::to_string(r);
-        std::vector<int> pnodes;
-        pnodes.reserve(static_cast<std::size_t>(cfg.k));
+        // Participants sited together (adoption can fold several dead
+        // participants onto one survivor) pre-accumulate their GF partials
+        // locally before the ring — XOR is commutative and associative, so
+        // the grouping cannot change the reduced bytes. Under full
+        // membership every participant is its own site and this is the
+        // historical one-partial-per-node behaviour.
+        std::vector<int> psites;  // deduped, first-appearance order
+        std::map<int, Buffer> partials;  // site → local accumulation
         for (int c = 0; c < cfg.k; ++c) {
           const int pw = op.participants[static_cast<std::size_t>(c)];
-          const int pn = pw / g;
-          pnodes.push_back(pn);
-          if (fabric.drives(pn)) {
-            Buffer part(P, Buffer::Init::kUninitialized);
+          const int ps = members.site(pw / g);
+          const bool seen =
+              std::find(psites.begin(), psites.end(), ps) != psites.end();
+          if (!seen) psites.push_back(ps);
+          if (fabric.drives(ps)) {
+            auto it = partials.find(ps);
+            if (it == partials.end())
+              it = partials.emplace(ps, Buffer(P, Buffer::Init::kUninitialized))
+                       .first;
             codec.encode_partial(
                 cfg.k + r, c,
-                fabric.store(pn).get(local_key(ns, version, pw, b)).span(),
-                part.span(), /*accumulate=*/false);
-            fabric.store(pn).put(pkey, std::move(part));
+                fabric.store(ps).get(local_key(ns, version, pw, b)).span(),
+                it->second.span(), /*accumulate=*/seen);
           }
         }
-        fabric.ring_all_reduce_xor(pnodes, pkey);
+        for (auto& [ps, part] : partials)
+          fabric.store(ps).put(pkey, std::move(part));
+        if (psites.size() > 1) fabric.ring_all_reduce_xor(psites, pkey);
 
-        const int tnode = op.target_worker / g;
-        const std::string rk = row_key(ns, version, cfg.k + r, j, b);
-        if (tnode == op.dest_node) {
-          if (fabric.drives(tnode))
-            fabric.store(tnode).put(rk, fabric.store(tnode).get(pkey).clone());
-        } else {
-          fabric.send_buffer(tnode, op.dest_node, pkey, rk);
+        const int tsite = members.site(op.target_worker / g);
+        if (members.is_alive(op.dest_node)) {
+          const std::string rk = row_key(ns, version, cfg.k + r, j, b);
+          if (tsite == op.dest_node) {
+            if (fabric.drives(tsite))
+              fabric.store(tsite).put(rk,
+                                      fabric.store(tsite).get(pkey).clone());
+          } else {
+            fabric.send_buffer(tsite, op.dest_node, pkey, rk);
+          }
         }
-        for (int pn : pnodes)
-          if (fabric.drives(pn)) fabric.store(pn).erase(pkey);
+        for (int ps : psites)
+          if (fabric.drives(ps)) fabric.store(ps).erase(pkey);
       }
     }
   }
@@ -310,11 +393,12 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
   // Drop the staging copies; publish checksums and the commit marker.
   for (const auto& [w, dec] : decs) {
     (void)dec;
-    const int node = w / g;
+    const int site = members.site(w / g);
     for (int b = 0; b < static_cast<int>(B); ++b)
-      fabric.store(node).erase(local_key(ns, version, w, b));
+      fabric.store(site).erase(local_key(ns, version, w, b));
   }
   for (int node : driven) {
+    if (!members.is_alive(node)) continue;
     if (cfg.verify_integrity) {
       const int row = plan.generator_row_of_node(node);
       Buffer sums(static_cast<std::size_t>(per_chunk) * B * 8,
@@ -345,6 +429,7 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
           row < cfg.k
               ? plan.data_nodes[static_cast<std::size_t>(row)]
               : plan.parity_nodes[static_cast<std::size_t>(row - cfg.k)];
+      if (!members.is_alive(node)) continue;  // row was not produced
       for (int j = 0; j < per_chunk; ++j)
         for (int b = 0; b < static_cast<int>(B); ++b) {
           const std::string rk = row_key(ns, version, row, j, b);
@@ -352,21 +437,22 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
         }
     }
     for (int w = 0; w < W; ++w) {
-      const int node = w / g;
-      fabric.remote_write(node, meta_key(ns, version, w),
+      const int site = members.site(w / g);
+      fabric.remote_write(site, meta_key(ns, version, w),
                           meta_key(ns, version, w));
-      fabric.remote_write(node, keys_key(ns, version, w),
+      fabric.remote_write(site, keys_key(ns, version, w),
                           keys_key(ns, version, w));
     }
     // Every chunk must be durable before the commit marker appears: a crash
     // between barrier and commit leaves an uncommitted (invisible) flush,
     // never a committed torn one.
-    fabric.barrier(all);
-    fabric.remote_write(0, commit_key(ns, version), commit_key(ns, version));
+    fabric.barrier(act);
+    fabric.remote_write(members.site(0), commit_key(ns, version),
+                        commit_key(ns, version));
     rep.breakdown["step4_remote_flush"] = since(t0);
   }
 
-  fabric.barrier(all);
+  fabric.barrier(act);
   rep.total_time = since(t0);
   rep.stats = obs::StatsRegistry::delta(fabric.stats().counters(), stats_base);
   fill_traffic(rep.stats, &rep.network_bytes, &rep.remote_bytes);
@@ -379,13 +465,15 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
 
 ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
                              std::int64_t version,
-                             std::vector<dnn::StateDict>& out) {
+                             std::vector<dnn::StateDict>& out,
+                             const Membership& members) {
   const auto t0 = Clock::now();
   const int n = fabric.world_size();
   ECC_CHECK_MSG(cfg.k + cfg.m == n, "k+m must equal the fabric world size");
+  members.check(n);
   const std::vector<int> driven = driven_nodes(fabric);
   const std::string& ns = cfg.key_namespace;
-  const std::vector<int> all = all_nodes(n);
+  const std::vector<int> act = active_nodes(n, members);
 
   ckpt::LoadReport rep;
   const auto stats_base = fabric.stats().counters();
@@ -462,7 +550,7 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
     return f;
   };
   std::vector<NodeFlag> flags = exchange_flags(
-      fabric, tmp_prefix(ns, version) + "load/flag1/", local_state);
+      fabric, tmp_prefix(ns, version) + "load/flag1/", local_state, act);
 
   std::uint64_t W64 = 0;
   for (const NodeFlag& f : flags) W64 = std::max(W64, f.workers);
@@ -471,6 +559,17 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
 
   // ---- catastrophic path: fewer than k chunks left -----------------------
   int remote_rescued_rows = 0;
+  if (survivors < cfg.k && !members.full()) {
+    // Degraded membership: the dead ranks cannot be asked to rescue
+    // anything, and the remote-rescue round below assumes full
+    // participation — fail precisely instead.
+    rep.success = false;
+    rep.detail = "only " + std::to_string(survivors) + " chunks survive on " +
+                 std::to_string(members.alive_count(n)) +
+                 " alive ranks, need k=" + std::to_string(cfg.k);
+    finalize();
+    return rep;
+  }
   if (survivors < cfg.k) {
     const int self = driven.front();
     const bool remote_ok =
@@ -533,7 +632,8 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
                              if (f.flag == 0) f.flag = 2;
                              f.workers = W64;
                              return f;
-                           });
+                           },
+                           act);
     // Count rescued rows from the agreed flags so every rank reports the
     // same detail, including survivors that rescued nothing themselves.
     for (const NodeFlag& f : flags) remote_rescued_rows += f.flag == 2;
@@ -556,7 +656,7 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
 
   // ---- metadata refresh: every node ends up with every worker's blobs ----
   int meta_holder = -1;
-  for (int node = 0; node < n; ++node) {
+  for (int node : act) {
     if (flags[static_cast<std::size_t>(node)].workers ==
         static_cast<std::uint64_t>(W)) {
       meta_holder = node;
@@ -571,12 +671,12 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
     return rep;
   }
   for (int w = 0; w < W; ++w) {
-    fabric.broadcast(all, meta_holder, meta_key(ns, version, w));
-    fabric.broadcast(all, meta_holder, keys_key(ns, version, w));
+    fabric.broadcast(act, meta_holder, meta_key(ns, version, w));
+    fabric.broadcast(act, meta_holder, keys_key(ns, version, w));
   }
 
   // Uniform B, re-derived from the tensor-keys blobs like the simulator.
-  const int home = driven.front();
+  const int home = home_node(fabric, act);
   std::size_t B = 1;
   std::vector<std::vector<dnn::TensorMeta>> tkeys(
       static_cast<std::size_t>(W));
@@ -590,12 +690,16 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
   }
 
   // ---- reconstruct lost rows from any k survivors ------------------------
+  // A dead rank's row counts as missing even if its store still held it at
+  // death: nobody can read it. Rows homed on dead ranks are reconstructed
+  // *onto the adopter's store* for the duration of the load (workflow B),
+  // then dropped again at the end.
   std::vector<int> survivor_rows, missing_rows;
   for (int node = 0; node < n; ++node) {
     const int row = plan.generator_row_of_node(node);
-    (flags[static_cast<std::size_t>(node)].flag >= 1 ? survivor_rows
-                                                     : missing_rows)
-        .push_back(row);
+    const bool ok = members.is_alive(node) &&
+                    flags[static_cast<std::size_t>(node)].flag >= 1;
+    (ok ? survivor_rows : missing_rows).push_back(row);
   }
   std::sort(survivor_rows.begin(), survivor_rows.end());
   std::sort(missing_rows.begin(), missing_rows.end());
@@ -619,23 +723,24 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
       for (int b = 0; b < static_cast<int>(B); ++b) {
         for (std::size_t ti = 0; ti < targets.size(); ++ti) {
           const int target_row = targets[ti];
-          const int target_node = node_of_row(target_row);
+          // Rows homed on a dead rank materialize on the adopter instead.
+          const int tsite = members.site(node_of_row(target_row));
           for (int s = 0; s < cfg.k; ++s) {
             const int srow = basis[static_cast<std::size_t>(s)];
-            const int snode = node_of_row(srow);
-            if (snode != target_node)
-              fabric.send_buffer(snode, target_node,
+            const int snode = node_of_row(srow);  // basis rows live on alive nodes
+            if (snode != tsite)
+              fabric.send_buffer(snode, tsite,
                                  row_key(ns, version, srow, j, b),
                                  rec_key(s, j, b));
           }
-          if (fabric.drives(target_node)) {
-            cluster::Store& store = fabric.store(target_node);
+          if (fabric.drives(tsite)) {
+            cluster::Store& store = fabric.store(tsite);
             Buffer acc(P, Buffer::Init::kUninitialized);
             for (int s = 0; s < cfg.k; ++s) {
               const int srow = basis[static_cast<std::size_t>(s)];
               const int snode = node_of_row(srow);
               const Buffer& pkt =
-                  snode == target_node
+                  snode == tsite
                       ? store.get(row_key(ns, version, srow, j, b))
                       : store.get(rec_key(s, j, b));
               codec.mul_packet(T.at(static_cast<int>(ti), s), pkt.span(),
@@ -643,8 +748,7 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
             }
             store.put(row_key(ns, version, target_row, j, b), std::move(acc));
             for (int s = 0; s < cfg.k; ++s) {
-              if (node_of_row(basis[static_cast<std::size_t>(s)]) !=
-                  target_node)
+              if (node_of_row(basis[static_cast<std::size_t>(s)]) != tsite)
                 store.erase(rec_key(s, j, b));
             }
           }
@@ -658,11 +762,14 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
   reconstruct(basis, missing_data);
 
   // ---- refill every worker's own packets and rebuild state_dicts ---------
-  std::map<int, int> out_index;  // driven worker → index into `out`
+  // Sited, not driven: during a degraded window the adopter also refills
+  // the dead ranks' workers (their packets exist — data rows are complete
+  // after reconstruction), so `load` keeps serving every worker's bytes.
+  std::map<int, int> out_index;  // sited worker → index into `out`
   {
     int idx = 0;
-    for (int node : driven)
-      for (int l = 0; l < g; ++l) out_index[node * g + l] = idx++;
+    for (int w = 0; w < W; ++w)
+      if (fabric.drives(members.site(w / g))) out_index[w] = idx++;
   }
   out.clear();
   out.resize(out_index.size());
@@ -671,43 +778,49 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
            "/" + std::to_string(b);
   };
   for (int w = 0; w < W; ++w) {
-    const int node = w / g;
+    const int wsite = members.site(w / g);
     const int c = plan.chunk_of_worker(w);
     const int src = plan.data_nodes[static_cast<std::size_t>(c)];
+    const int ssite = members.site(src);
     const int j = w - c * per_chunk;
-    if (src != node)
+    if (ssite != wsite)
       for (int b = 0; b < static_cast<int>(B); ++b)
-        fabric.send_buffer(src, node, row_key(ns, version, c, j, b),
+        fabric.send_buffer(ssite, wsite, row_key(ns, version, c, j, b),
                            refill_key(w, b));
-    if (!fabric.drives(node)) continue;
-    cluster::Store& store = fabric.store(node);
+    if (!fabric.drives(wsite)) continue;
+    cluster::Store& store = fabric.store(wsite);
     std::vector<ByteSpan> packet_views;
     for (int b = 0; b < static_cast<int>(B); ++b)
       packet_views.push_back(
-          src == node ? store.get(row_key(ns, version, c, j, b)).span()
-                      : store.get(refill_key(w, b)).span());
+          ssite == wsite ? store.get(row_key(ns, version, c, j, b)).span()
+                         : store.get(refill_key(w, b)).span());
     dnn::StateDict skel = dnn::make_skeleton(
         dnn::deserialize_metadata(store.get(meta_key(ns, version, w)).span()),
         tkeys[static_cast<std::size_t>(w)]);
     unpack_packets(packet_views, skel);
     out[static_cast<std::size_t>(out_index.at(w))] = std::move(skel);
-    if (src != node)
+    if (ssite != wsite)
       for (int b = 0; b < static_cast<int>(B); ++b)
         store.erase(refill_key(w, b));
   }
   rep.resume_time = since(t0);
 
   // Restore redundancy: lost parity rows are re-encoded from the
-  // now-complete set of data rows.
+  // now-complete set of data rows — but only onto alive hosts; a dead
+  // rank's parity row has nowhere to live until the rank is replaced.
   {
     std::vector<int> data_basis;
     for (int c = 0; c < cfg.k; ++c) data_basis.push_back(c);
-    reconstruct(data_basis, missing_parity);
+    std::vector<int> parity_targets;
+    for (int row : missing_parity)
+      if (members.is_alive(node_of_row(row))) parity_targets.push_back(row);
+    reconstruct(data_basis, parity_targets);
   }
 
   // Replaced/rescued nodes now hold their chunk and metadata: refresh their
   // checksums and commit marker so future recoveries see them as survivors.
   for (int node : driven) {
+    if (!members.is_alive(node)) continue;
     cluster::Store& store = fabric.store(node);
     if (store.contains(commit_key(ns, version))) continue;
     if (cfg.verify_integrity) {
@@ -729,7 +842,22 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
     store.put(commit_key(ns, version), Buffer::copy_of(as_bytes_of(version)));
   }
 
-  fabric.barrier(all);
+  // Drop the adopted rows again: while the rank is dead its row has no
+  // committed host, and leaving a copy on the adopter would let a later
+  // intactness scan double-count it.
+  if (!members.full()) {
+    for (int node = 0; node < n; ++node) {
+      if (members.is_alive(node)) continue;
+      const int site = members.site(node);
+      if (!fabric.drives(site)) continue;
+      const int row = plan.generator_row_of_node(node);
+      for (int j = 0; j < per_chunk; ++j)
+        for (int b = 0; b < static_cast<int>(B); ++b)
+          fabric.store(site).erase(row_key(ns, version, row, j, b));
+    }
+  }
+
+  fabric.barrier(act);
   rep.success = true;
   if (remote_rescued_rows > 0)
     rep.detail = "remote fallback (refetched " +
@@ -740,6 +868,9 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
                  " rows)";
   else
     rep.detail = "workflow A (all data nodes survived)";
+  if (!members.full())
+    rep.detail += "; degraded (" +
+                  std::to_string(n - members.alive_count(n)) + " dead)";
   finalize();
   return rep;
 }
@@ -749,10 +880,19 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
 // ---------------------------------------------------------------------------
 
 void fabric_prune(cluster::Fabric& fabric, const std::string& key_namespace,
-                  std::int64_t oldest_to_keep) {
+                  std::int64_t oldest_to_keep, const Membership& members) {
   const std::vector<int> driven = driven_nodes(fabric);
+  int first_alive = -1;
+  for (int node : driven)
+    if (members.is_alive(node)) {
+      first_alive = node;
+      break;
+    }
   for (int node : driven) {
-    const bool prunes_remote = node == driven.front() && node == 0;
+    if (!members.is_alive(node)) continue;
+    // Exactly one global rank prunes the shared remote store: the site of
+    // rank 0 (rank 0 itself under full membership).
+    const bool prunes_remote = node == first_alive && node == members.site(0);
     for (std::int64_t v = oldest_to_keep - 1; v >= 1; --v) {
       const std::string prefix = version_prefix(key_namespace, v);
       bool any = false;
@@ -772,10 +912,13 @@ void fabric_prune(cluster::Fabric& fabric, const std::string& key_namespace,
 }
 
 std::int64_t fabric_newest_version(cluster::Fabric& fabric,
-                                   const ECCheckConfig& cfg) {
+                                   const ECCheckConfig& cfg,
+                                   const Membership& members) {
   const std::string& ns = cfg.key_namespace;
-  std::vector<NodeFlag> flags =
-      exchange_flags(fabric, ns + "tmp/vers/", [&](int node) {
+  members.check(fabric.world_size());
+  std::vector<NodeFlag> flags = exchange_flags(
+      fabric, ns + "tmp/vers/",
+      [&](int node) {
         NodeFlag f;
         std::int64_t best = 0;
         for (const auto& key :
@@ -786,7 +929,8 @@ std::int64_t fabric_newest_version(cluster::Fabric& fabric,
             best = std::max(best, commit_version_of(key, ns));
         f.flag = static_cast<std::uint64_t>(best);
         return f;
-      });
+      },
+      active_nodes(fabric.world_size(), members));
   std::uint64_t newest = 0;
   for (const NodeFlag& f : flags) newest = std::max(newest, f.flag);
   return static_cast<std::int64_t>(newest);
@@ -795,9 +939,10 @@ std::int64_t fabric_newest_version(cluster::Fabric& fabric,
 FabricRecoverResult fabric_recover(cluster::Fabric& fabric,
                                    const ECCheckConfig& cfg,
                                    int retain_versions,
-                                   std::vector<dnn::StateDict>& out) {
+                                   std::vector<dnn::StateDict>& out,
+                                   const Membership& members) {
   FabricRecoverResult result;
-  const std::int64_t newest = fabric_newest_version(fabric, cfg);
+  const std::int64_t newest = fabric_newest_version(fabric, cfg, members);
   if (newest < 1) {
     result.version = 0;
     result.report.detail = "no committed checkpoint version exists";
@@ -808,7 +953,7 @@ FabricRecoverResult fabric_recover(cluster::Fabric& fabric,
           ? std::max<std::int64_t>(1, newest - retain_versions + 1)
           : 1;
   for (std::int64_t v = newest; v >= oldest; --v) {
-    result.report = fabric_load(fabric, cfg, v, out);
+    result.report = fabric_load(fabric, cfg, v, out, members);
     if (result.report.success) {
       result.version = v;
       return result;

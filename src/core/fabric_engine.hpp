@@ -25,6 +25,7 @@
 // version, the in-memory analogue of the paper's torn-save handling.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,37 +36,96 @@
 
 namespace eccheck::core {
 
+/// Degraded-mode membership: which fabric ranks are currently alive.
+///
+/// An empty `alive` list is full membership — every rank participates and
+/// the protocol below is bit-identical to its historical behaviour. With a
+/// non-empty list, dead ranks are excluded from every collective and their
+/// protocol roles (staging the shards of their workers, contributing parity
+/// partials, hosting reconstructed rows during load) are *adopted* by the
+/// lowest alive rank. Chunk rows whose home node is dead are simply not
+/// stored on save — the stripe keeps n_alive ≥ k rows, which is exactly the
+/// paper's reduced-redundancy degraded window: any k of them still decode.
+///
+/// The adopted workers' shard *content* must be supplied by the caller (the
+/// checkpoint service regenerates it deterministically); the engine only
+/// defines where it is staged and who moves it.
+struct Membership {
+  std::vector<int> alive;  ///< sorted ascending, unique; empty = all alive
+
+  static Membership of(std::vector<int> alive_nodes) {
+    std::sort(alive_nodes.begin(), alive_nodes.end());
+    alive_nodes.erase(std::unique(alive_nodes.begin(), alive_nodes.end()),
+                      alive_nodes.end());
+    return Membership{std::move(alive_nodes)};
+  }
+
+  bool full() const { return alive.empty(); }
+  bool is_alive(int node) const {
+    return full() || std::binary_search(alive.begin(), alive.end(), node);
+  }
+  /// The rank that stands in for dead ranks' local work.
+  int adopter() const {
+    ECC_CHECK_MSG(!alive.empty(), "membership with no alive rank");
+    return alive.front();
+  }
+  /// Where node's per-node protocol state lives: itself when alive, the
+  /// adopter when dead.
+  int site(int node) const { return is_alive(node) ? node : adopter(); }
+  int alive_count(int world) const {
+    return full() ? world : static_cast<int>(alive.size());
+  }
+  /// Validate against a world size; throws on out-of-range entries.
+  void check(int world) const {
+    for (int node : alive)
+      ECC_CHECK_MSG(node >= 0 && node < world,
+                    "membership names rank " << node << " outside world "
+                                             << world);
+  }
+};
+
 /// Save one checkpoint version. `shards` holds the shards of the workers
-/// this process drives, in worker order: with g workers per node, entry
-/// i·g+l is worker driven_node_i·g+l. A VirtualFabric caller passes all
-/// W = n·g shards; a socket rank passes its own g. All entries non-null and
-/// alive for the duration of the call. cfg.k + cfg.m must equal the fabric
-/// world size, and k must divide W.
+/// this process *sites* (drives directly, plus — on the adopter — the
+/// workers of dead ranks), ascending by global worker index; see
+/// fabric_sited_workers. With full membership that is exactly the driven
+/// workers: a VirtualFabric caller passes all W = n·g shards; a socket rank
+/// passes its own g. All entries non-null and alive for the duration of the
+/// call. cfg.k + cfg.m must equal the fabric world size, and k must divide
+/// W. With a degraded membership (alive ≥ k required), chunk rows homed on
+/// dead ranks are skipped — the saved stripe carries reduced redundancy of
+/// alive − k spare rows.
 ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
                              const std::vector<const dnn::StateDict*>& shards,
-                             std::int64_t version);
+                             std::int64_t version,
+                             const Membership& members = Membership());
 
-/// Load `version` into `out` (resized to the number of driven workers, same
-/// ordering as fabric_save's `shards`). The worker count is rediscovered
-/// from stored metadata, so a freshly replaced rank needs no prior state.
-/// Returns success=false consistently on every rank when fewer than k
-/// chunks survive and the remote store cannot make up the difference.
-/// Dead ranks must have been replaced (fresh process / store) first.
+/// Load `version` into `out` (resized to the sited workers, same ordering
+/// as fabric_save's `shards` — so during a degraded window the adopter
+/// also reconstructs and returns the dead ranks' workers, via workflow-B
+/// decode). The worker count is rediscovered from stored metadata, so a
+/// freshly replaced rank needs no prior state. Returns success=false
+/// consistently on every rank when fewer than k chunks survive and the
+/// remote store cannot make up the difference. A dead rank must either be
+/// excluded via `members` or have been replaced (fresh process / store).
 ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
                              std::int64_t version,
-                             std::vector<dnn::StateDict>& out);
+                             std::vector<dnn::StateDict>& out,
+                             const Membership& members = Membership());
 
-/// Erase every version older than `oldest_to_keep` from the driven ranks'
-/// stores, and (from the lowest driven rank) from the remote store. Purely
-/// local per rank — no collectives, safe to call with divergent views.
+/// Erase every version older than `oldest_to_keep` from the driven (alive)
+/// ranks' stores, and (from the site of rank 0) from the remote store.
+/// Purely local per rank — no collectives, safe to call with divergent
+/// views.
 void fabric_prune(cluster::Fabric& fabric, const std::string& key_namespace,
-                  std::int64_t oldest_to_keep);
+                  std::int64_t oldest_to_keep,
+                  const Membership& members = Membership());
 
-/// Collective: the newest version for which any rank holds a commit marker,
-/// also consulting the remote store (from the lowest driven rank) when
-/// cfg.remote_fallback is set. 0 when nothing was ever committed.
+/// Collective: the newest version for which any alive rank holds a commit
+/// marker, also consulting the remote store when cfg.remote_fallback is
+/// set. 0 when nothing was ever committed.
 std::int64_t fabric_newest_version(cluster::Fabric& fabric,
-                                   const ECCheckConfig& cfg);
+                                   const ECCheckConfig& cfg,
+                                   const Membership& members = Membership());
 
 struct FabricRecoverResult {
   ckpt::LoadReport report;
@@ -78,11 +138,21 @@ struct FabricRecoverResult {
 FabricRecoverResult fabric_recover(cluster::Fabric& fabric,
                                    const ECCheckConfig& cfg,
                                    int retain_versions,
-                                   std::vector<dnn::StateDict>& out);
+                                   std::vector<dnn::StateDict>& out,
+                                   const Membership& members = Membership());
 
 /// The workers this process drives, ascending (helper for callers mapping
 /// fabric_save/fabric_load shard vectors to global worker indices).
 std::vector<int> fabric_driven_workers(cluster::Fabric& fabric,
                                        int gpus_per_node);
+
+/// The workers this process *sites* under `members`, ascending: every
+/// worker whose node's site (itself when alive, the adopter when dead) is
+/// driven by this process. This is the index set of fabric_save's `shards`
+/// and fabric_load's `out`. Equals fabric_driven_workers under full
+/// membership.
+std::vector<int> fabric_sited_workers(cluster::Fabric& fabric,
+                                      int gpus_per_node,
+                                      const Membership& members);
 
 }  // namespace eccheck::core

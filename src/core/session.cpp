@@ -106,13 +106,13 @@ FabricSession::FabricSession(cluster::Fabric& fabric, ECCheckConfig cfg,
 }
 
 std::vector<int> FabricSession::driven_workers() const {
-  return fabric_driven_workers(*fabric_, gpus_per_node_);
+  return fabric_sited_workers(*fabric_, gpus_per_node_, members_);
 }
 
 void FabricSession::rollback(std::int64_t version) {
   const std::string& ns = cfg_.key_namespace;
   for (int node = 0; node < fabric_->world_size(); ++node) {
-    if (!fabric_->drives(node)) continue;
+    if (!fabric_->drives(node) || !members_.is_alive(node)) continue;
     cluster::Store& store = fabric_->store(node);
     for (const auto& prefix : {keys::version_prefix(ns, version),
                                keys::tmp_prefix(ns, version)})
@@ -128,11 +128,11 @@ ckpt::SaveReport FabricSession::save(
   // newest commit marker, which every rank sees identically. A torn
   // (rolled-back) version number gets reused by the retry — harmless, since
   // the rollback scrubbed it everywhere it existed.
-  const std::int64_t version = fabric_newest_version(*fabric_, cfg_) + 1;
+  const std::int64_t version = fabric_newest_version(*fabric_, cfg_, members_) + 1;
   next_version_ = version + 1;
   ckpt::SaveReport rep;
   try {
-    rep = fabric_save(*fabric_, cfg_, shards, version);
+    rep = fabric_save(*fabric_, cfg_, shards, version, members_);
   } catch (const CheckFailure&) {
     // Torn save: a peer died (or an invariant broke) mid-protocol. Scrub
     // every key of the attempted version from the stores this process
@@ -143,14 +143,16 @@ ckpt::SaveReport FabricSession::save(
     throw;
   }
   if (retain_versions_ > 0)
-    fabric_prune(*fabric_, cfg_.key_namespace, version - retain_versions_ + 1);
+    fabric_prune(*fabric_, cfg_.key_namespace, version - retain_versions_ + 1,
+                 members_);
   return rep;
 }
 
 FabricSession::RecoverResult FabricSession::load(
     std::vector<dnn::StateDict>& out) {
   obs::ScopedSpan span("session.load[" + fabric_->fabric_name() + "]");
-  FabricRecoverResult r = fabric_recover(*fabric_, cfg_, retain_versions_, out);
+  FabricRecoverResult r =
+      fabric_recover(*fabric_, cfg_, retain_versions_, out, members_);
   RecoverResult result;
   result.report = std::move(r.report);
   result.version = r.version;

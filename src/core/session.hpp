@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/eccheck_engine.hpp"
+#include "core/fabric_engine.hpp"
 #include "trainsim/train_profile.hpp"
 
 namespace eccheck::core {
@@ -95,7 +96,15 @@ class FabricSession {
   int gpus_per_node() const { return gpus_per_node_; }
   std::int64_t latest_version() const { return next_version_ - 1; }
 
-  /// Global worker indices of this process's shards, in `shards` order.
+  /// Degraded-mode membership applied to every subsequent collective (see
+  /// core::Membership). All ranks participating in a collective must hold
+  /// the same membership. Default: full.
+  void set_membership(Membership members) { members_ = std::move(members); }
+  const Membership& membership() const { return members_; }
+
+  /// Global worker indices of this process's shards, in `shards` order —
+  /// under a degraded membership this includes the dead ranks' workers
+  /// adopted by this process (fabric_sited_workers).
   std::vector<int> driven_workers() const;
 
   /// Save the driven workers' shards as the next version; prunes versions
@@ -119,6 +128,7 @@ class FabricSession {
   ECCheckConfig cfg_;
   int gpus_per_node_;
   int retain_versions_;
+  Membership members_;
   std::int64_t next_version_ = 1;
 };
 

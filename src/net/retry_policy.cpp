@@ -1,0 +1,70 @@
+#include "net/retry_policy.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace eccheck::net {
+
+void RetryPolicy::set(const std::string& key, const std::string& value) {
+  long long v = 0;
+  try {
+    std::size_t used = 0;
+    v = std::stoll(value, &used);
+    ECC_CHECK_MSG(used == value.size(), "trailing junk");
+  } catch (const std::exception&) {
+    throw CheckFailure("retry policy: bad value '" + value + "' for '" + key +
+                       "'");
+  }
+  ECC_CHECK_MSG(v >= 0, "retry policy: '" << key << "' must be >= 0");
+  if (key == "connect_timeout")
+    connect_timeout = Millis(v);
+  else if (key == "connect_retries")
+    connect_retries = static_cast<int>(v);
+  else if (key == "backoff_base")
+    backoff_base = Millis(v);
+  else if (key == "backoff_max")
+    backoff_max = Millis(v);
+  else if (key == "io_timeout")
+    io_timeout = Millis(v);
+  else if (key == "heartbeat_period")
+    heartbeat_period = Millis(v);
+  else if (key == "heartbeat_timeout")
+    heartbeat_timeout = Millis(v);
+  else if (key == "suspect_probes")
+    suspect_probes = static_cast<int>(v);
+  else
+    throw CheckFailure("retry policy: unknown knob '" + key + "'");
+}
+
+RetryPolicy RetryPolicy::parse(const std::string& spec, RetryPolicy base) {
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    ECC_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "retry policy: expected key=value, got '" << item << "'");
+    base.set(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return base;
+}
+
+RetryPolicy RetryPolicy::from_env(RetryPolicy base) {
+  const char* spec = std::getenv("ECCHECK_NET_RETRY");
+  return spec == nullptr ? base : parse(spec, base);
+}
+
+std::string RetryPolicy::describe() const {
+  std::ostringstream os;
+  os << "connect_timeout=" << connect_timeout.count()
+     << ",connect_retries=" << connect_retries
+     << ",backoff_base=" << backoff_base.count()
+     << ",backoff_max=" << backoff_max.count()
+     << ",io_timeout=" << io_timeout.count()
+     << ",heartbeat_period=" << heartbeat_period.count()
+     << ",heartbeat_timeout=" << heartbeat_timeout.count()
+     << ",suspect_probes=" << suspect_probes;
+  return os.str();
+}
+
+}  // namespace eccheck::net

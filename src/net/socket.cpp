@@ -277,6 +277,29 @@ Socket connect_with_retry(const Endpoint& ep, Millis connect_timeout,
                 " attempts (" + last_error + ")");
 }
 
+ProbeResult probe_endpoint(const Endpoint& ep, Millis timeout) {
+  const std::string who = "probe " + ep.to_string();
+  SockAddr addr = resolve(ep, who);
+  Socket s(::socket(addr.family, SOCK_STREAM, 0));
+  if (!s.valid()) fail_errno(who, "socket", errno);
+  set_nonblocking(s.fd(), true);
+  int rc = ::connect(s.fd(), &addr.u.sa, addr.len);
+  if (rc != 0 && detail::connect_pending(errno)) {
+    if (!poll_until(s.fd(), POLLOUT, Clock::now() + timeout, who))
+      return ProbeResult::kTimeout;
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    ECC_CHECK(::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &elen) == 0);
+    errno = err;
+    rc = err == 0 ? 0 : -1;
+  }
+  if (rc == 0) return ProbeResult::kOk;
+  if (errno == ECONNREFUSED || errno == ENOENT || errno == ECONNRESET)
+    return ProbeResult::kRefused;
+  if (errno == ETIMEDOUT || errno == EAGAIN) return ProbeResult::kTimeout;
+  fail_errno(who, "connect", errno);
+}
+
 void write_full(const Socket& s, const void* data, std::size_t len,
                 Millis timeout, const std::string& who) {
   const auto deadline = Clock::now() + timeout;

@@ -114,6 +114,16 @@ Socket connect_with_retry(const Endpoint& ep, Millis connect_timeout,
                           int retries, Millis backoff_base, Millis backoff_max,
                           const std::string& who, int* retry_count = nullptr);
 
+/// One bounded connect attempt against `ep`, classifying the outcome for
+/// liveness probing: kOk (listener accepted — the process exists, though it
+/// may be wedged), kRefused (connection refused / path gone: hard evidence
+/// the process is dead), kTimeout (no answer within `timeout`: a gray
+/// peer — SIGSTOP'd, overloaded, or partitioned). Never throws for those
+/// three outcomes; only genuinely unexpected socket errors raise
+/// CheckFailure.
+enum class ProbeResult { kOk, kRefused, kTimeout };
+ProbeResult probe_endpoint(const Endpoint& ep, Millis timeout);
+
 /// Write exactly `len` bytes before `timeout` elapses (deadline covers the
 /// whole transfer). EPIPE/ECONNRESET/timeout → CheckFailure.
 void write_full(const Socket& s, const void* data, std::size_t len,

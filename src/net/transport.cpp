@@ -195,10 +195,13 @@ Socket& SocketTransport::conn_to(int peer) {
   if (retries > 0) stats_->add("net.retry.count",
                                static_cast<std::uint64_t>(retries));
   if (!opts_.tcp_nodelay) set_tcp_nodelay(s, false);
-  // Introduce ourselves so the peer can pool this connection by rank.
+  // Introduce ourselves so the peer can pool this connection by rank. The
+  // aux field carries our membership epoch: a fenced (stale) rank's hello
+  // is rejected on the receiving side.
   FrameHeader hello;
   hello.type = FrameType::kHello;
   hello.src_rank = static_cast<std::uint32_t>(rank_);
+  hello.aux = static_cast<std::uint32_t>(epoch_);
   std::uint8_t hdr[kFrameHeaderBytes];
   encode_frame_header(hello, hdr);
   write_full(s, hdr, sizeof(hdr), opts_.io_timeout, who("hello to", peer));
@@ -230,6 +233,17 @@ Socket& SocketTransport::conn_from(int peer) {
     const int from = static_cast<int>(h.src_rank);
     ECC_CHECK_MSG(from >= 0 && from < world_size() && from != rank_,
                   ctx << ": hello names bogus rank " << from);
+    // Membership fencing: both sides carrying a nonzero epoch must agree.
+    // A resurrected rank that slept through a membership change still
+    // holds the old epoch — its connection is dropped here, before any
+    // data frame of a live collective could come from it. Epoch 0 on
+    // either side means "no membership controller", the permissive
+    // legacy mode.
+    const std::uint64_t peer_epoch = h.aux;
+    if (epoch_ != 0 && peer_epoch != 0 && peer_epoch != epoch_) {
+      stats_->add("net.fenced.count");
+      continue;  // closing s; the stale sender sees EOF/reset on next use
+    }
     auto [pos, inserted] = in_.insert_or_assign(from, std::move(s));
     (void)inserted;
     if (from == peer) return pos->second;
@@ -275,8 +289,21 @@ void SocketTransport::send_frame(int dst, FrameType type,
     std::memcpy(head.data() + kFrameHeaderBytes + trace_bytes, key.data(),
                 key.size());
     write_full(s, head.data(), head.size(), opts_.io_timeout, ctx);
-    if (!payload.empty())
-      write_full(s, payload.data(), payload.size(), opts_.io_timeout, ctx);
+    if (!payload.empty()) {
+      if (corrupt_next_) {
+        // Chaos injection: the header already carries the CRC of the clean
+        // payload, so flipping one byte now is indistinguishable from wire
+        // corruption — the receiver's CRC check fails and both ends abort
+        // the collective through the normal error path.
+        corrupt_next_ = false;
+        Buffer mangled = Buffer::copy_of(payload);
+        mangled.data()[0] ^= std::byte{0x5a};
+        stats_->add("net.corrupt.injected");
+        write_full(s, mangled.data(), mangled.size(), opts_.io_timeout, ctx);
+      } else {
+        write_full(s, payload.data(), payload.size(), opts_.io_timeout, ctx);
+      }
+    }
     stats_->add("net.send.bytes", payload.size());
     stats_->add("net.send.count");
 

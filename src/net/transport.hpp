@@ -36,23 +36,17 @@
 
 #include "cluster/fabric.hpp"
 #include "net/frame.hpp"
+#include "net/retry_policy.hpp"
 #include "net/socket.hpp"
 #include "obs/stats.hpp"
 
 namespace eccheck::net {
 
-struct TransportOptions {
-  /// Per-attempt connect timeout; total connect budget is
-  /// connect_retries+1 attempts with exponential backoff between them.
-  Millis connect_timeout{1000};
-  int connect_retries = 10;
-  Millis backoff_base{10};
-  Millis backoff_max{500};
-
-  /// Deadline for each read/write/accept — the bound on how long a dead
-  /// peer can stall a collective before CheckFailure.
-  Millis io_timeout{5000};
-
+/// Every timing knob (connect budget, backoff, io_timeout, heartbeat
+/// cadence) lives in the inherited RetryPolicy — one struct, one parser
+/// (RetryPolicy::parse / from_env); the fields below are the non-timing
+/// transport configuration.
+struct TransportOptions : RetryPolicy {
   /// TCP_NODELAY on both connected and accepted sockets (default on: the
   /// frame protocol is ack-per-frame, so Nagle/delayed-ack interplay adds a
   /// full RTT of latency per frame). Off exists for A/B benchmarking.
@@ -100,6 +94,22 @@ class SocketTransport final : public cluster::Fabric {
   void shutdown();
 
   const TransportOptions& options() const { return opts_; }
+
+  /// Membership-generation fencing. The hello handshake carries this
+  /// epoch; an incoming connection whose hello names a *different* nonzero
+  /// epoch while ours is nonzero is rejected (closed, `net.fenced.count`),
+  /// so a stale resurrected rank — SIGSTOP'd through a membership change —
+  /// can never join a collective and commit with survivors. Epoch 0 (the
+  /// default) is permissive on either side: standalone fabrics without a
+  /// membership controller keep working unchanged.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Chaos hook: corrupt the next outgoing data frame — one payload byte
+  /// is flipped *after* the CRC is computed, so the receiver sees a real
+  /// wire-level CRC mismatch and both sides abort the collective through
+  /// the production error path.
+  void corrupt_next_frame() { corrupt_next_ = true; }
 
   /// Raw fds of pooled connections, -1 when none exists — test/bench hooks
   /// for asserting socket options on live connections.
@@ -164,6 +174,8 @@ class SocketTransport final : public cluster::Fabric {
   int rank_;
   std::vector<Endpoint> peers_;
   TransportOptions opts_;
+  std::uint64_t epoch_ = 0;
+  bool corrupt_next_ = false;
   Socket listener_;
   bool shut_down_ = false;
   std::map<int, Socket> out_;  ///< rank → connection we opened

@@ -28,11 +28,19 @@
 // shipping tensor bytes over the control channel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/failure_detector.hpp"
+#include "cluster/faulty_fabric.hpp"
 #include "core/session.hpp"
 #include "dnn/checkpoint_gen.hpp"
 #include "net/frame.hpp"
@@ -68,10 +76,20 @@ void send_control(const net::Socket& s, net::FrameType type,
 ControlFrame recv_control(const net::Socket& s, net::FrameType expect,
                           net::Millis io_timeout, const std::string& ctx);
 
+/// Response status codes carried in the control frame's aux field.
+enum ControlStatus : std::uint32_t {
+  kStatusOk = 0,
+  kStatusError = 1,        ///< command failed; body holds the error text
+  kStatusBusy = 2,         ///< admission queue full — back off and retry
+  kStatusUnavailable = 3,  ///< more than m ranks dead; cannot serve
+};
+
 struct ControlReply {
-  bool ok = false;       ///< response status was 0
-  std::string body;      ///< response payload (error text when !ok)
-  double rtt_ms = 0;     ///< request→response wall time (client side)
+  bool ok = false;            ///< response status was kStatusOk
+  std::string body;           ///< response payload (error text when !ok)
+  double rtt_ms = 0;          ///< request→response wall time (client side)
+  std::uint32_t status = 0;   ///< raw ControlStatus from the response aux
+  bool skipped = false;       ///< fan-out skipped this worker (not a member)
 };
 
 /// One request/response exchange over a fresh connection to `server`.
@@ -104,43 +122,86 @@ struct WorkerDaemonConfig {
   core::ECCheckConfig ec;                 ///< k+m must equal fabric_eps.size()
   int gpus_per_node = 1;                  ///< shards driven per worker
   int retain_versions = 2;
+  /// Coordinator's liveness endpoint. When set, the daemon announces
+  /// itself with `join <rank>` at startup and then heartbeats
+  /// `beat <rank> <epoch>` every fabric_opts.heartbeat_period from a
+  /// background thread; a `fenced` reply (this rank was declared dead and
+  /// superseded) makes the daemon exit. Unset = legacy standalone mode,
+  /// no liveness traffic at all.
+  std::optional<net::Endpoint> coordinator_ep;
+  /// Seeded frame-level fault injection on the data fabric (chaos runs);
+  /// inactive by default. Runtime-adjustable via the `inject` verb.
+  cluster::FaultSpec faults;
 };
 
 /// Single-threaded command server wrapping a SocketTransport rank and a
 /// FabricSession per job (namespace `<job>/` keeps jobs collision-free in
 /// every store, including the shared remote directory).
 ///
-/// Commands: `ping`, `save <job> <iteration>`, `load <job>`, `reset`,
-/// `status`, `clock` (tracer nanoseconds, for ping-pong offset
-/// estimation), `obs [stats]` (obs::serialize_snapshot of this process —
-/// tracer buffers + fabric stats; `obs stats` returns the stats object
-/// alone), `exit`. A failed collective save leaves the daemon alive:
-/// FabricSession already rolled back the torn version, the error travels
-/// back in the response, and the next `reset` re-arms the fabric.
+/// Commands: `ping`, `save <job> <iteration> [epoch=E] [alive=i,j,..]`,
+/// `load <job> [epoch=E] [alive=..]`, `reset [epoch=E]`, `status`,
+/// `clock` (tracer nanoseconds, for ping-pong offset estimation),
+/// `obs [stats]` (obs::serialize_snapshot of this process — tracer
+/// buffers + fabric stats; `obs stats` returns the stats object alone),
+/// `freeze <ms>` (stop serving AND heartbeating for ms — a deterministic
+/// gray failure), `inject corrupt | drop <p> | delay <p> <ms> | off`
+/// (arm data-plane faults), `exit`. A failed collective save leaves the
+/// daemon alive: FabricSession already rolled back the torn version, the
+/// error travels back in the response, and the next `reset` re-arms the
+/// fabric.
+///
+/// Epoch fencing: `epoch=E` on save/load must match the worker's current
+/// epoch (adopted monotonically from join replies and `reset epoch=`),
+/// otherwise the command is refused with a `fenced:` error — a stale
+/// resurrected worker can never participate in a collective again. The
+/// same epoch rides in the fabric's connection hellos, so even raw data
+/// frames from a fenced process are rejected at accept time.
+///
+/// Degraded mode: `alive=i,j,..` installs a core::Membership before the
+/// collective; this worker then also synthesizes and carries the shards
+/// of any dead ranks it adopts (FabricSession::driven_workers).
 class WorkerDaemon {
  public:
   explicit WorkerDaemon(WorkerDaemonConfig cfg);
+  ~WorkerDaemon();
 
-  /// Serve commands until `exit` arrives. Accept waits are bounded so a
-  /// wedged client cannot hang the daemon forever.
+  /// Serve commands until `exit` arrives or this rank is fenced. Accept
+  /// waits are bounded so a wedged client cannot hang the daemon forever.
   void run();
 
   net::SocketTransport& fabric() { return fabric_; }
+  std::uint64_t epoch() const { return epoch_.load(); }
 
  private:
   std::string handle(const std::string& command, const std::string& args,
                      std::uint32_t& status);
-  std::string do_save(const std::string& job, std::int64_t iteration);
-  std::string do_load(const std::string& job);
+  std::string do_save(const std::string& job, std::int64_t iteration,
+                      const core::Membership& members);
+  std::string do_load(const std::string& job,
+                      const core::Membership& members);
   core::FabricSession& session_for(const std::string& job);
+  /// Refuses commands carrying a stale epoch (throws CheckFailure) and
+  /// adopts a newer one; also installs the command's membership view.
+  core::Membership apply_epoch_and_members(
+      const std::map<std::string, std::string>& kv);
+  void join_cluster();
+  void beat_loop();
+  void stop_beats();
 
   WorkerDaemonConfig cfg_;
   net::SocketTransport fabric_;
+  cluster::FaultyFabric faulty_;  ///< sessions run through this decorator
   net::Socket control_listener_;
   std::map<std::string, core::FabricSession> sessions_;
   std::uint64_t saves_ok_ = 0;
   std::uint64_t saves_failed_ = 0;
   std::uint64_t loads_ok_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> fenced_{false};
+  std::atomic<bool> beat_stop_{false};
+  std::atomic<std::int64_t> frozen_until_ns_{0};  ///< steady_clock deadline
+  int freeze_pending_ms_ = 0;  ///< applied after the freeze reply is sent
+  std::thread beat_thread_;
 };
 
 // ---------------------------------------------------------------------------
@@ -154,6 +215,19 @@ struct CoordinatorConfig {
                                            ///< workers' fabric io_timeout —
                                            ///< a save response only arrives
                                            ///< after the collective resolves
+  /// Heartbeat/join listener. When set, the coordinator runs the full
+  /// self-healing loop: wall-clock failure detection over worker beats,
+  /// dead-vs-gray probing, epoch-fenced repair on join, and degraded-mode
+  /// serving while ≤ m ranks are dead. Unset = legacy fixed-membership
+  /// behavior (every fan-out targets all workers).
+  std::optional<net::Endpoint> liveness_ep;
+  /// Admission bound: connections beyond this many queued requests are
+  /// answered kStatusBusy immediately instead of waiting unbounded.
+  std::size_t max_queue = 64;
+  /// ec.m — how many dead ranks degraded serving can tolerate. Only used
+  /// when liveness_ep is set (must then match the workers' config).
+  int parity_m = 0;
+  int data_k = 0;  ///< ec.k, for redundancy reporting in `health`
 };
 
 /// Serializes client requests through a FIFO admission queue (connections
@@ -177,9 +251,26 @@ struct CoordinatorConfig {
 /// tracer is enabled) whose root span covers the whole fan-out, so one
 /// client request shows up as one causally-linked tree across the
 /// coordinator, the workers, and the fabric collectives between them.
+///
+/// Self-healing (liveness_ep set): a background thread answers worker
+/// heartbeats and join requests; the main loop's tick() advances the
+/// failure detector between requests. A worker whose beats stop is
+/// suspected after heartbeat_timeout, then probed — connection refused is
+/// hard death (process gone), probe timeouts accumulate until
+/// suspect_probes consecutive failures declare a gray worker dead. Every
+/// death bumps the cluster epoch and resets the survivors onto it, so
+/// the corpse — should it resurrect — is fenced at both the control and
+/// data planes. While dead ≤ m, save/load serve degraded (alive-only
+/// membership, reduced redundancy); beyond m they fail fast with
+/// kStatusUnavailable. A `join` for a dead rank runs the repair
+/// controller: bump epoch, reset survivors + joiner, recover every known
+/// job via the erasure-coded remainder (which rebuilds the replacement's
+/// rows in place — full m-redundancy without restarting survivors), then
+/// mark the rank alive.
 class Coordinator {
  public:
   explicit Coordinator(CoordinatorConfig cfg);
+  ~Coordinator();
 
   /// Serve until `shutdown` (which also sends `exit` to every worker).
   void run();
@@ -202,22 +293,43 @@ class Coordinator {
   };
 
   /// Accept every connection currently waiting (bounded, non-blocking-ish)
-  /// into the admission queue; returns true if the queue is non-empty.
+  /// into the admission queue, answering kStatusBusy past max_queue;
+  /// returns true if the queue is non-empty.
   bool admit(net::Millis wait);
   std::string handle(const std::string& command, const std::string& args,
                      std::uint32_t& status);
-  /// Run `command args` on every worker concurrently; entry i is worker
-  /// i's reply (connect failures become {ok=false, body=<error>}). The
-  /// caller's trace context propagates into every fan-out thread.
+  /// Run `command args` on every worker in `targets` concurrently
+  /// (empty = all); the returned vector always has one entry per worker,
+  /// with non-targets marked `skipped`. Connect failures become
+  /// {ok=false, body=<error>}. The caller's trace context propagates into
+  /// every fan-out thread.
   std::vector<ControlReply> fan_out(const std::string& command,
-                                    const std::string& args);
-  void reset_workers();
+                                    const std::string& args,
+                                    const std::vector<int>& targets = {});
+  void reset_workers(const std::vector<int>& targets = {});
   std::string health_json(const std::string& job_filter);
   std::string merged_trace_json();
   std::string aggregated_stats_json();
   /// Ping-pong offset of worker i's tracer clock vs ours (see
   /// obs::estimate_clock_offset_ns); ok=false when the worker is dead.
   bool clock_offset_ns(std::size_t i, std::int64_t* offset);
+
+  // ---- self-healing (all no-ops when liveness_ep is unset) ---------------
+  /// Answers beats inline (under live_mu_) and queues join/rejoin for the
+  /// main loop; runs on liveness_thread_.
+  void liveness_loop();
+  /// Advance failure detection + the repair controller; called from the
+  /// main loop between requests.
+  void tick();
+  /// Declare `rank` dead: count it, bump the epoch, re-fence survivors.
+  void declare_dead(const std::vector<int>& ranks);
+  /// Repair controller for pending joins (replacement or rejoin).
+  void process_joins();
+  /// Ranks currently kAlive, ascending. Empty tracker = everyone.
+  std::vector<int> alive_targets();
+  /// "epoch=E alive=i,j,.." suffix for degraded fan-outs ("" when full
+  /// membership and liveness is off).
+  std::string membership_args(const std::vector<int>& targets);
 
   CoordinatorConfig cfg_;
   net::Socket listener_;
@@ -231,6 +343,32 @@ class Coordinator {
   std::size_t max_depth_ = 0;
   int in_flight_ = 0;  ///< fan-outs currently executing
   bool stop_ = false;
+
+  // Guarded by live_mu_: tracker_, epoch_, pending_joins_, liveness
+  // counters. The liveness thread only ever takes this mutex briefly (one
+  // beat or join enqueue), so the main loop never stalls on it.
+  mutable std::mutex live_mu_;
+  std::optional<cluster::LivenessTracker> tracker_;
+  std::uint64_t epoch_ = 0;  ///< cluster epoch; starts at 1 with liveness
+  std::vector<int> pending_joins_;
+  /// Ranks with a join accepted but not yet admitted (queued or mid-repair).
+  /// Their beats are exempt from corpse fencing: the beat is the new
+  /// incarnation announcing itself, not a resurrected corpse. Erased only
+  /// when the rank is marked alive.
+  std::set<int> admitting_;
+  std::uint64_t rejected_ = 0;   ///< admissions answered kStatusBusy
+  std::uint64_t deaths_ = 0;     ///< ranks declared dead
+  std::uint64_t repairs_ = 0;    ///< successful replacement/rejoin repairs
+  std::uint64_t fenced_beats_ = 0;
+  std::uint64_t degraded_ops_ = 0;  ///< save/load served with dead ranks
+  net::Socket liveness_listener_;
+  std::thread liveness_thread_;
+  std::atomic<bool> liveness_stop_{false};
+  /// Idempotency cache: "<job>\n<verb>\n<token>" → {status, body}. A
+  /// retried request (client timed out, command committed anyway) replays
+  /// the recorded outcome instead of committing a second version.
+  std::map<std::string, std::pair<std::uint32_t, std::string>> idem_;
+  std::deque<std::string> idem_order_;  ///< FIFO eviction, bounded
 };
 
 }  // namespace eccheck::svc
