@@ -116,6 +116,84 @@ void BM_UdsRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_UdsRoundTrip)->Arg(64)->Arg(4096)->Arg(1 << 16)->UseRealTime();
 
+/// A 2-rank pair moving one batch of back-to-back 64 KiB frames per round
+/// (send_buffers), A/B over the ack window: W=1 is stop-and-wait (one RTT
+/// per frame), wider windows keep W frames in flight so the acks overlap
+/// the next frames' writes. The scatter_gather=false leg at W=1 is the
+/// full pre-pipelining data plane, the blocking baseline the scale bench
+/// measures against.
+class BatchRig {
+ public:
+  static constexpr int kFrames = 16;
+  static constexpr std::size_t kFrameBytes = 64 * 1024;
+
+  BatchRig(int window, bool scatter_gather) {
+    net::TransportOptions opts = bench_opts(/*nodelay=*/true);
+    opts.ack_window = window;
+    opts.scatter_gather = scatter_gather;
+    char tmpl[] = "/tmp/eccheck-netbench-XXXXXX";
+    dir_ = ::mkdtemp(tmpl) ? tmpl : "/tmp";
+    std::vector<net::Endpoint> eps;
+    for (int r = 0; r < 2; ++r)
+      eps.push_back(net::Endpoint::uds(dir_ + "/r" + std::to_string(r) +
+                                       ".sock"));
+    for (int r = 0; r < 2; ++r)
+      ranks_.push_back(std::make_unique<net::SocketTransport>(r, eps, opts));
+    for (int i = 0; i < kFrames; ++i) {
+      const std::string key = "frame/" + std::to_string(i);
+      ranks_[0]->store(0).put(key,
+                              Buffer(kFrameBytes, Buffer::Init::kZeroed));
+      pairs_.emplace_back(key, key);
+    }
+    responder_ = std::thread([this] {
+      while (true) {
+        rounds_.acquire();
+        if (stop_.load(std::memory_order_acquire)) return;
+        ranks_[1]->send_buffers(0, 1, pairs_);
+      }
+    });
+  }
+
+  ~BatchRig() {
+    stop_.store(true, std::memory_order_release);
+    rounds_.release();
+    responder_.join();
+    ranks_.clear();
+    if (!dir_.empty()) (void)!std::system(("rm -rf " + dir_).c_str());
+  }
+
+  void batch() {
+    rounds_.release();
+    ranks_[0]->send_buffers(0, 1, pairs_);  // flushes the window
+  }
+
+ private:
+  std::string dir_;
+  std::vector<std::unique_ptr<net::SocketTransport>> ranks_;
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  std::thread responder_;
+  std::counting_semaphore<> rounds_{0};
+  std::atomic<bool> stop_{false};
+};
+
+void BM_UdsBatchedFrames(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  const bool scatter_gather = state.range(1) != 0;
+  BatchRig rig(window, scatter_gather);
+  for (auto _ : state) rig.batch();
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(BatchRig::kFrames * BatchRig::kFrameBytes));
+  state.SetLabel("W=" + std::to_string(window) +
+                 (scatter_gather ? "/writev" : "/copy"));
+}
+BENCHMARK(BM_UdsBatchedFrames)
+    ->Args({1, 0})  // blocking baseline: stop-and-wait + copy framing
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

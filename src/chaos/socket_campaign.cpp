@@ -118,6 +118,7 @@ net::TransportOptions campaign_opts(const SocketCampaignConfig& cfg,
   o.heartbeat_period = cfg.heartbeat_period;
   o.heartbeat_timeout = cfg.heartbeat_timeout;
   o.suspect_probes = cfg.suspect_probes;
+  o.ack_window = cfg.ack_window;
   return o;
 }
 

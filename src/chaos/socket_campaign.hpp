@@ -66,6 +66,10 @@ struct SocketCampaignConfig {
 
   net::Millis worker_io_timeout{2000};   ///< bounds a torn collective
   net::Millis client_io_timeout{20000};  ///< bounds one client request
+  /// Ack window for the workers' fabric data plane. Wide windows put the
+  /// injected corrupt frame *inside* an open window, exercising deferred
+  /// (flush/barrier-time) failure surfacing under chaos; 1 = stop-and-wait.
+  int ack_window = 8;
   double train_scale = 0.02;  ///< kTrain virtual seconds → real seconds
   bool verbose = false;       ///< narrate events to stderr
   /// Kill kinds alternate; this picks the first one (true = SIGSTOP, the

@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -65,6 +66,21 @@ class Fabric {
   /// Copy store(src)[src_key] into store(dst)[dst_key].
   virtual void send_buffer(int src, int dst, const std::string& src_key,
                            const std::string& dst_key) = 0;
+
+  /// Batched send_buffer over one (src, dst) pair: copy every
+  /// store(src)[pair.first] into store(dst)[pair.second], in order. The
+  /// default is the plain loop — semantically (and for VirtualFabric's
+  /// virtual timeline, exactly) equivalent to calling send_buffer per
+  /// pair — but a pipelining transport may override it to keep several
+  /// frames in flight and reconcile their acks once at the end, which is
+  /// why batch-shaped protocol loops (the engine's refill step) should
+  /// declare the batch instead of looping themselves.
+  virtual void send_buffers(
+      int src, int dst,
+      const std::vector<std::pair<std::string, std::string>>& pairs) {
+    for (const auto& [src_key, dst_key] : pairs)
+      send_buffer(src, dst, src_key, dst_key);
+  }
 
   /// Copy store(root)[key] to every other node in `nodes` under `key`.
   virtual void broadcast(const std::vector<int>& nodes, int root,

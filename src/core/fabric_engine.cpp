@@ -783,10 +783,16 @@ ckpt::LoadReport fabric_load(cluster::Fabric& fabric, const ECCheckConfig& cfg,
     const int src = plan.data_nodes[static_cast<std::size_t>(c)];
     const int ssite = members.site(src);
     const int j = w - c * per_chunk;
-    if (ssite != wsite)
+    if (ssite != wsite) {
+      // One (src, dst) batch per worker: a pipelining transport keeps all
+      // B packet frames in flight and reconciles their acks once, instead
+      // of paying a round trip per packet.
+      std::vector<std::pair<std::string, std::string>> batch;
+      batch.reserve(B);
       for (int b = 0; b < static_cast<int>(B); ++b)
-        fabric.send_buffer(ssite, wsite, row_key(ns, version, c, j, b),
-                           refill_key(w, b));
+        batch.emplace_back(row_key(ns, version, c, j, b), refill_key(w, b));
+      fabric.send_buffers(ssite, wsite, batch);
+    }
     if (!fabric.drives(wsite)) continue;
     cluster::Store& store = fabric.store(wsite);
     std::vector<ByteSpan> packet_views;

@@ -32,7 +32,15 @@ void RetryPolicy::set(const std::string& key, const std::string& value) {
     heartbeat_timeout = Millis(v);
   else if (key == "suspect_probes")
     suspect_probes = static_cast<int>(v);
-  else
+  else if (key == "ack_window") {
+    ECC_CHECK_MSG(v >= 1,
+                  "retry policy: ack_window must be >= 1 (a window of 0 "
+                  "could never send a frame)");
+    ack_window = static_cast<int>(v);
+  } else if (key == "send_queue_frames") {
+    ECC_CHECK_MSG(v >= 1, "retry policy: send_queue_frames must be >= 1");
+    send_queue_frames = static_cast<int>(v);
+  } else
     throw CheckFailure("retry policy: unknown knob '" + key + "'");
 }
 
@@ -63,7 +71,9 @@ std::string RetryPolicy::describe() const {
      << ",io_timeout=" << io_timeout.count()
      << ",heartbeat_period=" << heartbeat_period.count()
      << ",heartbeat_timeout=" << heartbeat_timeout.count()
-     << ",suspect_probes=" << suspect_probes;
+     << ",suspect_probes=" << suspect_probes
+     << ",ack_window=" << ack_window
+     << ",send_queue_frames=" << send_queue_frames;
   return os.str();
 }
 

@@ -1,0 +1,131 @@
+// SendPump: epoll-driven multi-peer frame fan-out with bounded per-peer
+// send queues.
+//
+// The blocking data plane serializes a fan-out (broadcast root, barrier
+// release) peer by peer: each frame write and each CRC-echo ack wait runs
+// to completion before the next peer is touched, so at 32–128 ranks the
+// root pays world_size round trips back to back. The pump instead queues
+// one encoded frame per peer and drives every connection concurrently off
+// a single epoll loop: nonblocking gather-writes when a socket can accept
+// bytes (EPOLLOUT), opportunistic ack reads when one is readable (EPOLLIN),
+// per-peer progress deadlines instead of one global serial schedule.
+//
+// Failure containment is the point of the per-peer structure: a slow or
+// dead peer stalls only its own bounded queue — every other peer keeps
+// draining — and once a peer makes no progress for the RetryPolicy
+// io_timeout (or errors outright) it is recorded as failed with the same
+// typed message taxonomy the blocking path uses. run() reports the
+// failures; the transport converts them into one CheckFailure after the
+// healthy peers finished, preserving the repo-wide failure contract.
+//
+// Window bookkeeping is shared with the blocking path: completed writes
+// push PendingAck entries onto the connection's sliding window and ack
+// reads reconcile them by sequence number, so frames sent through the pump
+// and frames sent through send_frame interleave correctly on the same
+// pooled connection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "obs/stats.hpp"
+
+namespace eccheck::net {
+
+/// One frame sent but not yet CRC-echo-acknowledged: the sequence number it
+/// was sent as on its connection and the payload CRC the ack must echo.
+struct PendingAck {
+  std::uint32_t seq = 0;
+  std::uint64_t crc = 0;
+};
+
+/// Pooled outbound connection with its sliding ack window. next_seq counts
+/// acknowledged frame types sent since the hello; the receiver counts the
+/// same stream on its side and stamps each ack's aux with the sequence it
+/// acknowledges, which is what lets a sender reconcile acks out of order
+/// within the window.
+struct OutConn {
+  Socket sock;
+  std::deque<PendingAck> window;
+  std::uint32_t next_seq = 0;
+};
+
+class SendPump {
+ public:
+  /// `budget` is the per-peer progress deadline (RetryPolicy::io_timeout):
+  /// a peer whose socket accepts no bytes and yields no acks for that long
+  /// is declared failed. `max_queue` bounds frames queued per peer
+  /// (RetryPolicy::send_queue_frames); enqueue applies backpressure by
+  /// draining the loop until the peer has room.
+  SendPump(Millis budget, obs::StatsRegistry* stats, int max_queue);
+  ~SendPump();
+
+  SendPump(const SendPump&) = delete;
+  SendPump& operator=(const SendPump&) = delete;
+
+  /// Queue one encoded frame for `conn` (owned by the transport; must stay
+  /// alive through run()). `head` is the wire header [+trace context]
+  /// [+key]; `payload` may view caller memory that stays valid until run()
+  /// returns, or `payload_owned` may carry the bytes when the caller cannot
+  /// guarantee that (e.g. a chaos-mangled copy). `crc` is the clean payload
+  /// CRC the ack must echo. A peer already failed drops the frame.
+  void enqueue(int peer, OutConn* conn, std::string who, Buffer head,
+               ByteSpan payload, Buffer payload_owned, std::uint64_t crc);
+
+  struct Failure {
+    int peer = -1;
+    std::string message;
+  };
+
+  /// Drive the loop until every live peer's queue is drained and its ack
+  /// window is empty. Never throws for peer failures — they are contained
+  /// and returned so the caller decides how the collective dies.
+  std::vector<Failure> run();
+
+ private:
+  struct QueuedFrame {
+    Buffer head;
+    ByteSpan payload;
+    Buffer owned;  ///< backs `payload` when the caller handed off ownership
+    std::uint64_t crc = 0;
+  };
+
+  struct Peer {
+    int rank = -1;
+    OutConn* conn = nullptr;
+    std::string who;
+    std::deque<QueuedFrame> queue;
+    std::size_t off = 0;  ///< bytes of queue.front() already written
+    std::uint8_t ack_buf[kFrameHeaderBytes];
+    std::size_t ack_have = 0;
+    std::chrono::steady_clock::time_point last_progress;
+    bool failed = false;
+    bool in_epoll = false;
+  };
+
+  Peer& peer_for(int rank, OutConn* conn, std::string who);
+  bool pending(const Peer& p) const {
+    return !p.failed && (!p.queue.empty() || !p.conn->window.empty());
+  }
+  void want(Peer& p);               ///< (de)register/update epoll interest
+  void fail_peer(Peer& p, const std::string& message);
+  void drain_writes(Peer& p);
+  void drain_acks(Peer& p);
+  /// One epoll round: false when nothing is pending anymore.
+  bool step();
+
+  Millis budget_;
+  obs::StatsRegistry* stats_;
+  int max_queue_;
+  int epfd_ = -1;
+  std::map<int, Peer> peers_;  ///< rank → peer state (stable addresses)
+  std::vector<Failure> failures_;
+};
+
+}  // namespace eccheck::net

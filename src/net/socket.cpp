@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -327,6 +328,60 @@ void write_full(const Socket& s, const void* data, std::size_t len,
   }
 }
 
+void writev_full(const Socket& s, const IoSlice* slices, std::size_t count,
+                 Millis timeout, const std::string& who) {
+  const auto deadline = Clock::now() + timeout;
+  // Local iovec copy: sendmsg may consume slices partially, and advancing
+  // through the list must not mutate the caller's view.
+  constexpr std::size_t kMaxIov = 8;
+  ECC_CHECK_MSG(count <= kMaxIov, who << ": too many iovec slices");
+  struct iovec iov[kMaxIov];
+  std::size_t n_iov = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (slices[i].len == 0) continue;
+    iov[n_iov].iov_base = const_cast<void*>(slices[i].data);
+    iov[n_iov].iov_len = slices[i].len;
+    total += slices[i].len;
+    ++n_iov;
+  }
+  std::size_t first = 0;  // first iovec with unsent bytes
+  std::size_t left = total;
+  while (left > 0) {
+    struct msghdr msg;
+    ::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov + first;
+    msg.msg_iovlen = n_iov - first;
+    // MSG_NOSIGNAL: a dead peer must surface as CheckFailure, not SIGPIPE.
+    ssize_t n = ::sendmsg(s.fd(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      left -= static_cast<std::size_t>(n);
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (advanced > 0 && advanced >= iov[first].iov_len) {
+        advanced -= iov[first].iov_len;
+        ++first;
+      }
+      if (advanced > 0) {
+        iov[first].iov_base = static_cast<char*>(iov[first].iov_base) +
+                              advanced;
+        iov[first].iov_len -= advanced;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_until(s.fd(), POLLOUT, deadline, who))
+        fail(who, "gather-write timed out with " + std::to_string(left) +
+                      " bytes unsent (peer stalled or dead)");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET))
+      fail(who, "peer died mid-write (" + std::string(::strerror(errno)) +
+                    ")");
+    fail_errno(who, "sendmsg", errno);
+  }
+}
+
 void read_full(const Socket& s, void* data, std::size_t len, Millis timeout,
                const std::string& who) {
   const auto deadline = Clock::now() + timeout;
@@ -346,6 +401,25 @@ void read_full(const Socket& s, void* data, std::size_t len, Millis timeout,
       if (!poll_until(s.fd(), POLLIN, deadline, who))
         fail(who, "read timed out with " + std::to_string(left) +
                       " bytes outstanding (peer stalled or dead)");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) fail(who, "connection reset (peer death)");
+    fail_errno(who, "recv", errno);
+  }
+}
+
+std::size_t read_some(const Socket& s, void* data, std::size_t cap,
+                      Millis timeout, const std::string& who) {
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    ssize_t n = ::recv(s.fd(), data, cap, MSG_DONTWAIT);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0)
+      fail(who, "peer closed the connection mid-stream (peer death)");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_until(s.fd(), POLLIN, deadline, who))
+        fail(who, "read timed out (peer stalled or dead)");
       continue;
     }
     if (errno == EINTR) continue;

@@ -129,9 +129,30 @@ ProbeResult probe_endpoint(const Endpoint& ep, Millis timeout);
 void write_full(const Socket& s, const void* data, std::size_t len,
                 Millis timeout, const std::string& who);
 
+/// One scatter-gather region of a writev_full call.
+struct IoSlice {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Gather-write every slice, in order, before `timeout` elapses — the
+/// zero-copy framing primitive: header, trace context, key and payload go
+/// out in one sendmsg(2) directly from their source buffers instead of
+/// being copied into a contiguous frame first. Partial writes advance
+/// through the slice list; the error taxonomy matches write_full.
+void writev_full(const Socket& s, const IoSlice* slices, std::size_t count,
+                 Millis timeout, const std::string& who);
+
 /// Read exactly `len` bytes before `timeout` elapses. EOF (peer died) /
 /// ECONNRESET / timeout → CheckFailure.
 void read_full(const Socket& s, void* data, std::size_t len, Millis timeout,
                const std::string& who);
+
+/// Read *at least one* byte, up to `cap`, before `timeout` elapses; returns
+/// how many landed. The buffered-receive primitive: one syscall pulls in
+/// whatever burst of small frames is already queued. Error taxonomy matches
+/// read_full (EOF / reset / timeout → CheckFailure).
+std::size_t read_some(const Socket& s, void* data, std::size_t cap,
+                      Millis timeout, const std::string& who);
 
 }  // namespace eccheck::net

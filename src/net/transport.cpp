@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <stdio.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -108,6 +109,18 @@ SocketTransport::SocketTransport(int rank, std::vector<Endpoint> peers,
   ECC_CHECK_MSG(rank_ >= 0 && rank_ < static_cast<int>(peers_.size()),
                 "transport rank " << rank_ << " outside peer table of "
                                   << peers_.size());
+  // One override surface for every timing/window knob: the environment spec
+  // (ECCHECK_NET_RETRY) applies over whatever the caller configured, so
+  // multi-process harnesses can retune forked ranks without plumbing flags.
+  static_cast<RetryPolicy&>(opts_) = RetryPolicy::from_env(opts_);
+  // parse() rejects these, but the fields are also settable directly —
+  // validate at construction, not when the first window stalls forever.
+  ECC_CHECK_MSG(opts_.ack_window >= 1,
+                "transport: ack_window must be >= 1, got "
+                    << opts_.ack_window);
+  ECC_CHECK_MSG(opts_.send_queue_frames >= 1,
+                "transport: send_queue_frames must be >= 1, got "
+                    << opts_.send_queue_frames);
   listener_ = listen_on(peers_[self_idx()]);
 }
 
@@ -144,12 +157,12 @@ void SocketTransport::reset_all_peers() {
 
 int SocketTransport::debug_inbound_fd(int peer) const {
   auto it = in_.find(peer);
-  return it == in_.end() ? -1 : it->second.fd();
+  return it == in_.end() ? -1 : it->second.sock.fd();
 }
 
 int SocketTransport::debug_outbound_fd(int peer) const {
   auto it = out_.find(peer);
-  return it == out_.end() ? -1 : it->second.fd();
+  return it == out_.end() ? -1 : it->second.sock.fd();
 }
 
 void SocketTransport::shutdown() {
@@ -179,7 +192,7 @@ std::string SocketTransport::who(const std::string& what, int peer) const {
          peers_[static_cast<std::size_t>(peer)].to_string() + ")";
 }
 
-Socket& SocketTransport::conn_to(int peer) {
+OutConn& SocketTransport::conn_to(int peer) {
   ECC_CHECK_MSG(!shut_down_, "transport already shut down");
   ECC_CHECK(peer >= 0 && peer < world_size() && peer != rank_);
   auto it = out_.find(peer);
@@ -205,10 +218,12 @@ Socket& SocketTransport::conn_to(int peer) {
   std::uint8_t hdr[kFrameHeaderBytes];
   encode_frame_header(hello, hdr);
   write_full(s, hdr, sizeof(hdr), opts_.io_timeout, who("hello to", peer));
-  return out_.emplace(peer, std::move(s)).first->second;
+  OutConn conn;
+  conn.sock = std::move(s);
+  return out_.emplace(peer, std::move(conn)).first->second;
 }
 
-Socket& SocketTransport::conn_from(int peer) {
+SocketTransport::InConn& SocketTransport::conn_from(int peer) {
   ECC_CHECK_MSG(!shut_down_, "transport already shut down");
   ECC_CHECK(peer >= 0 && peer < world_size() && peer != rank_);
   auto it = in_.find(peer);
@@ -244,7 +259,9 @@ Socket& SocketTransport::conn_from(int peer) {
       stats_->add("net.fenced.count");
       continue;  // closing s; the stale sender sees EOF/reset on next use
     }
-    auto [pos, inserted] = in_.insert_or_assign(from, std::move(s));
+    InConn conn;
+    conn.sock = std::move(s);
+    auto [pos, inserted] = in_.insert_or_assign(from, std::move(conn));
     (void)inserted;
     if (from == peer) return pos->second;
     // Someone else connected first (collectives overlap); keep them pooled
@@ -252,16 +269,136 @@ Socket& SocketTransport::conn_from(int peer) {
   }
 }
 
+Buffer SocketTransport::build_head(const FrameHeader& h) const {
+  const bool traced = h.trace.trace_id != 0;
+  const std::size_t trace_bytes = traced ? kTraceContextBytes : 0;
+  Buffer head(kFrameHeaderBytes + trace_bytes + h.key.size(),
+              Buffer::Init::kUninitialized);
+  std::uint8_t* p = reinterpret_cast<std::uint8_t*>(head.data());
+  encode_frame_header(h, p);
+  if (traced) encode_trace_context(h.trace, p + kFrameHeaderBytes);
+  std::memcpy(p + kFrameHeaderBytes + trace_bytes, h.key.data(),
+              h.key.size());
+  return head;
+}
+
+void SocketTransport::reap_acks(OutConn& c, std::size_t target,
+                                const std::string& ctx) {
+  while (c.window.size() > target) {
+    const auto t0 = Clock::now();
+    // One blocking read bounds the wait on the slowest ack; the rest of the
+    // burst — the receiver acks back-to-back once it catches up — drains
+    // with a single opportunistic recv instead of one syscall per ack.
+    std::uint8_t buf[kFrameHeaderBytes * 32];
+    read_full(c.sock, buf, kFrameHeaderBytes, opts_.io_timeout, ctx);
+    std::size_t have = kFrameHeaderBytes;
+    const std::size_t cap =
+        std::min(c.window.size(), sizeof(buf) / kFrameHeaderBytes) *
+        kFrameHeaderBytes;
+    if (cap > have) {
+      const ssize_t n =
+          ::recv(c.sock.fd(), buf + have, cap - have, MSG_DONTWAIT);
+      // n <= 0: nothing extra buffered yet (or a failure the next blocking
+      // read will surface with full context) — not an error here.
+      if (n > 0) have += static_cast<std::size_t>(n);
+    }
+    // Only whole acks are processed; finish a trailing partial one.
+    if (const std::size_t rem = have % kFrameHeaderBytes; rem != 0) {
+      read_full(c.sock, buf + have, kFrameHeaderBytes - rem,
+                opts_.io_timeout, ctx);
+      have += kFrameHeaderBytes - rem;
+    }
+    stats_->add("net.ack.wait_us",
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - t0)
+                        .count()));
+    for (std::size_t off = 0; off < have; off += kFrameHeaderBytes) {
+      std::uint32_t ack_key_len = 0;
+      bool ack_trace = false;
+      FrameHeader ack =
+          decode_frame_header(buf + off, &ack_key_len, &ack_trace);
+      ECC_CHECK_MSG(ack.type == FrameType::kAck && ack_key_len == 0 &&
+                        !ack_trace && ack.payload_len == 0,
+                    ctx << ": expected ack, got "
+                        << frame_type_name(ack.type));
+      // Acks are matched by the sequence the receiver stamped into aux, not
+      // by queue position: within the open window they may be reconciled in
+      // any order (a misordering peer is still verified frame by frame).
+      auto it = std::find_if(
+          c.window.begin(), c.window.end(),
+          [&](const PendingAck& w) { return w.seq == ack.aux; });
+      ECC_CHECK_MSG(it != c.window.end(),
+                    ctx << ": ack names sequence " << ack.aux
+                        << " outside the open window of "
+                        << c.window.size());
+      ECC_CHECK_MSG(it->crc == ack.payload_crc,
+                    ctx << ": ack CRC mismatch — payload corrupted in "
+                           "flight");
+      c.window.erase(it);
+      stats_->add("net.ack.count");
+    }
+  }
+}
+
+void SocketTransport::flush_acks(int peer) {
+  std::size_t outstanding = 0;
+  for (auto& [rank, c] : out_)
+    if (peer < 0 || rank == peer) outstanding += c.window.size();
+  if (outstanding == 0) return;
+  obs::ScopedSpan span(std::string("net.flush[") + tag() + "]");
+  for (auto& [rank, c] : out_) {
+    if (peer >= 0 && rank != peer) continue;
+    const std::string ctx = who("flush acks from", rank);
+    try {
+      reap_acks(c, 0, ctx);
+    } catch (...) {
+      stats_->add("net.io_error.count");
+      throw;
+    }
+  }
+}
+
+void SocketTransport::buffered_read(InConn& c, void* dst, std::size_t len,
+                                    const std::string& ctx) {
+  std::byte* out = static_cast<std::byte*>(dst);
+  if (!opts_.scatter_gather) {
+    // Legacy plane (A/B baseline): exact pre-pipelining receive path, one
+    // read_full per header/key/payload.
+    read_full(c.sock, out, len, opts_.io_timeout, ctx);
+    return;
+  }
+  while (len > 0) {
+    if (c.rpos < c.rlen) {
+      const std::size_t take = std::min(len, c.rlen - c.rpos);
+      std::memcpy(out, c.rbuf.data() + c.rpos, take);
+      c.rpos += take;
+      out += take;
+      len -= take;
+      continue;
+    }
+    if (len >= c.rbuf.size()) {
+      // Big read (chunk payloads): land directly in the destination buffer,
+      // no intermediate copy.
+      read_full(c.sock, out, len, opts_.io_timeout, ctx);
+      return;
+    }
+    c.rpos = 0;
+    c.rlen = read_some(c.sock, c.rbuf.data(), c.rbuf.size(),
+                       opts_.io_timeout, ctx);
+  }
+}
+
 void SocketTransport::send_frame(int dst, FrameType type,
                                  const std::string& key, std::uint32_t aux,
-                                 ByteSpan payload) {
+                                 ByteSpan payload, int window) {
   obs::ScopedSpan span(std::string("net.send[") + tag() + "]",
                        payload.size());
   const std::string ctx = who(std::string("send ") + frame_type_name(type) +
                                   " to",
                               dst);
   try {
-    Socket& s = conn_to(dst);
+    OutConn& c = conn_to(dst);
     FrameHeader h;
     h.type = type;
     h.src_rank = static_cast<std::uint32_t>(rank_);
@@ -279,52 +416,90 @@ void SocketTransport::send_frame(int dst, FrameType type,
       h.trace.parent_span = span.span_id();
       h.trace.op = static_cast<std::uint32_t>(type);
     }
-    const bool traced = h.trace.trace_id != 0;
-    const std::size_t trace_bytes = traced ? kTraceContextBytes : 0;
+    const Buffer head = build_head(h);
 
-    std::vector<std::uint8_t> head(kFrameHeaderBytes + trace_bytes +
-                                   key.size());
-    encode_frame_header(h, head.data());
-    if (traced) encode_trace_context(h.trace, head.data() + kFrameHeaderBytes);
-    std::memcpy(head.data() + kFrameHeaderBytes + trace_bytes, key.data(),
-                key.size());
-    write_full(s, head.data(), head.size(), opts_.io_timeout, ctx);
-    if (!payload.empty()) {
-      if (corrupt_next_) {
-        // Chaos injection: the header already carries the CRC of the clean
-        // payload, so flipping one byte now is indistinguishable from wire
-        // corruption — the receiver's CRC check fails and both ends abort
-        // the collective through the normal error path.
-        corrupt_next_ = false;
-        Buffer mangled = Buffer::copy_of(payload);
-        mangled.data()[0] ^= std::byte{0x5a};
-        stats_->add("net.corrupt.injected");
-        write_full(s, mangled.data(), mangled.size(), opts_.io_timeout, ctx);
-      } else {
-        write_full(s, payload.data(), payload.size(), opts_.io_timeout, ctx);
-      }
+    Buffer mangled;  // must outlive the write below
+    ByteSpan wire_payload = payload;
+    if (corrupt_next_ && !payload.empty()) {
+      // Chaos injection: the header already carries the CRC of the clean
+      // payload, so flipping one byte now is indistinguishable from wire
+      // corruption — the receiver's CRC check fails and both ends abort
+      // the collective through the normal error path.
+      corrupt_next_ = false;
+      mangled = Buffer::copy_of(payload);
+      mangled.data()[0] ^= std::byte{0x5a};
+      stats_->add("net.corrupt.injected");
+      wire_payload = mangled.span();
+    }
+    if (opts_.scatter_gather) {
+      // Zero-copy framing: header [+trace] [+key] and the payload leave in
+      // one gather write straight from their source buffers.
+      const IoSlice slices[2] = {{head.data(), head.size()},
+                                 {wire_payload.data(), wire_payload.size()}};
+      writev_full(c.sock, slices, 2, opts_.io_timeout, ctx);
+      stats_->add("net.send.writev_bytes", head.size() + wire_payload.size());
+    } else {
+      // Legacy copy-framing path (A/B baseline): one contiguous buffer for
+      // header+key, then the payload as its own write.
+      write_full(c.sock, head.data(), head.size(), opts_.io_timeout, ctx);
+      if (!wire_payload.empty())
+        write_full(c.sock, wire_payload.data(), wire_payload.size(),
+                   opts_.io_timeout, ctx);
     }
     stats_->add("net.send.bytes", payload.size());
     stats_->add("net.send.count");
 
-    // End-to-end confirmation: the receiver acks with the payload CRC after
-    // verifying it. A dead or corrupting peer fails here, inside the
-    // timeout.
-    std::uint8_t ack_hdr[kFrameHeaderBytes];
-    read_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
-    std::uint32_t ack_key_len = 0;
-    bool ack_trace = false;
-    FrameHeader ack = decode_frame_header(ack_hdr, &ack_key_len, &ack_trace);
-    ECC_CHECK_MSG(ack.type == FrameType::kAck && ack_key_len == 0 &&
-                      !ack_trace,
-                  ctx << ": expected ack, got " << frame_type_name(ack.type));
-    ECC_CHECK_MSG(ack.payload_crc == h.payload_crc,
-                  ctx << ": ack CRC mismatch — payload corrupted in flight");
-    stats_->add("net.ack.count");
+    // Sliding ack window: record the frame, then reconcile CRC-echo acks
+    // until fewer than `window` remain outstanding. window=1 degenerates to
+    // stop-and-wait — send, then block for this frame's ack — exactly the
+    // pre-pipelining behavior, which control frames keep. A dead or
+    // corrupting peer fails here (or at the next flush), inside io_timeout.
+    c.window.push_back({c.next_seq++, h.payload_crc});
+    stats_->observe("net.ack.window", static_cast<double>(c.window.size()));
+    const int w = std::max(1, window);
+    if (static_cast<int>(c.window.size()) >= w)
+      reap_acks(c, static_cast<std::size_t>(w - 1), ctx);
   } catch (...) {
     stats_->add("net.io_error.count");
     throw;
   }
+}
+
+void SocketTransport::pump_frames(std::vector<PumpFrame> frames,
+                                  const char* what) {
+  std::size_t total = 0;
+  for (const PumpFrame& f : frames)
+    total += f.owned.empty() ? f.payload.size() : f.owned.size();
+  obs::ScopedSpan span(std::string("net.pump[") + tag() + "]", total);
+  stats_->add("net.pump.count");
+  SendPump pump(opts_.io_timeout, stats_, opts_.send_queue_frames);
+  for (PumpFrame& f : frames) {
+    OutConn& c = conn_to(f.peer);
+    f.header.src_rank = static_cast<std::uint32_t>(rank_);
+    // Parent every hop under the pump span, mirroring send_frame's
+    // per-frame stamping — the merged trace shows the fan-out as one span
+    // with world_size receive edges.
+    if (span.active() && span.span_id() != 0) {
+      const obs::TraceContext tc = obs::current_trace_context();
+      f.header.trace.trace_id = tc.trace_id;
+      f.header.trace.parent_span = span.span_id();
+      f.header.trace.op = static_cast<std::uint32_t>(f.header.type);
+    }
+    pump.enqueue(f.peer, &c, who(std::string(what) + " to", f.peer),
+                 build_head(f.header), f.payload, std::move(f.owned),
+                 f.header.payload_crc);
+  }
+  const std::vector<SendPump::Failure> failures = pump.run();
+  if (failures.empty()) return;
+  // Dead peers' connections are in an undefined protocol state — drop them
+  // so a later retry reconnects cleanly — then fail the collective with the
+  // first typed message (the others died the same way).
+  for (const SendPump::Failure& f : failures) out_.erase(f.peer);
+  stats_->add("net.io_error.count", failures.size());
+  std::string msg = failures.front().message;
+  if (failures.size() > 1)
+    msg += " (+" + std::to_string(failures.size() - 1) + " more peers)";
+  throw CheckFailure(msg);
 }
 
 SocketTransport::Received SocketTransport::recv_frame(int src,
@@ -334,16 +509,16 @@ SocketTransport::Received SocketTransport::recv_frame(int src,
                                   " from",
                               src);
   try {
-    Socket& s = conn_from(src);
+    InConn& c = conn_from(src);
     std::uint8_t hdr[kFrameHeaderBytes];
-    read_full(s, hdr, sizeof(hdr), opts_.io_timeout, ctx);
+    buffered_read(c, hdr, sizeof(hdr), ctx);
     std::uint32_t key_len = 0;
     bool has_trace = false;
     Received r;
     r.header = decode_frame_header(hdr, &key_len, &has_trace);
     if (has_trace) {
       std::uint8_t tbuf[kTraceContextBytes];
-      read_full(s, tbuf, sizeof(tbuf), opts_.io_timeout, ctx);
+      buffered_read(c, tbuf, sizeof(tbuf), ctx);
       r.header.trace = decode_trace_context(tbuf);
       // Link this recv under the sender's send span — the cross-process
       // edge of the merged trace.
@@ -355,11 +530,11 @@ SocketTransport::Received SocketTransport::recv_frame(int src,
                   ctx << ": frame claims rank " << r.header.src_rank);
     if (key_len > 0) {
       r.header.key.resize(key_len);
-      read_full(s, r.header.key.data(), key_len, opts_.io_timeout, ctx);
+      buffered_read(c, r.header.key.data(), key_len, ctx);
     }
     r.payload = Buffer(r.header.payload_len, Buffer::Init::kUninitialized);
     if (!r.payload.empty())
-      read_full(s, r.payload.data(), r.payload.size(), opts_.io_timeout, ctx);
+      buffered_read(c, r.payload.data(), r.payload.size(), ctx);
     ECC_CHECK_MSG(crc64(r.payload.span()) == r.header.payload_crc,
                   ctx << ": payload CRC mismatch — wire corruption");
     stats_->add("net.recv.bytes", r.payload.size());
@@ -369,10 +544,14 @@ SocketTransport::Received SocketTransport::recv_frame(int src,
     FrameHeader ack;
     ack.type = FrameType::kAck;
     ack.src_rank = static_cast<std::uint32_t>(rank_);
+    // Stamp the per-connection sequence of the frame being acknowledged:
+    // both sides count acknowledged frames on this stream since the hello,
+    // so the sender can reconcile windowed acks even out of order.
+    ack.aux = c.ack_seq++;
     ack.payload_crc = r.header.payload_crc;
     std::uint8_t ack_hdr[kFrameHeaderBytes];
     encode_frame_header(ack, ack_hdr);
-    write_full(s, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
+    write_full(c.sock, ack_hdr, sizeof(ack_hdr), opts_.io_timeout, ctx);
     return r;
   } catch (...) {
     stats_->add("net.io_error.count");
@@ -395,11 +574,38 @@ void SocketTransport::send_buffer(int src, int dst, const std::string& src_key,
                                   const std::string& dst_key) {
   ECC_CHECK_MSG(src != dst, "send_buffer to self");
   if (rank_ == src) {
-    send_frame(dst, FrameType::kPut, dst_key, 0, store_.get(src_key).span());
+    // Windowed: the ack may be deferred (reconciled on a later send to the
+    // same peer, at flush_acks, or at the next barrier) so back-to-back
+    // ships to one peer pipeline instead of paying an RTT each.
+    send_frame(dst, FrameType::kPut, dst_key, 0, store_.get(src_key).span(),
+               opts_.ack_window);
   } else if (rank_ == dst) {
     Received r = recv_frame(src, FrameType::kPut);
     ECC_CHECK(r.header.key == dst_key);
     store_.put(r.header.key, std::move(r.payload));
+  }
+}
+
+void SocketTransport::send_buffers(
+    int src, int dst,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  ECC_CHECK_MSG(src != dst, "send_buffers to self");
+  if (pairs.empty()) return;
+  if (rank_ == src) {
+    obs::ScopedSpan span(std::string("net.batch[") + tag() + "]");
+    for (const auto& [src_key, dst_key] : pairs)
+      send_frame(dst, FrameType::kPut, dst_key, 0,
+                 store_.get(src_key).span(), opts_.ack_window);
+    // Unlike single send_buffer calls, the batch declares its own end —
+    // reconcile it fully so a deferred failure is attributed to this batch
+    // rather than to whatever touches the peer next.
+    flush_acks(dst);
+  } else if (rank_ == dst) {
+    for (const auto& [src_key, dst_key] : pairs) {
+      Received r = recv_frame(src, FrameType::kPut);
+      ECC_CHECK(r.header.key == dst_key);
+      store_.put(r.header.key, std::move(r.payload));
+    }
   }
 }
 
@@ -408,10 +614,40 @@ void SocketTransport::broadcast(const std::vector<int>& nodes, int root,
   if (!contains(nodes, rank_)) return;
   obs::ScopedSpan span("fabric.broadcast");
   if (rank_ == root) {
-    for (int dst : nodes) {
-      if (dst == root) continue;
-      // Re-resolve per fan-out send, mirroring the simulated collective.
-      send_frame(dst, FrameType::kPut, key, 0, store_.get(key).span());
+    std::size_t fan_out = 0;
+    for (int dst : nodes)
+      if (dst != root) ++fan_out;
+    if (opts_.ack_window > 1 && fan_out > 1) {
+      // Epoll fan-out: all peers' frames in flight together, each peer
+      // bounded by its own progress deadline — a dead peer no longer
+      // serializes the broadcast behind its timeout.
+      const Buffer& payload = store_.get(key);
+      std::vector<PumpFrame> frames;
+      frames.reserve(fan_out);
+      for (int dst : nodes) {
+        if (dst == root) continue;
+        PumpFrame f;
+        f.peer = dst;
+        f.header.type = FrameType::kPut;
+        f.header.key = key;
+        f.header.payload_len = payload.size();
+        f.header.payload_crc = crc64(payload.span());
+        f.payload = payload.span();
+        if (corrupt_next_ && !payload.empty()) {
+          corrupt_next_ = false;
+          f.owned = Buffer::copy_of(payload.span());
+          f.owned.data()[0] ^= std::byte{0x5a};
+          stats_->add("net.corrupt.injected");
+        }
+        frames.push_back(std::move(f));
+      }
+      pump_frames(std::move(frames), "broadcast");
+    } else {
+      for (int dst : nodes) {
+        if (dst == root) continue;
+        // Re-resolve per fan-out send, mirroring the simulated collective.
+        send_frame(dst, FrameType::kPut, key, 0, store_.get(key).span());
+      }
     }
   } else {
     Received r = recv_frame(root, FrameType::kPut);
@@ -441,8 +677,11 @@ void SocketTransport::all_gather(
     const std::string recv_key =
         key_of(nodes[static_cast<std::size_t>(((pos - 1 - t) % p + p) % p)]);
     auto do_send = [&] {
+      // Windowed: the ring's next step can start before this segment's ack
+      // returned; misdelivery is still caught by the receiver's key check
+      // and the deferred CRC-echo reconciliation.
       send_frame(right, FrameType::kPut, send_key, 0,
-                 store_.get(send_key).span());
+                 store_.get(send_key).span(), opts_.ack_window);
     };
     auto do_recv = [&] {
       Received r = recv_frame(left, FrameType::kPut);
@@ -488,9 +727,13 @@ void SocketTransport::ring_all_reduce_xor(const std::vector<int>& nodes,
       const cluster::RingSegment recv_seg =
           cluster::ring_segment(total, p, recv_idx);
       auto do_send = [&] {
+        // Windowed; safe to keep mutating `work` afterwards — the gather
+        // write completed into the kernel before send_frame returned, only
+        // the ack is deferred.
         send_frame(right, FrameType::kSegment, key,
                    static_cast<std::uint32_t>(send_idx),
-                   work.subspan(send_seg.offset, send_seg.size));
+                   work.subspan(send_seg.offset, send_seg.size),
+                   opts_.ack_window);
       };
       auto do_recv = [&] {
         Received r = recv_frame(left, FrameType::kSegment);
@@ -645,6 +888,12 @@ void SocketTransport::remote_erase(int node, const std::string& remote_key) {
 
 void SocketTransport::barrier(const std::vector<int>& nodes) {
   if (!contains(nodes, rank_) || nodes.size() <= 1) return;
+  // Reconcile every deferred ack first: a barrier promises "everything
+  // before it completed", so a peer that died or saw corruption after a
+  // windowed send must fail HERE, before the rendezvous — the checkpoint
+  // protocols barrier before committing, which is what keeps the
+  // torn-save/commit contract intact under pipelining.
+  flush_acks();
   obs::ScopedSpan span("fabric.barrier");
   const int root = nodes[0];
   if (rank_ == root) {
@@ -652,8 +901,26 @@ void SocketTransport::barrier(const std::vector<int>& nodes) {
     // proceeds.
     for (int n : nodes)
       if (n != root) recv_frame(n, FrameType::kBarrier);
+    std::size_t fan_out = 0;
     for (int n : nodes)
-      if (n != root) send_frame(n, FrameType::kBarrier, "", 0, {});
+      if (n != root) ++fan_out;
+    if (opts_.ack_window > 1 && fan_out > 1) {
+      // Release everyone through the pump: at large world sizes the
+      // serial release otherwise costs world_size ack round trips.
+      std::vector<PumpFrame> frames;
+      frames.reserve(fan_out);
+      for (int n : nodes) {
+        if (n == root) continue;
+        PumpFrame f;
+        f.peer = n;
+        f.header.type = FrameType::kBarrier;
+        frames.push_back(std::move(f));
+      }
+      pump_frames(std::move(frames), "barrier release");
+    } else {
+      for (int n : nodes)
+        if (n != root) send_frame(n, FrameType::kBarrier, "", 0, {});
+    }
   } else {
     send_frame(root, FrameType::kBarrier, "", 0, {});
     recv_frame(root, FrameType::kBarrier);

@@ -16,6 +16,24 @@
 // (cluster::ring_segment), which is what makes the differential suite's
 // byte-identical comparison possible.
 //
+// Data plane: frames go out via scatter-gather writev directly from the
+// source buffers (no copy into a frame buffer), and each connection keeps a
+// sliding window of up to RetryPolicy::ack_window data frames in flight —
+// the receiver stamps every CRC-echo ack with the per-connection sequence
+// of the frame it acknowledges, and the sender reconciles acks (possibly
+// out of order) whenever the window is full, at explicit flush points, and
+// always before a barrier returns. Control frames (hello, barrier, pure
+// net_send traffic) stay stop-and-wait. ack_window=1 reproduces the
+// pre-pipelining stop-and-wait plane exactly. Multi-peer fan-outs
+// (broadcast root, barrier release) run through an epoll SendPump
+// (net/send_pump.hpp) with bounded per-peer queues so one dead peer stalls
+// only its own queue. Deferred acks weaken per-call completion only on the
+// SENDER side: the receiving rank's matching SPMD call still blocks until
+// the bytes landed and verified, and every deferred failure (dead peer,
+// CRC mismatch) surfaces as typed CheckFailure at the next reconciliation
+// point, which the checkpoint protocols place before any commit (their
+// saves end with a barrier).
+//
 // Peer death — a connect that exhausts its retry budget, an EOF, a reset,
 // or a timeout — surfaces as the repo-wide CheckFailure, exactly like a
 // mid-operation kill() in the simulator, so supervision logic
@@ -29,6 +47,8 @@
 // kill-proof remote Store.
 #pragma once
 
+#include <array>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -37,6 +57,7 @@
 #include "cluster/fabric.hpp"
 #include "net/frame.hpp"
 #include "net/retry_policy.hpp"
+#include "net/send_pump.hpp"
 #include "net/socket.hpp"
 #include "obs/stats.hpp"
 
@@ -51,6 +72,13 @@ struct TransportOptions : RetryPolicy {
   /// frame protocol is ack-per-frame, so Nagle/delayed-ack interplay adds a
   /// full RTT of latency per frame). Off exists for A/B benchmarking.
   bool tcp_nodelay = true;
+
+  /// Scatter-gather framing: header, trace context, key and payload go out
+  /// in one writev directly from their source buffers. Off restores the
+  /// copy-into-a-frame-buffer path — together with ack_window=1 that is
+  /// exactly the pre-pipelining data plane, kept for A/B benchmarking
+  /// (bench/scale_transport measures the win against it).
+  bool scatter_gather = true;
 
   /// Directory backing the persistent remote store; empty disables
   /// remote_write/remote_read.
@@ -105,6 +133,14 @@ class SocketTransport final : public cluster::Fabric {
   void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
   std::uint64_t epoch() const { return epoch_; }
 
+  /// Reconcile every outstanding CRC-echo ack on the connection to `peer`
+  /// (or on every pooled connection when peer == -1). This is where a
+  /// deferred failure — a peer that died or detected corruption after the
+  /// windowed send returned — surfaces as typed CheckFailure, bounded by
+  /// io_timeout per ack. barrier() calls it for all peers before the
+  /// rendezvous, so collectives are fully reconciled at every barrier.
+  void flush_acks(int peer = -1);
+
   /// Chaos hook: corrupt the next outgoing data frame — one payload byte
   /// is flipped *after* the CRC is computed, so the receiver sees a real
   /// wire-level CRC mismatch and both sides abort the collective through
@@ -127,6 +163,9 @@ class SocketTransport final : public cluster::Fabric {
                 const std::string& label) override;
   void send_buffer(int src, int dst, const std::string& src_key,
                    const std::string& dst_key) override;
+  void send_buffers(
+      int src, int dst,
+      const std::vector<std::pair<std::string, std::string>>& pairs) override;
   void broadcast(const std::vector<int>& nodes, int root,
                  const std::string& key) override;
   void all_gather(const std::vector<int>& nodes,
@@ -149,17 +188,64 @@ class SocketTransport final : public cluster::Fabric {
   std::string who(const std::string& what, int peer) const;
   const char* tag() const { return peers_[self_idx()].tag(); }
 
+  /// Inbound connection with the receive-side ack sequence counter: every
+  /// acknowledged frame read on this connection bumps ack_seq, and the ack
+  /// echoes the value — the mirror of OutConn::next_seq on the sender.
+  /// The read buffer turns the header/key/payload reads of a burst of
+  /// small frames into ~one recv(2) per burst; reads larger than the
+  /// buffer bypass it (big payloads land directly in their Buffer).
+  struct InConn {
+    Socket sock;
+    std::uint32_t ack_seq = 0;
+    std::array<std::byte, 4096> rbuf;
+    std::size_t rpos = 0;  ///< next unread byte in rbuf
+    std::size_t rlen = 0;  ///< valid bytes in rbuf
+  };
+
   /// Pooled outbound connection (connect + kHello handshake on first use).
-  Socket& conn_to(int peer);
+  OutConn& conn_to(int peer);
   /// Pooled inbound connection: accepts (bounded by io_timeout) until the
   /// wanted peer has introduced itself; other peers' connections are pooled
   /// for later.
-  Socket& conn_from(int peer);
+  InConn& conn_from(int peer);
 
-  /// One acknowledged data frame to `dst`: header+key+payload out,
-  /// CRC-echo ack back.
+  /// Serialize header [+trace context] [+key] of `h` into one buffer (the
+  /// payload never rides here — it goes out as its own writev slice).
+  Buffer build_head(const FrameHeader& h) const;
+
+  /// One data frame to `dst`: header+key+payload out (scatter-gather when
+  /// enabled), then reconcile CRC-echo acks until fewer than `window`
+  /// remain outstanding on the connection. window=1 is stop-and-wait —
+  /// identical to the pre-pipelining transport — and is what control
+  /// frames use; data-plane callers pass opts_.ack_window.
   void send_frame(int dst, FrameType type, const std::string& key,
-                  std::uint32_t aux, ByteSpan payload);
+                  std::uint32_t aux, ByteSpan payload, int window = 1);
+
+  /// Buffered read on an inbound connection: serve from InConn::rbuf,
+  /// refill with one read_some per burst; reads ≥ the buffer size go
+  /// straight to `dst`.
+  void buffered_read(InConn& c, void* dst, std::size_t len,
+                     const std::string& ctx);
+
+  /// Reconcile CRC-echo acks on `c` until at most `target` remain
+  /// outstanding. Acks are matched by sequence number anywhere in the open
+  /// window (they may arrive out of order) and reaped in batches — one
+  /// blocking read, then whatever burst already landed — so a full window
+  /// flush costs ~one syscall, not one per frame.
+  void reap_acks(OutConn& c, std::size_t target, const std::string& ctx);
+
+  /// Fan a set of frames out through the epoll SendPump and convert
+  /// contained per-peer failures into one typed CheckFailure (after the
+  /// healthy peers finished; failed connections are dropped). Each frame's
+  /// trace context is parented under the pump span. `header` must carry
+  /// type/aux/key/payload_len/payload_crc; src_rank is stamped here.
+  struct PumpFrame {
+    int peer = -1;
+    FrameHeader header;
+    ByteSpan payload;
+    Buffer owned;  ///< backs the payload when the pump must own the bytes
+  };
+  void pump_frames(std::vector<PumpFrame> frames, const char* what);
 
   struct Received {
     FrameHeader header;
@@ -178,8 +264,8 @@ class SocketTransport final : public cluster::Fabric {
   bool corrupt_next_ = false;
   Socket listener_;
   bool shut_down_ = false;
-  std::map<int, Socket> out_;  ///< rank → connection we opened
-  std::map<int, Socket> in_;   ///< rank → connection the peer opened
+  std::map<int, OutConn> out_;  ///< rank → connection we opened
+  std::map<int, InConn> in_;    ///< rank → connection the peer opened
   cluster::Store store_;
   obs::StatsRegistry own_stats_;
   obs::StatsRegistry* stats_;

@@ -58,5 +58,27 @@ TEST(SocketChaos, SeededCampaignSelfHealsWithZeroViolations) {
       << s.to_json();
 }
 
+// Same oracle, wide ack window: the forced corrupt-frame now lands inside
+// an open window of pipelined frames, so the CRC failure surfaces at a
+// deferred reconciliation point (flush/barrier) instead of on the very next
+// ack — the campaign must still self-heal with zero violations.
+TEST(SocketChaos, WideWindowCampaignSurfacesCorruptFrameInOpenWindow) {
+  TempDir dir;
+  chaos::SocketCampaignConfig cfg;
+  cfg.events = 8;
+  cfg.seed = 23;
+  cfg.dir = dir.path;
+  cfg.ack_window = 16;
+  chaos::SocketCampaign campaign(cfg);
+  const chaos::SocketCampaignSummary& s = campaign.run();
+
+  std::string all;
+  for (const std::string& m : s.violation_messages) all += m + "\n";
+  EXPECT_EQ(s.violations, 0u) << all;
+  EXPECT_GE(s.corrupts, 1u);
+  EXPECT_GE(s.saves_ok, 1u);
+  EXPECT_GE(s.loads_ok, 1u);
+}
+
 }  // namespace
 }  // namespace eccheck

@@ -243,7 +243,7 @@ TEST(RetryPolicy, ParseOverridesAndDescribeRoundTrips) {
   const net::RetryPolicy p = net::RetryPolicy::parse(
       "connect_timeout=7,connect_retries=3,backoff_base=1,backoff_max=9,"
       "io_timeout=1234,heartbeat_period=55,heartbeat_timeout=220,"
-      "suspect_probes=4");
+      "suspect_probes=4,ack_window=16,send_queue_frames=64");
   EXPECT_EQ(p.connect_timeout.count(), 7);
   EXPECT_EQ(p.connect_retries, 3);
   EXPECT_EQ(p.backoff_base.count(), 1);
@@ -252,6 +252,8 @@ TEST(RetryPolicy, ParseOverridesAndDescribeRoundTrips) {
   EXPECT_EQ(p.heartbeat_period.count(), 55);
   EXPECT_EQ(p.heartbeat_timeout.count(), 220);
   EXPECT_EQ(p.suspect_probes, 4);
+  EXPECT_EQ(p.ack_window, 16);
+  EXPECT_EQ(p.send_queue_frames, 64);
 
   // describe() → parse() is the identity; partial specs override `base`.
   const net::RetryPolicy again = net::RetryPolicy::parse(p.describe());
@@ -262,6 +264,9 @@ TEST(RetryPolicy, ParseOverridesAndDescribeRoundTrips) {
 
   EXPECT_THROW(net::RetryPolicy::parse("warp_speed=9"), CheckFailure);
   EXPECT_THROW(net::RetryPolicy::parse("io_timeout=fast"), CheckFailure);
+  // A zero-frame window could never send anything; reject it at parse time.
+  EXPECT_THROW(net::RetryPolicy::parse("ack_window=0"), CheckFailure);
+  EXPECT_THROW(net::RetryPolicy::parse("send_queue_frames=0"), CheckFailure);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 // ephemeral-port TCP handshake, and the CRC-trailered persistent remote
 // store.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "cluster/fabric.hpp"
+#include "common/crc64.hpp"
 #include "common/rng.hpp"
 #include "core/fabric_protocol.hpp"
 #include "net/transport.hpp"
@@ -265,7 +267,16 @@ TEST(SocketTransport, ShutdownPeerSurfacesCheckFailureMidSequence) {
       return;
     }
     auto t0 = std::chrono::steady_clock::now();
-    EXPECT_THROW(fabric.send_buffer(0, 1, "blob", "blob2"), CheckFailure);
+    // With windowed acks a small frame can leave the sender before the dead
+    // peer is noticed; the deferred failure is guaranteed to surface as a
+    // typed CheckFailure by the next reconciliation point (flush_acks /
+    // barrier), still bounded by the io timeout.
+    EXPECT_THROW(
+        {
+          fabric.send_buffer(0, 1, "blob", "blob2");
+          fabric.flush_acks(1);
+        },
+        CheckFailure);
     EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5))
         << "dead peer stalled past the io timeout";
   });
@@ -468,6 +479,252 @@ TEST(SocketTransport, TornRemoteWriterLeavesOnlyValidChunks) {
     reader.remote_read(0, key, "check");
     EXPECT_FALSE(reader.store(0).get("check").empty()) << key;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed / pipelined data plane (PR: async pipelined transport).
+// ---------------------------------------------------------------------------
+
+/// Every data-plane configuration must produce byte-identical stores: the
+/// pipelining is a pure performance change. Covers ack_window ∈ {4, 16}
+/// with scatter-gather framing and the legacy copy-framing stop-and-wait
+/// plane (ack_window=1, scatter_gather=false) the benches A/B against.
+TEST(SocketTransport, DifferentialWindowedPlanesMatchVirtualCluster) {
+  constexpr int kWorld = 4;
+  struct Plane {
+    int window;
+    bool scatter_gather;
+  };
+  for (const Plane plane :
+       {Plane{4, true}, Plane{16, true}, Plane{1, false}}) {
+    SCOPED_TRACE("ack_window=" + std::to_string(plane.window) +
+                 " scatter_gather=" + (plane.scatter_gather ? "on" : "off"));
+    TempDir dir;
+    auto eps = uds_endpoints(dir, kWorld);
+    std::vector<StoreImage> socket_imgs(kWorld);
+    run_ranks(kWorld, [&](int rank) {
+      net::TransportOptions o = fast_opts(dir);
+      o.ack_window = plane.window;
+      o.scatter_gather = plane.scatter_gather;
+      net::SocketTransport fabric(rank, eps, o);
+      exercise_fabric(fabric, kWorld);
+      // Batched pairs ride the window; odd sizes on purpose.
+      if (rank == 0 || rank == 3) {
+        if (fabric.drives(0)) {
+          for (int i = 0; i < 5; ++i) {
+            Buffer b(333 + static_cast<std::size_t>(i) * 101,
+                     Buffer::Init::kUninitialized);
+            fill_random(b.span(), 0xBA7C + static_cast<std::uint64_t>(i));
+            fabric.store(0).put("batch/" + std::to_string(i), std::move(b));
+          }
+        }
+        std::vector<std::pair<std::string, std::string>> pairs;
+        for (int i = 0; i < 5; ++i)
+          pairs.emplace_back("batch/" + std::to_string(i),
+                             "landed/" + std::to_string(i));
+        fabric.send_buffers(0, 3, pairs);
+      }
+      fabric.barrier({0, 1, 2, 3});
+      socket_imgs[static_cast<std::size_t>(rank)] =
+          snapshot(fabric.store(rank));
+    });
+
+    cluster::ClusterConfig cfg;
+    cfg.num_nodes = kWorld;
+    cfg.gpus_per_node = 1;
+    cluster::VirtualCluster vc(cfg);
+    cluster::VirtualFabric ref(vc);
+    exercise_fabric(ref, kWorld);
+    for (int i = 0; i < 5; ++i) {
+      Buffer b(333 + static_cast<std::size_t>(i) * 101,
+               Buffer::Init::kUninitialized);
+      fill_random(b.span(), 0xBA7C + static_cast<std::uint64_t>(i));
+      vc.host(0).put("batch/" + std::to_string(i), std::move(b));
+    }
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 5; ++i)
+      pairs.emplace_back("batch/" + std::to_string(i),
+                         "landed/" + std::to_string(i));
+    ref.send_buffers(0, 3, pairs);
+    ref.barrier({0, 1, 2, 3});
+    for (int r = 0; r < kWorld; ++r)
+      expect_identical(socket_imgs[static_cast<std::size_t>(r)],
+                       snapshot(vc.host(r)), r);
+  }
+}
+
+/// Acks are matched by sequence number, not arrival order: a peer that
+/// reconciles its acks newest-first must still be accepted frame by frame.
+/// The peer here is hand-rolled wire code, not a SocketTransport — the
+/// production receiver always acks in order, so misordering needs a raw
+/// actor.
+TEST(SocketTransport, MisorderedAcksWithinWindowReconcile) {
+  TempDir dir;
+  auto eps = uds_endpoints(dir, 2);
+  constexpr int kFrames = 3;
+
+  std::thread raw_peer([&] {
+    net::Endpoint ep = eps[1];
+    net::Socket listener = net::listen_on(ep);
+    net::Socket s =
+        net::accept_with_timeout(listener, net::Millis(5000), "raw accept");
+    const net::Millis t(5000);
+    std::uint8_t hdr[net::kFrameHeaderBytes];
+    net::read_full(s, hdr, sizeof(hdr), t, "raw hello");  // sender's hello
+
+    struct ToAck {
+      std::uint32_t seq;
+      std::uint64_t crc;
+    };
+    std::vector<ToAck> acks;
+    for (int i = 0; i < kFrames; ++i) {
+      net::read_full(s, hdr, sizeof(hdr), t, "raw frame header");
+      std::uint32_t key_len = 0;
+      bool has_trace = false;
+      net::FrameHeader h = net::decode_frame_header(hdr, &key_len, &has_trace);
+      if (has_trace) {
+        std::uint8_t tbuf[net::kTraceContextBytes];
+        net::read_full(s, tbuf, sizeof(tbuf), t, "raw trace");
+      }
+      std::string key(key_len, '\0');
+      if (key_len) net::read_full(s, key.data(), key_len, t, "raw key");
+      Buffer payload(h.payload_len, Buffer::Init::kUninitialized);
+      if (!payload.empty())
+        net::read_full(s, payload.data(), payload.size(), t, "raw payload");
+      EXPECT_EQ(crc64(payload.span()), h.payload_crc);
+      acks.push_back({static_cast<std::uint32_t>(i), h.payload_crc});
+    }
+    // Reconcile newest-first: seq 2, 1, 0.
+    for (auto it = acks.rbegin(); it != acks.rend(); ++it) {
+      net::FrameHeader ack;
+      ack.type = net::FrameType::kAck;
+      ack.src_rank = 1;
+      ack.aux = it->seq;
+      ack.payload_crc = it->crc;
+      std::uint8_t abuf[net::kFrameHeaderBytes];
+      net::encode_frame_header(ack, abuf);
+      net::write_full(s, abuf, sizeof(abuf), t, "raw ack");
+    }
+    // Hold the connection open until the sender hangs up.
+    char c;
+    (void)!::recv(s.fd(), &c, 1, 0);
+  });
+
+  net::TransportOptions o = fast_opts(dir);
+  o.ack_window = kFrames + 1;  // all frames stay in flight until the flush
+  net::SocketTransport fabric(0, eps, o);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < kFrames; ++i) {
+    Buffer b(511 + static_cast<std::size_t>(i) * 64,
+             Buffer::Init::kUninitialized);
+    fill_random(b.span(), 0xACE + static_cast<std::uint64_t>(i));
+    const std::string key = "blob/" + std::to_string(i);
+    fabric.store(0).put(key, std::move(b));
+    pairs.emplace_back(key, key);
+  }
+  fabric.send_buffers(0, 1, pairs);  // flushes acks before returning
+  EXPECT_GE(fabric.stats().counter("net.ack.count"),
+            static_cast<std::uint64_t>(kFrames));
+  fabric.shutdown();
+  raw_peer.join();
+}
+
+/// A peer that dies with frames in flight must fail the sender with a
+/// typed CheckFailure at the next reconciliation point, within the io
+/// timeout — never a hang, never a silent success.
+TEST(SocketTransport, PeerDeathMidWindowFailsFastWithTypedError) {
+  TempDir dir;
+  auto eps = uds_endpoints(dir, 2);
+
+  std::thread raw_peer([&] {
+    net::Endpoint ep = eps[1];
+    net::Socket listener = net::listen_on(ep);
+    net::Socket s =
+        net::accept_with_timeout(listener, net::Millis(5000), "raw accept");
+    const net::Millis t(5000);
+    std::uint8_t hdr[net::kFrameHeaderBytes];
+    net::read_full(s, hdr, sizeof(hdr), t, "raw hello");
+    // Read exactly one frame header, then die without acking anything.
+    net::read_full(s, hdr, sizeof(hdr), t, "raw frame header");
+    s.close();
+  });
+
+  net::TransportOptions o = fast_opts(dir);
+  o.ack_window = 8;
+  o.io_timeout = net::Millis(2000);
+  net::SocketTransport fabric(0, eps, o);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 4; ++i) {
+    const std::string key = "blob/" + std::to_string(i);
+    fabric.store(0).put(key, Buffer(4096, Buffer::Init::kZeroed));
+    pairs.emplace_back(key, key);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(fabric.send_buffers(0, 1, pairs), CheckFailure);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5))
+      << "mid-window peer death stalled past the io timeout";
+  raw_peer.join();
+}
+
+/// Wire corruption inside an open window: the receiver detects the CRC
+/// mismatch before acking (typed failure), and the sender's deferred
+/// reconciliation surfaces a typed failure too — the corrupted frame can
+/// never be silently absorbed by the pipeline.
+TEST(SocketTransport, CorruptFrameInsideOpenWindowFailsBothSides) {
+  TempDir dir;
+  auto eps = uds_endpoints(dir, 2);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 3; ++i)
+    pairs.emplace_back("blob/" + std::to_string(i),
+                       "landed/" + std::to_string(i));
+
+  run_ranks(2, [&](int rank) {
+    net::TransportOptions o = fast_opts(dir);
+    o.ack_window = 4;
+    o.io_timeout = net::Millis(2000);
+    net::SocketTransport fabric(rank, eps, o);
+    if (fabric.drives(0)) {
+      for (const auto& [src_key, dst_key] : pairs)
+        fabric.store(0).put(src_key, Buffer(8192, Buffer::Init::kZeroed));
+      fabric.corrupt_next_frame();  // first frame of the open window
+    }
+    EXPECT_THROW(fabric.send_buffers(0, 1, pairs), CheckFailure);
+  });
+}
+
+/// The pipelined plane is observable: windowed sends must leave the
+/// scatter-gather byte counter and the window/queue-depth histograms in
+/// the registry (the same registry transport_cli --stats-json serves).
+TEST(SocketTransport, WindowedDataPlaneExposesPipelineStats) {
+  constexpr int kWorld = 3;
+  TempDir dir;
+  auto eps = uds_endpoints(dir, kWorld);
+  std::vector<int> all = {0, 1, 2};
+
+  run_ranks(kWorld, [&](int rank) {
+    net::TransportOptions o = fast_opts(dir);
+    o.ack_window = 8;
+    net::SocketTransport fabric(rank, eps, o);
+    if (fabric.drives(0)) {
+      Buffer root(64 * 1024, Buffer::Init::kUninitialized);
+      fill_random(root.span(), 0x57A75);
+      fabric.store(0).put("root", std::move(root));
+    }
+    fabric.broadcast(all, 0, "root");  // multi-peer fan-out → SendPump
+    fabric.barrier(all);
+    if (rank == 0) {
+      const auto hists = fabric.stats().histograms();
+      EXPECT_GT(fabric.stats().counter("net.send.writev_bytes"), 0u)
+          << "scatter-gather path did not run";
+      EXPECT_GT(fabric.stats().counter("net.ack.count"), 0u);
+      EXPECT_GT(fabric.stats().counter("net.pump.count"), 0u)
+          << "multi-peer fan-out did not use the send pump";
+      ASSERT_TRUE(hists.count("net.ack.window"));
+      EXPECT_GT(hists.at("net.ack.window").count, 0u);
+      EXPECT_TRUE(hists.count("net.send.queue_depth"))
+          << "pump never queued a frame";
+    }
+  });
 }
 
 }  // namespace
