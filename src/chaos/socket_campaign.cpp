@@ -4,9 +4,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
 #include "chaos/schedule.hpp"
@@ -205,6 +207,25 @@ SocketCampaign::Reply SocketCampaign::request(const std::string& command,
   }
 }
 
+namespace {
+
+// Strict numeric field parsing for worker report lines. A truncated or
+// corrupted token must surface as a campaign violation naming the token,
+// never as an uncaught std::invalid_argument killing the driver.
+bool parse_field_i64(std::string_view sv, std::int64_t& out) {
+  const char* end = sv.data() + sv.size();
+  auto [ptr, ec] = std::from_chars(sv.data(), end, out);
+  return ec == std::errc() && ptr == end && !sv.empty();
+}
+
+bool parse_field_hex64(std::string_view sv, std::uint64_t& out) {
+  const char* end = sv.data() + sv.size();
+  auto [ptr, ec] = std::from_chars(sv.data(), end, out, 16);
+  return ec == std::errc() && ptr == end && !sv.empty();
+}
+
+}  // namespace
+
 SocketCampaign::ParsedBody SocketCampaign::parse_body(
     const std::string& body) {
   ParsedBody p;
@@ -213,15 +234,24 @@ SocketCampaign::ParsedBody SocketCampaign::parse_body(
   std::string tok;
   while (is >> tok) {
     if (tok == ";") break;
-    if (tok.rfind("version=", 0) == 0)
-      p.version = std::stoll(tok.substr(8));
-    else if (tok.rfind("iteration=", 0) == 0)
-      p.iteration = std::stoll(tok.substr(10));
-    else if (tok.size() > 2 && tok[0] == 'w' &&
-             tok.find(':') != std::string::npos) {
+    if (tok.rfind("version=", 0) == 0) {
+      if (!parse_field_i64(std::string_view(tok).substr(8), p.version))
+        violation("protocol", "malformed version token \"" + tok + "\"");
+    } else if (tok.rfind("iteration=", 0) == 0) {
+      if (!parse_field_i64(std::string_view(tok).substr(10), p.iteration))
+        violation("protocol", "malformed iteration token \"" + tok + "\"");
+    } else if (tok.size() > 2 && tok[0] == 'w' &&
+               tok.find(':') != std::string::npos) {
       const std::size_t colon = tok.find(':');
-      p.digests[std::stoi(tok.substr(1, colon - 1))] =
-          std::stoull(tok.substr(colon + 1), nullptr, 16);
+      std::int64_t rank = 0;
+      std::uint64_t digest = 0;
+      if (!parse_field_i64(std::string_view(tok).substr(1, colon - 1), rank) ||
+          rank < 0 || rank >= static_cast<std::int64_t>(world_) ||
+          !parse_field_hex64(std::string_view(tok).substr(colon + 1), digest)) {
+        violation("protocol", "malformed digest token \"" + tok + "\"");
+        continue;
+      }
+      p.digests[static_cast<int>(rank)] = digest;
     }
   }
   return p;

@@ -1,0 +1,43 @@
+// Dirty-region tracking for incremental checkpoints (ECCheckConfig::delta).
+//
+// A delta save diffs each worker's freshly packed packets against the
+// cached packets of the last committed version at a fixed chunk
+// granularity, merges adjacent dirty chunks into extents, and ships only
+// those extents' XOR-deltas over the fabric. Extents are exchanged between
+// ranks as tiny serialized manifests (all ranks must walk the identical
+// extent list SPMD-style), so the wire format here is part of the save
+// protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace eccheck::core {
+
+/// One maximal dirty byte range of one packed packet.
+struct DirtyExtent {
+  std::uint32_t packet = 0;   ///< packet index b within the worker
+  std::uint64_t offset = 0;   ///< first dirty byte within the packet
+  std::uint64_t length = 0;   ///< dirty bytes (> 0)
+
+  friend bool operator==(const DirtyExtent&, const DirtyExtent&) = default;
+};
+
+/// Compare `next` against `base` chunk-by-chunk (`granularity` bytes, the
+/// final chunk may be short) and return the merged dirty extents of packet
+/// `packet_index`. Spans must be the same length. Granularity must be > 0.
+std::vector<DirtyExtent> diff_packet(int packet_index, ByteSpan base,
+                                     ByteSpan next, std::size_t granularity);
+
+/// Total dirty bytes of an extent list.
+std::uint64_t dirty_bytes(const std::vector<DirtyExtent>& extents);
+
+/// Manifest wire format: u64 count, then (u32 packet, u64 offset,
+/// u64 length) per extent, little-endian, extents in (packet, offset) order.
+Buffer serialize_extents(const std::vector<DirtyExtent>& extents);
+std::vector<DirtyExtent> deserialize_extents(ByteSpan blob);
+
+}  // namespace eccheck::core

@@ -14,6 +14,22 @@
 // version (version_prefix); "<ns>tmp/<version>/" holds transient staging
 // keys that a completed save always erases (tmp_prefix — a torn save rolls
 // them back).
+//
+// Incremental checkpointing (ECCheckConfig::delta) adds an unversioned
+// base cache at each worker's site — the packed packets of the last
+// committed version, diffed against on the next save:
+//
+//   <ns>base/mark                        cache marker: version, B, P, g
+//   <ns>base/local/<w>/<b>               cached packet b of worker w
+//   <ns>base/keys/<w>                    cached tensor-keys blob of worker w
+//   <ns>tmp/<version>/delta/...          transient manifests + Δ patches
+//
+// The cache is valid only while the marker's version still has its commit
+// marker on the same node: a torn delta save rolls the version keys back
+// (FabricSession::rollback) which invalidates any half-written cache, so
+// the next save re-encodes in full — never from wrong bytes. The marker is
+// erased before the cache is rewritten and re-put last, giving the same
+// fail-to-full-encode behaviour for a crash mid-refresh.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +71,32 @@ inline std::string local_key(const std::string& ns, std::int64_t v, int w,
                              int b) {
   return tmp_prefix(ns, v) + "local/" + std::to_string(w) + "/" +
          std::to_string(b);
+}
+
+inline std::string base_prefix(const std::string& ns) { return ns + "base/"; }
+
+inline std::string base_mark_key(const std::string& ns) {
+  return base_prefix(ns) + "mark";
+}
+
+inline std::string base_local_key(const std::string& ns, int w, int b) {
+  return base_prefix(ns) + "local/" + std::to_string(w) + "/" +
+         std::to_string(b);
+}
+
+inline std::string base_keys_key(const std::string& ns, int w) {
+  return base_prefix(ns) + "keys/" + std::to_string(w);
+}
+
+inline std::string delta_manifest_key(const std::string& ns, std::int64_t v,
+                                      int w) {
+  return tmp_prefix(ns, v) + "delta/manifest/" + std::to_string(w);
+}
+
+inline std::string delta_patch_key(const std::string& ns, std::int64_t v,
+                                   int w, int b, std::uint64_t offset) {
+  return tmp_prefix(ns, v) + "delta/patch/" + std::to_string(w) + "/" +
+         std::to_string(b) + "/" + std::to_string(offset);
 }
 
 }  // namespace eccheck::core::keys

@@ -11,6 +11,7 @@
 
 #include "common/bytes.hpp"
 #include "common/crc64.hpp"
+#include "core/delta.hpp"
 #include "core/engine_keys.hpp"
 #include "core/placement.hpp"
 #include "core/protocol.hpp"
@@ -21,7 +22,12 @@
 namespace eccheck::core {
 namespace {
 
+using keys::base_keys_key;
+using keys::base_local_key;
+using keys::base_mark_key;
 using keys::commit_key;
+using keys::delta_manifest_key;
+using keys::delta_patch_key;
 using keys::keys_key;
 using keys::local_key;
 using keys::meta_key;
@@ -308,10 +314,227 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
   rep.stall_time = since(t0);
   rep.breakdown["step1_snapshot"] = rep.stall_time;
 
+  // ---- Incremental path (cfg.delta): patch the last version in place -----
+  // When every site still holds a valid base cache of one common committed
+  // version and the global dirty ratio is small enough, the stripe is not
+  // re-encoded: each node clones its own chunk row of the base version to
+  // the new version locally, only the dirty regions' XOR-deltas travel
+  // (to the data node and the m parity nodes), the data row is XOR-patched
+  // and each parity row folded with P' = P ⊕ G·Δ — bit-identical to the
+  // full four-step protocol by code linearity. Any prerequisite failure on
+  // any rank (first save, rolled-back base, shape change, pruned base,
+  // degraded membership) falls through to the full path below.
+  bool delta_used = false;
+  const bool delta_wanted = cfg.delta.enabled && members.full();
+  if (delta_wanted) {
+    const std::size_t gran =
+        std::max<std::size_t>(8, (cfg.delta.granularity + 7) / 8 * 8);
+    std::map<int, std::vector<DirtyExtent>> local_extents;  // worker → dirty
+    auto delta_state = [&](int node) {
+      NodeFlag f;  // flag = usable common base version, 0 = no delta here
+      cluster::Store& store = fabric.store(node);
+      if (!store.contains(base_mark_key(ns))) return f;
+      const Buffer& mark = store.get(base_mark_key(ns));
+      if (mark.size() != 32) return f;
+      const auto mv = static_cast<std::int64_t>(get_u64_le(mark.data()));
+      if (mv <= 0 || mv >= version) return f;
+      if (get_u64_le(mark.data() + 8) != B ||
+          get_u64_le(mark.data() + 16) != P ||
+          get_u64_le(mark.data() + 24) != static_cast<std::uint64_t>(g))
+        return f;
+      // The base rows being patched must still be committed on this node —
+      // a torn delta save rolls its version keys back, which breaks exactly
+      // this check and forces the safe full re-encode.
+      const int row = plan.generator_row_of_node(node);
+      if (!store.contains(commit_key(ns, mv)) ||
+          !store.contains(row_key(ns, mv, row, 0, 0)))
+        return f;
+      std::uint64_t dirty = 0;
+      for (int l = 0; l < g; ++l) {
+        const int w = node * g + l;
+        // Tensor shapes must be stable or the packet layout shifted.
+        if (!store.contains(base_keys_key(ns, w))) return f;
+        const Buffer& cached = store.get(base_keys_key(ns, w));
+        const Buffer& fresh = store.get(keys_key(ns, version, w));
+        if (cached.size() != fresh.size() ||
+            std::memcmp(cached.data(), fresh.data(), fresh.size()) != 0)
+          return f;
+        std::vector<DirtyExtent> wext;
+        for (int b = 0; b < static_cast<int>(B); ++b) {
+          if (!store.contains(base_local_key(ns, w, b))) return f;
+          const Buffer& base = store.get(base_local_key(ns, w, b));
+          const Buffer& next = store.get(local_key(ns, version, w, b));
+          if (base.size() != next.size()) return f;
+          std::vector<DirtyExtent> pext =
+              diff_packet(b, base.span(), next.span(), gran);
+          wext.insert(wext.end(), pext.begin(), pext.end());
+        }
+        dirty += dirty_bytes(wext);
+        local_extents[w] = std::move(wext);
+      }
+      f.flag = static_cast<std::uint64_t>(mv);
+      f.workers = dirty;
+      return f;
+    };
+    const std::vector<NodeFlag> dflags = exchange_flags(
+        fabric, tmp_prefix(ns, version) + "delta/flag/", delta_state, act);
+    std::uint64_t base_version = dflags[0].flag;
+    std::uint64_t total_dirty = 0;
+    for (int node = 0; node < n; ++node) {
+      if (dflags[static_cast<std::size_t>(node)].flag != base_version)
+        base_version = 0;  // disagreeing or missing base on some rank
+      total_dirty += dflags[static_cast<std::size_t>(node)].workers;
+    }
+    const double dirty_ratio =
+        static_cast<double>(total_dirty) /
+        (static_cast<double>(W) * static_cast<double>(B) *
+         static_cast<double>(P));
+    if (base_version != 0 && dirty_ratio <= cfg.delta.max_dirty_ratio) {
+      obs::ScopedSpan dspan("engine.save.delta", total_dirty);
+      const auto bv = static_cast<std::int64_t>(base_version);
+      fabric.stats().add("delta.save.count");
+      fabric.stats().add("delta.dirty.bytes", total_dirty);
+
+      // Every rank must walk the identical extent list: publish each sited
+      // worker's manifest and all-gather them like the step-2 metadata.
+      for (int node : act) {
+        if (!fabric.drives(node)) continue;
+        for (int l = 0; l < g; ++l) {
+          const int w = node * g + l;
+          fabric.store(node).put(delta_manifest_key(ns, version, w),
+                                 serialize_extents(local_extents[w]));
+        }
+      }
+      for (int l = 0; l < g; ++l) {
+        fabric.all_gather(act, [&](int node) {
+          return delta_manifest_key(ns, version, node * g + l);
+        });
+      }
+      std::vector<std::vector<DirtyExtent>> all_extents(
+          static_cast<std::size_t>(W));
+      for (int w = 0; w < W; ++w)
+        all_extents[static_cast<std::size_t>(w)] = deserialize_extents(
+            fabric.store(home).get(delta_manifest_key(ns, version, w)).span());
+
+      // Clone the base version's rows into the new version — a pure local
+      // copy on every node; only deltas cross the wire.
+      for (int node : driven) {
+        const int row = plan.generator_row_of_node(node);
+        cluster::Store& store = fabric.store(node);
+        for (int j = 0; j < per_chunk; ++j)
+          for (int b = 0; b < static_cast<int>(B); ++b)
+            store.put(row_key(ns, version, row, j, b),
+                      store.get(row_key(ns, bv, row, j, b)).clone());
+      }
+
+      std::uint64_t extent_count = 0;
+      for (int w = 0; w < W; ++w) {
+        const std::vector<DirtyExtent>& wext =
+            all_extents[static_cast<std::size_t>(w)];
+        if (wext.empty()) continue;
+        extent_count += wext.size();
+        const int c = plan.chunk_of_worker(w);
+        const int j = w - c * per_chunk;
+        const int src = w / g;  // full membership: the worker's own node
+
+        // Δ = new ⊕ base per extent, staged at the source under tmp keys.
+        if (fabric.drives(src)) {
+          cluster::Store& store = fabric.store(src);
+          for (const DirtyExtent& e : wext) {
+            const Buffer& next =
+                store.get(local_key(ns, version, w, static_cast<int>(e.packet)));
+            const Buffer& base =
+                store.get(base_local_key(ns, w, static_cast<int>(e.packet)));
+            Buffer d(e.length, Buffer::Init::kUninitialized);
+            std::memcpy(d.data(), next.data() + e.offset, e.length);
+            xor_into(d.span(), base.span().subspan(e.offset, e.length));
+            store.put(delta_patch_key(ns, version, w, static_cast<int>(e.packet),
+                                      e.offset),
+                      std::move(d));
+          }
+        }
+
+        // One batched transfer per destination: the data node plus each
+        // parity node (k+m distinct nodes, so no destination repeats).
+        std::vector<int> dests;
+        dests.push_back(plan.data_nodes[static_cast<std::size_t>(c)]);
+        for (int r = 0; r < cfg.m; ++r)
+          dests.push_back(plan.parity_nodes[static_cast<std::size_t>(r)]);
+        for (int dst : dests) {
+          if (dst == src) continue;
+          std::vector<std::pair<std::string, std::string>> pairs;
+          pairs.reserve(wext.size());
+          for (const DirtyExtent& e : wext) {
+            const std::string dk = delta_patch_key(
+                ns, version, w, static_cast<int>(e.packet), e.offset);
+            pairs.emplace_back(dk, dk);
+          }
+          fabric.send_buffers(src, dst, pairs);
+        }
+
+        // Patch in place: XOR on the data row, G·Δ fold on each parity row.
+        const int dnode = plan.data_nodes[static_cast<std::size_t>(c)];
+        if (fabric.drives(dnode)) {
+          cluster::Store& store = fabric.store(dnode);
+          for (const DirtyExtent& e : wext) {
+            const std::string rk =
+                row_key(ns, version, c, j, static_cast<int>(e.packet));
+            Buffer pkt = store.take(rk);
+            xor_into(pkt.span().subspan(e.offset, e.length),
+                     store
+                         .get(delta_patch_key(ns, version, w,
+                                              static_cast<int>(e.packet),
+                                              e.offset))
+                         .span());
+            store.put(rk, std::move(pkt));
+          }
+        }
+        for (int r = 0; r < cfg.m; ++r) {
+          const int pnode = plan.parity_nodes[static_cast<std::size_t>(r)];
+          if (!fabric.drives(pnode)) continue;
+          cluster::Store& store = fabric.store(pnode);
+          for (const DirtyExtent& e : wext) {
+            const std::string rk =
+                row_key(ns, version, cfg.k + r, j, static_cast<int>(e.packet));
+            Buffer pkt = store.take(rk);
+            codec.update_row(cfg.k + r, c, e.offset,
+                             store
+                                 .get(delta_patch_key(ns, version, w,
+                                                      static_cast<int>(e.packet),
+                                                      e.offset))
+                                 .span(),
+                             pkt.span());
+            store.put(rk, std::move(pkt));
+          }
+        }
+
+        // Drop the Δ staging copies everywhere they landed.
+        for (const DirtyExtent& e : wext) {
+          const std::string dk = delta_patch_key(
+              ns, version, w, static_cast<int>(e.packet), e.offset);
+          if (fabric.drives(src)) fabric.store(src).erase(dk);
+          for (int dst : dests)
+            if (dst != src && fabric.drives(dst)) fabric.store(dst).erase(dk);
+        }
+      }
+      fabric.stats().add("delta.extents.count", extent_count);
+      for (int node : act) {
+        if (!fabric.drives(node)) continue;
+        for (int w = 0; w < W; ++w)
+          fabric.store(node).erase(delta_manifest_key(ns, version, w));
+      }
+      rep.breakdown["delta_dirty_ratio"] = dirty_ratio;
+      rep.breakdown["step3_delta_patch"] = since(t0);
+      delta_used = true;
+    }
+  }
+  if (cfg.delta.enabled && !delta_used) fabric.stats().add("delta.fallback.count");
+
   // ---- Step 3a: relocate data packets to their data nodes ----------------
   // A row homed on a dead rank is skipped entirely: the degraded stripe
   // keeps the n_alive ≥ k rows hosted by survivors (reduced redundancy —
   // any k of them still decode), rather than blocking the save.
+  if (!delta_used) {
   for (int j = 0; j < per_chunk; ++j) {
     for (int b = 0; b < static_cast<int>(B); ++b) {
       for (int c = 0; c < cfg.k; ++c) {
@@ -389,13 +612,40 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
       }
     }
   }
+  }  // if (!delta_used)
 
-  // Drop the staging copies; publish checksums and the commit marker.
-  for (const auto& [w, dec] : decs) {
-    (void)dec;
-    const int site = members.site(w / g);
-    for (int b = 0; b < static_cast<int>(B); ++b)
-      fabric.store(site).erase(local_key(ns, version, w, b));
+  // Retire the staging copies — into the base cache when incremental saves
+  // are on (the next save diffs against them), dropped otherwise — then
+  // publish checksums and the commit marker.
+  if (delta_wanted) {
+    for (int node : handled) {
+      cluster::Store& store = fabric.store(node);
+      // Crash-safe order: erase the marker first, re-put it only after
+      // every cached byte belongs to the new version. A store observed
+      // between the two reads as "no base" and re-encodes in full.
+      store.erase(base_mark_key(ns));
+      for (int l = 0; l < g; ++l) {
+        const int w = node * g + l;
+        for (int b = 0; b < static_cast<int>(B); ++b)
+          store.put(base_local_key(ns, w, b),
+                    store.take(local_key(ns, version, w, b)));
+        store.put(base_keys_key(ns, w),
+                  store.get(keys_key(ns, version, w)).clone());
+      }
+      Buffer mark(32, Buffer::Init::kZeroed);
+      put_u64_le(mark.data(), static_cast<std::uint64_t>(version));
+      put_u64_le(mark.data() + 8, B);
+      put_u64_le(mark.data() + 16, P);
+      put_u64_le(mark.data() + 24, static_cast<std::uint64_t>(g));
+      store.put(base_mark_key(ns), std::move(mark));
+    }
+  } else {
+    for (const auto& [w, dec] : decs) {
+      (void)dec;
+      const int site = members.site(w / g);
+      for (int b = 0; b < static_cast<int>(B); ++b)
+        fabric.store(site).erase(local_key(ns, version, w, b));
+    }
   }
   for (int node : driven) {
     if (!members.is_alive(node)) continue;
@@ -420,7 +670,7 @@ ckpt::SaveReport fabric_save(cluster::Fabric& fabric, const ECCheckConfig& cfg,
     fabric.store(node).put(commit_key(ns, version),
                            Buffer::copy_of(as_bytes_of(version)));
   }
-  rep.breakdown["step3_encode_pipeline"] = since(t0);
+  if (!delta_used) rep.breakdown["step3_encode_pipeline"] = since(t0);
 
   // ---- Step 4: low-frequency remote flush --------------------------------
   if (cfg.flush_to_remote) {

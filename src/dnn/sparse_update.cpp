@@ -1,0 +1,74 @@
+#include "dnn/sparse_update.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace eccheck::dnn {
+namespace {
+
+constexpr const char* kEmbeddingKey = "embedding.weight";
+
+std::uint64_t mix(std::uint64_t seed, int worker, std::int64_t iteration,
+                  std::uint64_t salt) {
+  return seed ^ (static_cast<std::uint64_t>(worker) << 32) ^
+         (static_cast<std::uint64_t>(iteration) * 0x9e3779b97f4a7c15ULL) ^
+         salt;
+}
+
+}  // namespace
+
+StateDict make_sparse_model_shard(const SparseUpdateSpec& spec, int worker) {
+  ECC_CHECK(spec.embedding_rows > 0 && spec.embedding_dim > 0);
+  ECC_CHECK(spec.dense_tensors >= 0 && spec.dense_elems > 0);
+  StateDict sd;
+  sd.metadata()["model"] = std::string("sparse_embedding");
+  sd.metadata()["worker"] = static_cast<std::int64_t>(worker);
+  sd.metadata()["iteration"] = static_cast<std::int64_t>(0);
+
+  Tensor emb(DType::kF32, {spec.embedding_rows, spec.embedding_dim});
+  fill_random(emb.bytes(), mix(spec.seed, worker, 0, 0xe3b));
+  sd.add_tensor(kEmbeddingKey, std::move(emb));
+  for (int i = 0; i < spec.dense_tensors; ++i) {
+    Tensor t(DType::kF32, {spec.dense_elems});
+    fill_random(t.bytes(),
+                mix(spec.seed, worker, 0, 0xd0 + static_cast<std::uint64_t>(i)));
+    sd.add_tensor("dense." + std::to_string(i) + ".weight", std::move(t));
+  }
+  return sd;
+}
+
+void apply_sparse_update(StateDict& sd, const SparseUpdateSpec& spec,
+                         int worker, std::int64_t iteration) {
+  ECC_CHECK(iteration >= 1);
+  ECC_CHECK(spec.row_density >= 0.0 && spec.row_density <= 1.0);
+  ECC_CHECK_MSG(!sd.tensors().empty() &&
+                    sd.tensors()[0].key == kEmbeddingKey,
+                "state dict was not built by make_sparse_model_shard");
+  Tensor& emb = sd.tensors()[0].tensor;
+  const auto rows = static_cast<std::uint64_t>(spec.embedding_rows);
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(spec.embedding_dim) * 4;
+
+  // The minibatch's row set: distinct, deterministic in (seed, worker, it).
+  const auto touched = static_cast<std::uint64_t>(
+      spec.row_density * static_cast<double>(rows) + 0.5);
+  SplitMix64 pick(mix(spec.seed, worker, iteration, 0x70c4));
+  std::set<std::uint64_t> row_set;
+  while (row_set.size() < std::min(touched, rows))
+    row_set.insert(pick.next_below(rows));
+  for (std::uint64_t r : row_set) {
+    fill_random(emb.bytes().subspan(r * row_bytes, row_bytes),
+                mix(spec.seed, worker, iteration, 0xeb0 ^ r));
+  }
+
+  for (std::size_t t = 1; t < sd.tensors().size(); ++t) {
+    fill_random(sd.tensors()[t].tensor.bytes(),
+                mix(spec.seed, worker, iteration,
+                    0xde00 + static_cast<std::uint64_t>(t)));
+  }
+  sd.metadata()["iteration"] = iteration;
+}
+
+}  // namespace eccheck::dnn

@@ -1,0 +1,53 @@
+// Sparse-update workload generator (ECRM-style recommendation models).
+//
+// Recommendation models concentrate almost all parameters in huge embedding
+// tables of which one training iteration touches only the rows referenced
+// by that minibatch — typically far below 1% — while a small dense tower
+// updates fully every step. That access pattern is what makes incremental
+// checkpointing (ECCheckConfig::delta) pay off: the XOR-delta between two
+// consecutive checkpoints is exactly the touched rows plus the dense tower.
+//
+// Shards and updates are deterministic functions of (seed, worker,
+// iteration), matching the repo-wide convention that recovery tests verify
+// bytes against regenerated state instead of golden copies.
+#pragma once
+
+#include <cstdint>
+
+#include "dnn/state_dict.hpp"
+
+namespace eccheck::dnn {
+
+struct SparseUpdateSpec {
+  /// Embedding shard per worker: `embedding_rows` × `embedding_dim` F32.
+  std::int64_t embedding_rows = 4096;
+  std::int64_t embedding_dim = 64;
+
+  /// Dense tower: `dense_tensors` F32 tensors of `dense_elems` elements,
+  /// all rewritten every iteration.
+  int dense_tensors = 2;
+  std::int64_t dense_elems = 1024;
+
+  /// Fraction of embedding rows touched per iteration (0 ≤ d ≤ 1).
+  double row_density = 0.01;
+
+  std::uint64_t seed = 42;
+
+  std::size_t embedding_bytes() const {
+    return static_cast<std::size_t>(embedding_rows) *
+           static_cast<std::size_t>(embedding_dim) * 4;
+  }
+};
+
+/// Build worker `worker`'s initial shard (iteration 0).
+StateDict make_sparse_model_shard(const SparseUpdateSpec& spec, int worker);
+
+/// Apply iteration `iteration`'s touch pattern in place: rewrite
+/// ⌈row_density · embedding_rows⌉ distinct embedding rows (chosen and
+/// filled deterministically from (seed, worker, iteration)) and the whole
+/// dense tower, and bump the iteration metadata. Applying iterations
+/// 1..i in order to the initial shard always yields the same bytes.
+void apply_sparse_update(StateDict& sd, const SparseUpdateSpec& spec,
+                         int worker, std::int64_t iteration);
+
+}  // namespace eccheck::dnn

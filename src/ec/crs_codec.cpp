@@ -96,6 +96,64 @@ void CrsCodec::mul_packet(std::uint32_t coeff, ByteSpan src,
   field_->mul_region(coeff, src, dst, accumulate);
 }
 
+void CrsCodec::update_row(int row, int data_index, std::size_t offset,
+                          ByteSpan delta, MutableByteSpan target) const {
+  ECC_CHECK(row >= 0 && row < k_ + m_);
+  ECC_CHECK(data_index >= 0 && data_index < k_);
+  ECC_CHECK_MSG(offset + delta.size() <= target.size(),
+                "dirty region [" << offset << ", " << offset + delta.size()
+                                 << ") exceeds packet size " << target.size());
+  if (delta.empty()) return;
+  const std::uint32_t coeff = generator_.at(row, data_index);
+  if (coeff == 0) return;
+
+  if (mode_ == KernelMode::kXorBitmatrix) {
+    ECC_CHECK_MSG(target.size() % packet_granularity() == 0,
+                  "packet size must be a multiple of w*8 in bitmatrix mode");
+    const std::size_t strip = target.size() / static_cast<std::size_t>(w_);
+    // Expand the single coefficient like mul_packet does, but instead of a
+    // whole-strip schedule, intersect the dirty window with each source
+    // strip: byte x of the packet lives at offset (x mod strip) of strip
+    // (x div strip), and B(e) maps source strip j onto destination strip i
+    // preserving the offset-within-strip — so a dirty range clipped to one
+    // source strip patches the same-length range of each selected
+    // destination strip. Exact for arbitrary (mis)aligned regions.
+    GfMatrix one(1, 1, *field_);
+    one.set(0, 0, coeff);
+    const BitMatrix bm = expand_to_bitmatrix(one);
+    const std::size_t lo = offset, hi = offset + delta.size();
+    for (int i = 0; i < w_; ++i) {
+      for (int j = 0; j < w_; ++j) {
+        if (!bm.get(i, j)) continue;
+        const std::size_t a = std::max(lo, static_cast<std::size_t>(j) * strip);
+        const std::size_t b =
+            std::min(hi, (static_cast<std::size_t>(j) + 1) * strip);
+        if (a >= b) continue;
+        xor_into(target.subspan(static_cast<std::size_t>(i) * strip +
+                                    (a - static_cast<std::size_t>(j) * strip),
+                                b - a),
+                 delta.subspan(a - lo, b - a));
+      }
+    }
+    return;
+  }
+
+  const std::size_t gran = field_->region_granularity();
+  ECC_CHECK_MSG(offset % gran == 0 && delta.size() % gran == 0,
+                "dirty region must align to the w=" << w_
+                                                    << " symbol granularity");
+  field_->mul_region(coeff, delta, target.subspan(offset, delta.size()),
+                     /*accumulate=*/true);
+}
+
+void CrsCodec::update_parity(int data_index, std::size_t offset, ByteSpan delta,
+                             std::span<MutableByteSpan> parity) const {
+  ECC_CHECK(static_cast<int>(parity.size()) == m_);
+  for (int r = 0; r < m_; ++r)
+    update_row(k_ + r, data_index, offset, delta,
+               parity[static_cast<std::size_t>(r)]);
+}
+
 void CrsCodec::encode_partial(int row, int data_index, ByteSpan src,
                               MutableByteSpan dst, bool accumulate) const {
   ECC_CHECK(row >= 0 && row < k_ + m_);

@@ -78,6 +78,27 @@ class CrsCodec {
   void mul_packet(std::uint32_t coeff, ByteSpan src, MutableByteSpan dst,
                   bool accumulate) const;
 
+  /// Sparse in-place patch of one generator row via code linearity: given a
+  /// dirty region of data chunk `data_index` whose XOR-delta against the
+  /// previously encoded bytes is `delta` (new ⊕ old, starting at byte
+  /// `offset` of the packet), fold E[row][data_index]·Δ into the stored
+  /// row packet: target ^= E[row][data_index] · Δ over [offset, offset+|Δ|).
+  ///
+  /// `target` is the FULL row packet (the strip layout of the bitmatrix
+  /// kernel needs the whole packet extent, not just the dirty window).
+  /// Exact for both kernel modes and any in-range region; in kGfTable mode
+  /// offset and |Δ| must be multiples of the field's region granularity
+  /// (2 bytes for w=16, else 1), in bitmatrix mode they are unrestricted.
+  /// Patching every dirty region of every data chunk this way leaves the
+  /// row packet byte-identical to a full re-encode (P' = P ⊕ G·Δ).
+  void update_row(int row, int data_index, std::size_t offset, ByteSpan delta,
+                  MutableByteSpan target) const;
+
+  /// update_row over all m parity rows: parity[r] ^= E[k+r][data_index]·Δ.
+  /// parity.size() == m, each span a full packet.
+  void update_parity(int data_index, std::size_t offset, ByteSpan delta,
+                     std::span<MutableByteSpan> parity) const;
+
   /// Total XOR ops per stripe in bitmatrix mode (cost model / ablations).
   int xor_ops_per_stripe() const;
 

@@ -127,6 +127,28 @@ void ParallelCodec::encode_partial(int row, int data_index, ByteSpan src,
   });
 }
 
+void ParallelCodec::update_row(int row, int data_index, std::size_t offset,
+                               ByteSpan delta, MutableByteSpan target) const {
+  obs::ScopedSpan span(encode_partial_span_name(), delta.size());
+  if (codec_->mode() == KernelMode::kXorBitmatrix) {
+    codec_->update_row(row, data_index, offset, delta, target);
+    return;
+  }
+  for_each_slice(delta.size(), [&](std::size_t lo, std::size_t hi) {
+    codec_->update_row(row, data_index, offset + lo,
+                       delta.subspan(lo, hi - lo), target);
+  });
+}
+
+void ParallelCodec::update_parity(int data_index, std::size_t offset,
+                                  ByteSpan delta,
+                                  std::span<MutableByteSpan> parity) const {
+  ECC_CHECK(static_cast<int>(parity.size()) == codec_->m());
+  for (int r = 0; r < codec_->m(); ++r)
+    update_row(codec_->k() + r, data_index, offset, delta,
+               parity[static_cast<std::size_t>(r)]);
+}
+
 void ParallelCodec::apply_matrix(const GfMatrix& m,
                                  std::span<const ByteSpan> in,
                                  std::span<MutableByteSpan> out) const {

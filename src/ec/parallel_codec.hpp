@@ -43,6 +43,16 @@ class ParallelCodec {
   void apply_matrix(const GfMatrix& m, std::span<const ByteSpan> in,
                     std::span<MutableByteSpan> out) const;
 
+  /// Sliced sparse row patch; equivalent to CrsCodec::update_row
+  /// (target ^= E[row][data_index]·Δ over the dirty window at `offset`).
+  void update_row(int row, int data_index, std::size_t offset, ByteSpan delta,
+                  MutableByteSpan target) const;
+
+  /// update_row over all m parity rows; equivalent to
+  /// CrsCodec::update_parity.
+  void update_parity(int data_index, std::size_t offset, ByteSpan delta,
+                     std::span<MutableByteSpan> parity) const;
+
  private:
   /// Invoke fn(lo, hi) over slice ranges in parallel (serial for bitmatrix
   /// kernels or sub-slice-sized buffers).

@@ -3,9 +3,12 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -67,7 +70,9 @@ core::Membership members_from_csv(const std::string& csv) {
   std::istringstream is(csv);
   std::string part;
   while (std::getline(is, part, ','))
-    if (!part.empty()) alive.push_back(std::stoi(part));
+    if (!part.empty())
+      alive.push_back(static_cast<int>(parse_wire_int(
+          part, "alive rank", 0, std::numeric_limits<int>::max())));
   return core::Membership::of(std::move(alive));
 }
 
@@ -80,10 +85,46 @@ std::string csv_of(const std::vector<int>& ranks) {
 std::uint64_t parse_u64(const std::map<std::string, std::string>& kv,
                         const std::string& key) {
   const auto it = kv.find(key);
-  return it == kv.end() ? 0 : static_cast<std::uint64_t>(std::stoull(it->second));
+  return it == kv.end() ? 0 : parse_wire_u64(it->second, key.c_str());
 }
 
 }  // namespace
+
+std::int64_t parse_wire_int(const std::string& tok, const char* what,
+                            std::int64_t min, std::int64_t max) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec == std::errc::result_out_of_range ||
+      (ec == std::errc() && ptr == tok.data() + tok.size() &&
+       (v < min || v > max)))
+    throw BadRequest("bad " + std::string(what) + " '" + tok +
+                     "' (out of range)");
+  if (ec != std::errc() || ptr != tok.data() + tok.size())
+    throw BadRequest("bad " + std::string(what) + " '" + tok + "'");
+  return v;
+}
+
+std::uint64_t parse_wire_u64(const std::string& tok, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size())
+    throw BadRequest("bad " + std::string(what) + " '" + tok + "'" +
+                     (ec == std::errc::result_out_of_range ? " (out of range)"
+                                                           : ""));
+  return v;
+}
+
+double parse_wire_double(const std::string& tok, const char* what) {
+  double v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size() ||
+      !std::isfinite(v))
+    throw BadRequest("bad " + std::string(what) + " '" + tok + "'");
+  return v;
+}
 
 // ---------------------------------------------------------------------------
 // Control framing.
@@ -370,8 +411,9 @@ std::string WorkerDaemon::handle(const std::string& command,
       const ParsedArgs pa = parse_args(args);
       ECC_CHECK_MSG(pa.pos.size() == 2,
                     "save expects '<job> <iteration>', got '" << args << "'");
-      const std::int64_t iteration = std::stoll(pa.pos[1]);
-      ECC_CHECK_MSG(iteration > 0, "save iteration must be positive");
+      const std::int64_t iteration =
+          parse_wire_int(pa.pos[1], "save iteration", 1,
+                         std::numeric_limits<std::int64_t>::max());
       const core::Membership members = apply_epoch_and_members(pa.kv);
       return do_save(pa.pos[0], iteration, members);
     }
@@ -428,10 +470,11 @@ std::string WorkerDaemon::handle(const std::string& command,
       if (pa.pos[0] == "off") {
         spec.drop_prob = spec.delay_prob = spec.corrupt_prob = 0;
       } else if (pa.pos[0] == "drop" && pa.pos.size() == 2) {
-        spec.drop_prob = std::stod(pa.pos[1]);
+        spec.drop_prob = parse_wire_double(pa.pos[1], "drop probability");
       } else if (pa.pos[0] == "delay" && pa.pos.size() == 3) {
-        spec.delay_prob = std::stod(pa.pos[1]);
-        spec.delay_ms = std::stoi(pa.pos[2]);
+        spec.delay_prob = parse_wire_double(pa.pos[1], "delay probability");
+        spec.delay_ms = static_cast<int>(parse_wire_int(
+            pa.pos[2], "delay ms", 0, std::numeric_limits<int>::max()));
       } else {
         ECC_CHECK_MSG(false, "bad inject spec '" << args << "'");
       }
@@ -470,6 +513,12 @@ std::string WorkerDaemon::handle(const std::string& command,
     }
     status = 1;
     return "unknown command '" + command + "'";
+  } catch (const BadRequest& e) {
+    // Malformed wire argument (garbage rank list, 2^80 epoch, junk
+    // iteration): a typed protocol error, not a failed operation — and
+    // never a foreign exception escaping the daemon loop.
+    status = kStatusBadRequest;
+    return std::string("bad request: ") + e.what();
   } catch (const CheckFailure& e) {
     // A torn collective (peer died mid-save) lands here: FabricSession
     // already rolled the version back; the daemon stays up and reports.
@@ -871,14 +920,29 @@ void Coordinator::liveness_loop() {
       std::string body;
       if ((verb == "beat" || verb == "join" || verb == "rejoin") &&
           !pa.pos.empty()) {
-        const int rank = std::stoi(pa.pos[0]);
+        // Beats come off the open network: a garbage rank or a 2^80 epoch
+        // must get a typed refusal, not throw std::invalid_argument through
+        // the liveness thread.
+        int rank = -1;
+        std::uint64_t beat_epoch = 0;
+        try {
+          rank = static_cast<int>(parse_wire_int(
+              pa.pos[0], "rank", 0, std::numeric_limits<int>::max()));
+          beat_epoch = parse_u64(pa.kv, "epoch");
+        } catch (const BadRequest& e) {
+          status = kStatusBadRequest;
+          body = e.what();
+          rank = -1;
+        }
         std::lock_guard<std::mutex> lock(live_mu_);
-        if (rank < 0 || rank >= tracker_->world()) {
-          status = kStatusError;
+        if (status != kStatusOk) {
+          // fall through to the reply below
+        } else if (rank < 0 || rank >= tracker_->world()) {
+          status = kStatusBadRequest;
           body = "bogus rank " + pa.pos[0];
         } else if (verb == "beat") {
           const cluster::Liveness state = tracker_->beat(
-              rank, parse_u64(pa.kv, "epoch"),
+              rank, beat_epoch,
               cluster::LivenessTracker::Clock::now());
           if (state == cluster::Liveness::kDead &&
               admitting_.count(rank) == 0) {

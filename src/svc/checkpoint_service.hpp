@@ -82,7 +82,29 @@ enum ControlStatus : std::uint32_t {
   kStatusError = 1,        ///< command failed; body holds the error text
   kStatusBusy = 2,         ///< admission queue full — back off and retry
   kStatusUnavailable = 3,  ///< more than m ranks dead; cannot serve
+  kStatusBadRequest = 4,   ///< malformed wire argument (garbage/overflow int)
 };
+
+/// Malformed wire-supplied argument. Derives from CheckFailure so every
+/// existing daemon-survival catch still contains it, but handlers that can
+/// still reply catch it first and answer kStatusBadRequest.
+class BadRequest : public CheckFailure {
+ public:
+  using CheckFailure::CheckFailure;
+};
+
+/// Checked integer parsing for wire-supplied tokens (control-frame args,
+/// digest report lines): the whole token must be a decimal integer within
+/// [min, max]. Throws BadRequest naming `what` and the offending token on
+/// garbage, trailing junk, overflow, or empty input — never the foreign
+/// std::invalid_argument / std::out_of_range that raw std::stoi leaks
+/// across the protocol boundary.
+std::int64_t parse_wire_int(const std::string& tok, const char* what,
+                            std::int64_t min, std::int64_t max);
+std::uint64_t parse_wire_u64(const std::string& tok, const char* what);
+
+/// Checked double parsing (fault-injection probabilities), same contract.
+double parse_wire_double(const std::string& tok, const char* what);
 
 struct ControlReply {
   bool ok = false;            ///< response status was kStatusOk

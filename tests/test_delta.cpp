@@ -1,0 +1,690 @@
+// Incremental checkpoints with sparse parity updates (ECCheckConfig::delta).
+//
+// The contract under test is bit-exactness: a delta save — diff against the
+// cached base version, ship only dirty extents' XOR-deltas, patch the data
+// row with XOR and each parity row with P' = P ⊕ G·Δ — must leave every
+// durable store byte-identical to a full re-encode of the same shards, on
+// VirtualFabric and over real sockets alike. Randomized differential tests
+// pin the codec layer (update_row vs full encode across (k, m, w), both
+// kernel modes, misaligned regions); engine A/B runs pin the protocol; a
+// mid-delta peer death pins the torn-save rollback and the base-cache
+// validity check that forces the safe full-encode fallback.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <latch>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/fabric.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/delta.hpp"
+#include "core/engine_keys.hpp"
+#include "core/fabric_engine.hpp"
+#include "core/session.hpp"
+#include "dnn/sparse_update.hpp"
+#include "ec/crs_codec.hpp"
+#include "ec/parallel_codec.hpp"
+#include "net/transport.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace eccheck {
+namespace {
+
+namespace fs = std::filesystem;
+using ec::CrsCodec;
+using ec::KernelMode;
+
+// ---------------------------------------------------------------------------
+// Codec layer: update_row / update_parity vs full re-encode.
+// ---------------------------------------------------------------------------
+
+struct DeltaCase {
+  int k, m, w;
+  KernelMode mode;
+};
+
+std::string delta_case_name(const ::testing::TestParamInfo<DeltaCase>& info) {
+  const DeltaCase& c = info.param;
+  return "k" + std::to_string(c.k) + "m" + std::to_string(c.m) + "w" +
+         std::to_string(c.w) +
+         (c.mode == KernelMode::kGfTable ? "gftable" : "bitmatrix");
+}
+
+class DeltaCodecTest : public ::testing::TestWithParam<DeltaCase> {};
+
+std::vector<Buffer> random_chunks(int k, std::size_t bytes,
+                                  std::uint64_t seed) {
+  std::vector<Buffer> data;
+  for (int c = 0; c < k; ++c) {
+    data.emplace_back(bytes, Buffer::Init::kUninitialized);
+    fill_random(data.back().span(), seed + static_cast<std::uint64_t>(c));
+  }
+  return data;
+}
+
+std::vector<Buffer> full_encode(const CrsCodec& codec,
+                                const std::vector<Buffer>& data,
+                                std::size_t bytes) {
+  std::vector<ByteSpan> in;
+  for (const Buffer& d : data) in.push_back(d.span());
+  std::vector<Buffer> parity;
+  for (int r = 0; r < codec.m(); ++r)
+    parity.emplace_back(bytes, Buffer::Init::kUninitialized);
+  std::vector<MutableByteSpan> out;
+  for (Buffer& p : parity) out.push_back(p.span());
+  codec.encode(in, out);
+  return parity;
+}
+
+// Randomized differential: mutate random (often misaligned) regions of
+// random chunks, fold each mutation into the parity with update_parity, and
+// demand byte-equality with a from-scratch re-encode after every step.
+TEST_P(DeltaCodecTest, UpdateParityMatchesFullReencode) {
+  const DeltaCase c = GetParam();
+  const CrsCodec codec(c.k, c.m, c.w, c.mode);
+  const std::size_t P = 1536;  // multiple of every granularity in the suite
+  ASSERT_EQ(P % codec.packet_granularity(), 0u);
+  // gftable w=16 works on 2-byte symbols; everything else is byte-granular.
+  const std::size_t sym =
+      (c.mode == KernelMode::kGfTable && c.w == 16) ? 2 : 1;
+
+  std::vector<Buffer> data = random_chunks(c.k, P, 0xD17A);
+  std::vector<Buffer> parity = full_encode(codec, data, P);
+
+  SplitMix64 rng(0xC0FFEE ^ static_cast<std::uint64_t>(c.k * 100 + c.m * 10 +
+                                                       c.w) ^
+                 static_cast<std::uint64_t>(c.mode));
+  for (int step = 0; step < 24; ++step) {
+    const int chunk = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(c.k)));
+    std::size_t off = rng.next_below(P - sym) / sym * sym;
+    std::size_t len =
+        (1 + rng.next_below(std::min<std::uint64_t>(P - off, 700))) / sym *
+        sym;
+    if (len == 0) len = sym;
+
+    Buffer mutated(len, Buffer::Init::kUninitialized);
+    fill_random(mutated.span(), 0xAB5E ^ static_cast<std::uint64_t>(step));
+    Buffer delta(len, Buffer::Init::kUninitialized);
+    std::memcpy(delta.data(), mutated.data(), len);
+    xor_into(delta.span(), data[static_cast<std::size_t>(chunk)]
+                               .span()
+                               .subspan(off, len));
+    std::memcpy(data[static_cast<std::size_t>(chunk)].data() + off,
+                mutated.data(), len);
+
+    std::vector<MutableByteSpan> pspans;
+    for (Buffer& p : parity) pspans.push_back(p.span());
+    codec.update_parity(chunk, off, delta.span(), pspans);
+
+    const std::vector<Buffer> want = full_encode(codec, data, P);
+    for (int r = 0; r < c.m; ++r)
+      ASSERT_EQ(parity[static_cast<std::size_t>(r)],
+                want[static_cast<std::size_t>(r)])
+          << "step " << step << " parity row " << r << " (chunk " << chunk
+          << ", off " << off << ", len " << len << ")";
+  }
+}
+
+TEST_P(DeltaCodecTest, ParallelUpdateMatchesSerial) {
+  const DeltaCase c = GetParam();
+  const CrsCodec codec(c.k, c.m, c.w, c.mode);
+  runtime::ThreadPool pool(4);
+  // Tiny slices so multi-slice splitting actually happens on the gftable
+  // path (bitmatrix delegates to the serial codec by design).
+  const ec::ParallelCodec pc(codec, pool, /*slice_bytes=*/256);
+  const std::size_t P = 4096;
+  ASSERT_EQ(P % codec.packet_granularity(), 0u);
+  const std::size_t sym =
+      (c.mode == KernelMode::kGfTable && c.w == 16) ? 2 : 1;
+
+  std::vector<Buffer> data = random_chunks(c.k, P, 0x9A11);
+  std::vector<Buffer> serial = full_encode(codec, data, P);
+  std::vector<Buffer> sliced;
+  for (const Buffer& p : serial) sliced.push_back(p.clone());
+
+  SplitMix64 rng(0xFA57 + static_cast<std::uint64_t>(c.w));
+  for (int step = 0; step < 8; ++step) {
+    const int chunk = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(c.k)));
+    const std::size_t off = rng.next_below(P / 2) / sym * sym;
+    std::size_t len = (sym + rng.next_below(P - off - sym)) / sym * sym;
+    if (len == 0) len = sym;
+    Buffer delta(len, Buffer::Init::kUninitialized);
+    fill_random(delta.span(), 0xBEE5 + static_cast<std::uint64_t>(step));
+
+    std::vector<MutableByteSpan> a, b;
+    for (Buffer& p : serial) a.push_back(p.span());
+    for (Buffer& p : sliced) b.push_back(p.span());
+    codec.update_parity(chunk, off, delta.span(), a);
+    pc.update_parity(chunk, off, delta.span(), b);
+    for (int r = 0; r < c.m; ++r)
+      ASSERT_EQ(sliced[static_cast<std::size_t>(r)],
+                serial[static_cast<std::size_t>(r)])
+          << "step " << step << " row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DeltaCodecTest,
+    ::testing::Values(DeltaCase{2, 2, 8, KernelMode::kGfTable},
+                      DeltaCase{2, 2, 8, KernelMode::kXorBitmatrix},
+                      DeltaCase{4, 2, 8, KernelMode::kGfTable},
+                      DeltaCase{4, 2, 8, KernelMode::kXorBitmatrix},
+                      DeltaCase{3, 3, 4, KernelMode::kGfTable},
+                      DeltaCase{4, 3, 16, KernelMode::kGfTable},
+                      DeltaCase{3, 2, 16, KernelMode::kXorBitmatrix}),
+    delta_case_name);
+
+// ---------------------------------------------------------------------------
+// Dirty tracking: diff_packet merging and the manifest wire format.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaExtents, DiffMergesAdjacentChunksAndHandlesTail) {
+  Buffer base(100, Buffer::Init::kZeroed);
+  Buffer next(100, Buffer::Init::kZeroed);
+  next.data()[3] = std::byte{1};   // chunk 0
+  next.data()[17] = std::byte{1};  // chunk 1 — adjacent, merges with chunk 0
+  next.data()[49] = std::byte{1};  // chunk 3
+  next.data()[99] = std::byte{1};  // short tail chunk [96, 100)
+  const auto ext = core::diff_packet(7, base.span(), next.span(), 16);
+  const std::vector<core::DirtyExtent> want = {
+      {7, 0, 32}, {7, 48, 16}, {7, 96, 4}};
+  EXPECT_EQ(ext, want);
+  EXPECT_EQ(core::dirty_bytes(ext), 52u);
+  EXPECT_TRUE(core::diff_packet(0, base.span(), base.span(), 16).empty());
+}
+
+TEST(DeltaExtents, ManifestRoundTripsAndRejectsTruncation) {
+  const std::vector<core::DirtyExtent> ext = {
+      {0, 0, 8}, {2, 4096, 512}, {31, 65528, 8}};
+  Buffer blob = core::serialize_extents(ext);
+  EXPECT_EQ(core::deserialize_extents(blob.span()), ext);
+  EXPECT_THROW(core::deserialize_extents(blob.span().subspan(
+                   0, blob.size() - 1)),
+               CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Engine A/B: delta-on vs delta-off over VirtualFabric.
+// ---------------------------------------------------------------------------
+
+constexpr int kK = 2;
+constexpr int kM = 2;
+constexpr int kNodes = kK + kM;
+
+cluster::ClusterConfig vc_config(int gpus) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.gpus_per_node = gpus;
+  return cfg;
+}
+
+core::ECCheckConfig delta_config(bool delta_on, bool flush = false) {
+  core::ECCheckConfig cfg;
+  cfg.k = kK;
+  cfg.m = kM;
+  cfg.packet_size = kib(16);
+  cfg.flush_to_remote = flush;
+  cfg.delta.enabled = delta_on;
+  cfg.delta.granularity = 512;
+  return cfg;
+}
+
+dnn::SparseUpdateSpec sparse_spec(double density) {
+  dnn::SparseUpdateSpec spec;
+  spec.embedding_rows = 2048;
+  spec.embedding_dim = 64;
+  spec.dense_tensors = 1;
+  spec.dense_elems = 256;
+  spec.row_density = density;
+  return spec;
+}
+
+std::vector<dnn::StateDict> sparse_shards(const dnn::SparseUpdateSpec& spec,
+                                          int world) {
+  std::vector<dnn::StateDict> shards;
+  for (int w = 0; w < world; ++w)
+    shards.push_back(dnn::make_sparse_model_shard(spec, w));
+  return shards;
+}
+
+std::vector<const dnn::StateDict*> pointers(
+    const std::vector<dnn::StateDict>& shards) {
+  std::vector<const dnn::StateDict*> p;
+  for (const auto& sd : shards) p.push_back(&sd);
+  return p;
+}
+
+std::vector<std::uint64_t> digests_of(const std::vector<dnn::StateDict>& v) {
+  std::vector<std::uint64_t> out;
+  for (const auto& sd : v) out.push_back(sd.digest());
+  return out;
+}
+
+using StoreImage = std::map<std::string, Buffer>;
+
+StoreImage snapshot(cluster::Store& s, const std::string& prefix = "") {
+  StoreImage img;
+  for (const std::string& key : s.keys_with_prefix(prefix))
+    img.emplace(key, s.get(key).clone());
+  return img;
+}
+
+void expect_identical(const StoreImage& got, const StoreImage& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  auto a = got.begin();
+  auto b = want.begin();
+  for (; a != got.end(); ++a, ++b) {
+    ASSERT_EQ(a->first, b->first) << what;
+    EXPECT_TRUE(a->second == b->second)
+        << what << ": key '" << a->first << "' differs";
+  }
+}
+
+std::uint64_t stat_of(const ckpt::SaveReport& rep, const std::string& key) {
+  auto it = rep.stats.find(key);
+  return it == rep.stats.end() ? 0 : it->second;
+}
+
+// Three saves of a 1%-density sparse workload, delta-on vs delta-off in
+// lockstep: every node's durable footprint and the remote store must stay
+// byte-identical after each save; the delta saves must move an order of
+// magnitude fewer bytes; and after a double fault both clusters must
+// recover the same bits. Node replacement wipes the base cache, so the
+// save after recovery must fall back to a full encode — and still match.
+TEST(DeltaEngine, VirtualFabricSavesByteIdenticalToFullEncode) {
+  const int g = 1, W = kNodes * g;
+  const dnn::SparseUpdateSpec spec = sparse_spec(0.01);
+  std::vector<dnn::StateDict> shards = sparse_shards(spec, W);
+
+  cluster::VirtualCluster vc_delta(vc_config(g)), vc_full(vc_config(g));
+  cluster::VirtualFabric fab_delta(vc_delta), fab_full(vc_full);
+  core::FabricSession on(fab_delta, delta_config(true, /*flush=*/true), g, 2);
+  core::FabricSession off(fab_full, delta_config(false, /*flush=*/true), g, 2);
+
+  for (std::int64_t it = 1; it <= 3; ++it) {
+    if (it > 1)
+      for (int w = 0; w < W; ++w)
+        dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec, w,
+                                 it - 1);
+    const ckpt::SaveReport rd = on.save(pointers(shards));
+    const ckpt::SaveReport rf = off.save(pointers(shards));
+
+    if (it == 1) {
+      // No base yet: the first save must take the full path and say so.
+      EXPECT_EQ(stat_of(rd, "delta.save.count"), 0u) << "save " << it;
+      EXPECT_EQ(stat_of(rd, "delta.fallback.count"), 1u) << "save " << it;
+    } else {
+      EXPECT_EQ(stat_of(rd, "delta.save.count"), 1u) << "save " << it;
+      EXPECT_EQ(stat_of(rd, "delta.fallback.count"), 0u) << "save " << it;
+      EXPECT_GT(stat_of(rd, "delta.extents.count"), 0u) << "save " << it;
+      // The acceptance bar: ≤ 5% dirty must move ≥ 10× fewer fabric bytes.
+      // (The low-frequency remote flush still writes whole rows — the
+      // remote store is a dumb key-value tier with no patch primitive.)
+      EXPECT_GE(rf.network_bytes, 10 * rd.network_bytes) << "save " << it;
+    }
+    // Durable keys ("ec/...") byte-identical; the delta cluster additionally
+    // carries its unversioned base cache, which is not part of the contract.
+    for (int node = 0; node < kNodes; ++node)
+      expect_identical(snapshot(vc_delta.host(node), "ec/"),
+                       snapshot(vc_full.host(node), "ec/"),
+                       "node " + std::to_string(node) + " after save " +
+                           std::to_string(it));
+    expect_identical(snapshot(vc_delta.remote()), snapshot(vc_full.remote()),
+                     "remote store after save " + std::to_string(it));
+  }
+
+  const auto want = digests_of(shards);
+  for (cluster::VirtualCluster* c : {&vc_delta, &vc_full}) {
+    c->kill(1);
+    c->kill(3);
+    c->replace(1);
+    c->replace(3);
+  }
+  std::vector<dnn::StateDict> out_d, out_f;
+  const auto ld = on.load(out_d);
+  const auto lf = off.load(out_f);
+  ASSERT_TRUE(ld.report.success) << ld.report.detail;
+  ASSERT_TRUE(lf.report.success) << lf.report.detail;
+  EXPECT_EQ(ld.version, 3);
+  EXPECT_EQ(digests_of(out_d), want);
+  EXPECT_EQ(digests_of(out_f), want);
+
+  // The replaced nodes lost their base caches: the next save must detect
+  // the disagreement, fall back, and still match the full-encode cluster.
+  for (int w = 0; w < W; ++w)
+    dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec, w, 3);
+  const ckpt::SaveReport rd4 = on.save(pointers(shards));
+  off.save(pointers(shards));
+  EXPECT_EQ(stat_of(rd4, "delta.save.count"), 0u);
+  EXPECT_EQ(stat_of(rd4, "delta.fallback.count"), 1u);
+  for (int node = 0; node < kNodes; ++node)
+    expect_identical(snapshot(vc_delta.host(node), "ec/"),
+                     snapshot(vc_full.host(node), "ec/"),
+                     "node " + std::to_string(node) + " after post-repair save");
+}
+
+// Fallback triggers: dirty ratio above the threshold, and a missing or
+// stale base marker. Every fallback must still commit a loadable,
+// bit-exact version.
+TEST(DeltaEngine, FallsBackOnHighDensityAndInvalidatedCache) {
+  const int g = 2, W = kNodes * g;
+  const dnn::SparseUpdateSpec spec = sparse_spec(0.01);
+  std::vector<dnn::StateDict> shards = sparse_shards(spec, W);
+
+  cluster::VirtualCluster vc(vc_config(g));
+  cluster::VirtualFabric fabric(vc);
+  core::ECCheckConfig cfg = delta_config(true);
+  cfg.delta.max_dirty_ratio = 0.35;
+  core::FabricSession session(fabric, cfg, g, 2);
+
+  session.save(pointers(shards));  // v1: full (no base yet)
+
+  // Rewrite every embedding row: dirty ratio ≈ 1 > 0.35 → full encode.
+  const dnn::SparseUpdateSpec dense_spec = sparse_spec(1.0);
+  for (int w = 0; w < W; ++w)
+    dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], dense_spec,
+                             w, 1);
+  const ckpt::SaveReport r2 = session.save(pointers(shards));
+  EXPECT_EQ(stat_of(r2, "delta.save.count"), 0u);
+  EXPECT_EQ(stat_of(r2, "delta.fallback.count"), 1u);
+
+  // Sparse again → the delta path re-arms off the refreshed base cache.
+  for (int w = 0; w < W; ++w)
+    dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec, w, 2);
+  const ckpt::SaveReport r3 = session.save(pointers(shards));
+  EXPECT_EQ(stat_of(r3, "delta.save.count"), 1u);
+  EXPECT_GT(stat_of(r3, "delta.dirty.bytes"), 0u);
+
+  // A vanished base marker on one node must veto the delta everywhere.
+  vc.host(2).erase(core::keys::base_mark_key(""));
+  for (int w = 0; w < W; ++w)
+    dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec, w, 3);
+  const ckpt::SaveReport r4 = session.save(pointers(shards));
+  EXPECT_EQ(stat_of(r4, "delta.save.count"), 0u);
+  EXPECT_EQ(stat_of(r4, "delta.fallback.count"), 1u);
+
+  std::vector<dnn::StateDict> out;
+  const auto l = session.load(out);
+  ASSERT_TRUE(l.report.success) << l.report.detail;
+  EXPECT_EQ(l.version, 4);
+  EXPECT_EQ(digests_of(out), digests_of(shards));
+}
+
+// ---------------------------------------------------------------------------
+// Socket leg: the same delta session over real UDS sockets, compared
+// store-for-store against VirtualFabric (delta-on, full image including the
+// base cache) and against a full-encode reference (durable keys).
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/eccheck-deltatest-XXXXXX";
+    EXPECT_NE(::mkdtemp(tmpl), nullptr);
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::vector<net::Endpoint> uds_endpoints(const TempDir& dir, int n) {
+  std::vector<net::Endpoint> eps;
+  for (int r = 0; r < n; ++r)
+    eps.push_back(
+        net::Endpoint::uds(dir.path + "/rank" + std::to_string(r) + ".sock"));
+  return eps;
+}
+
+net::TransportOptions fast_opts(const TempDir& dir) {
+  net::TransportOptions o;
+  o.connect_timeout = net::Millis(500);
+  o.connect_retries = 20;
+  o.backoff_base = net::Millis(2);
+  o.backoff_max = net::Millis(50);
+  o.io_timeout = net::Millis(5000);
+  o.remote_dir = dir.path + "/remote";
+  return o;
+}
+
+using RankBody = std::function<void(int rank)>;
+
+void run_ranks(int n, const RankBody& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&, r] {
+      try {
+        body(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+TEST(DeltaEngine, SocketDeltaSessionMatchesVirtualFabricByteExact) {
+  const int g = 1, W = kNodes * g;
+  const dnn::SparseUpdateSpec spec = sparse_spec(0.01);
+
+  // References: one delta-on and one delta-off VirtualFabric run of the
+  // exact same three-save sequence.
+  cluster::VirtualCluster vc_delta(vc_config(g)), vc_full(vc_config(g));
+  cluster::VirtualFabric fab_delta(vc_delta), fab_full(vc_full);
+  {
+    std::vector<dnn::StateDict> shards = sparse_shards(spec, W);
+    core::FabricSession on(fab_delta, delta_config(true), g, 2);
+    core::FabricSession off(fab_full, delta_config(false), g, 2);
+    for (std::int64_t it = 1; it <= 3; ++it) {
+      if (it > 1)
+        for (int w = 0; w < W; ++w)
+          dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec,
+                                   w, it - 1);
+      on.save(pointers(shards));
+      off.save(pointers(shards));
+    }
+  }
+
+  TempDir dir;
+  auto eps = uds_endpoints(dir, kNodes);
+  std::vector<StoreImage> socket_imgs(kNodes);
+  std::vector<std::uint64_t> socket_delta_saves(kNodes, 0);
+  std::vector<std::vector<std::uint64_t>> socket_digests(kNodes);
+  run_ranks(kNodes, [&](int rank) {
+    net::SocketTransport fabric(rank, eps, fast_opts(dir));
+    core::FabricSession session(fabric, delta_config(true), g, 2);
+    dnn::StateDict mine = dnn::make_sparse_model_shard(spec, rank);
+    for (std::int64_t it = 1; it <= 3; ++it) {
+      if (it > 1) dnn::apply_sparse_update(mine, spec, rank, it - 1);
+      std::vector<const dnn::StateDict*> shards{&mine};
+      const ckpt::SaveReport rep = session.save(shards);
+      socket_delta_saves[static_cast<std::size_t>(rank)] +=
+          stat_of(rep, "delta.save.count");
+    }
+    socket_imgs[static_cast<std::size_t>(rank)] = snapshot(fabric.store(rank));
+    std::vector<dnn::StateDict> out;
+    const auto l = session.load(out);
+    ASSERT_TRUE(l.report.success) << "rank " << rank << ": "
+                                  << l.report.detail;
+    EXPECT_EQ(l.version, 3) << "rank " << rank;
+    socket_digests[static_cast<std::size_t>(rank)] = digests_of(out);
+  });
+
+  for (int rank = 0; rank < kNodes; ++rank) {
+    // Saves 2 and 3 took the incremental path on every rank.
+    EXPECT_EQ(socket_delta_saves[static_cast<std::size_t>(rank)], 2u)
+        << "rank " << rank;
+    // Whole image (durable keys + base cache) matches the simulator…
+    expect_identical(socket_imgs[static_cast<std::size_t>(rank)],
+                     snapshot(vc_delta.host(rank)),
+                     "rank " + std::to_string(rank) + " vs VirtualFabric");
+    // …and the durable keys match the full-encode reference.
+    StoreImage durable;
+    for (const auto& [key, buf] : socket_imgs[static_cast<std::size_t>(rank)])
+      if (key.rfind("ec/", 0) == 0) durable.emplace(key, buf.clone());
+    expect_identical(durable, snapshot(vc_full.host(rank), "ec/"),
+                     "rank " + std::to_string(rank) + " vs full encode");
+    // Recovered bytes equal the independently regenerated iteration-2 state.
+    dnn::StateDict want = dnn::make_sparse_model_shard(spec, rank);
+    dnn::apply_sparse_update(want, spec, rank, 1);
+    dnn::apply_sparse_update(want, spec, rank, 2);
+    ASSERT_EQ(socket_digests[static_cast<std::size_t>(rank)].size(), 1u);
+    EXPECT_EQ(socket_digests[static_cast<std::size_t>(rank)][0], want.digest())
+        << "rank " << rank;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torn delta save: a peer dying mid-Δ-transfer must roll the attempted
+// version back, leave the previous version loadable bit-exact, and never
+// poison the base cache.
+// ---------------------------------------------------------------------------
+
+/// Decorator that throws CheckFailure (the dead-peer signal) on the Nth
+/// send_buffers call — the delta path's Δ-transfer primitive — while
+/// passing everything else through.
+class SendBuffersBomb final : public cluster::Fabric {
+ public:
+  explicit SendBuffersBomb(cluster::Fabric& inner) : inner_(&inner) {}
+
+  void arm(int fuse) {
+    armed_ = true;
+    fuse_ = fuse;
+  }
+  void disarm() { armed_ = false; }
+
+  std::string fabric_name() const override { return inner_->fabric_name(); }
+  int world_size() const override { return inner_->world_size(); }
+  bool drives(int node) const override { return inner_->drives(node); }
+  int self_rank() const override { return inner_->self_rank(); }
+  cluster::Store& store(int node) override { return inner_->store(node); }
+  void net_send(int src, int dst, std::size_t bytes,
+                const std::string& label) override {
+    inner_->net_send(src, dst, bytes, label);
+  }
+  void send_buffer(int src, int dst, const std::string& src_key,
+                   const std::string& dst_key) override {
+    inner_->send_buffer(src, dst, src_key, dst_key);
+  }
+  void send_buffers(
+      int src, int dst,
+      const std::vector<std::pair<std::string, std::string>>& pairs) override {
+    if (armed_ && fuse_-- <= 0)
+      throw CheckFailure("injected peer death mid-delta transfer");
+    inner_->send_buffers(src, dst, pairs);
+  }
+  void broadcast(const std::vector<int>& nodes, int root,
+                 const std::string& key) override {
+    inner_->broadcast(nodes, root, key);
+  }
+  void all_gather(const std::vector<int>& nodes,
+                  const std::function<std::string(int)>& key_of) override {
+    inner_->all_gather(nodes, key_of);
+  }
+  void ring_all_reduce_xor(const std::vector<int>& nodes,
+                           const std::string& key) override {
+    inner_->ring_all_reduce_xor(nodes, key);
+  }
+  void remote_write(int node, const std::string& key,
+                    const std::string& remote_key) override {
+    inner_->remote_write(node, key, remote_key);
+  }
+  void remote_read(int node, const std::string& remote_key,
+                   const std::string& key) override {
+    inner_->remote_read(node, remote_key, key);
+  }
+  bool remote_contains(int node, const std::string& remote_key) override {
+    return inner_->remote_contains(node, remote_key);
+  }
+  std::vector<std::string> remote_list(int node,
+                                       const std::string& prefix) override {
+    return inner_->remote_list(node, prefix);
+  }
+  void remote_erase(int node, const std::string& remote_key) override {
+    inner_->remote_erase(node, remote_key);
+  }
+  obs::StatsRegistry& stats() override { return inner_->stats(); }
+  void barrier(const std::vector<int>& nodes) override {
+    inner_->barrier(nodes);
+  }
+
+ private:
+  cluster::Fabric* inner_;
+  bool armed_ = false;
+  int fuse_ = 0;
+};
+
+TEST(DeltaEngine, TornDeltaSaveRollsBackAndRecoversBitExact) {
+  const int g = 1, W = kNodes * g;
+  const dnn::SparseUpdateSpec spec = sparse_spec(0.01);
+  std::vector<dnn::StateDict> shards = sparse_shards(spec, W);
+
+  cluster::VirtualCluster vc(vc_config(g));
+  cluster::VirtualFabric inner(vc);
+  SendBuffersBomb fabric(inner);
+  core::FabricSession session(fabric, delta_config(true), g, 2);
+
+  session.save(pointers(shards));  // v1: full
+  for (int w = 0; w < W; ++w)
+    dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec, w, 1);
+  const ckpt::SaveReport r2 = session.save(pointers(shards));  // v2: delta
+  ASSERT_EQ(stat_of(r2, "delta.save.count"), 1u);
+  const auto want_v2 = digests_of(shards);
+
+  // v3 dies on the first Δ transfer — after the manifests were exchanged
+  // and the base rows cloned, i.e. genuinely mid-delta.
+  for (int w = 0; w < W; ++w)
+    dnn::apply_sparse_update(shards[static_cast<std::size_t>(w)], spec, w, 2);
+  fabric.arm(0);
+  EXPECT_THROW(session.save(pointers(shards)), CheckFailure);
+  fabric.disarm();
+
+  // Rollback scrubbed the torn version and all transient delta keys; the
+  // base cache (still marked at v2, whose commit survives) is intact.
+  for (int node = 0; node < kNodes; ++node) {
+    EXPECT_TRUE(vc.host(node).keys_with_prefix("ec/3/").empty())
+        << "node " << node;
+    EXPECT_TRUE(vc.host(node).keys_with_prefix("tmp/").empty())
+        << "node " << node;
+    EXPECT_TRUE(vc.host(node).contains(core::keys::base_mark_key("")))
+        << "node " << node;
+  }
+
+  // A fresh session (job restart) recovers v2 bit-exact…
+  core::FabricSession fresh(fabric, delta_config(true), g, 2);
+  std::vector<dnn::StateDict> out;
+  const auto l = fresh.load(out);
+  ASSERT_TRUE(l.report.success) << l.report.detail;
+  EXPECT_EQ(l.version, 2);
+  EXPECT_EQ(digests_of(out), want_v2);
+
+  // …and the retried save commits (the surviving v2 base cache makes it a
+  // delta save again), after which the new state loads bit-exact.
+  const ckpt::SaveReport r3 = fresh.save(pointers(shards));
+  EXPECT_EQ(stat_of(r3, "delta.save.count"), 1u);
+  std::vector<dnn::StateDict> out3;
+  const auto l3 = fresh.load(out3);
+  ASSERT_TRUE(l3.report.success) << l3.report.detail;
+  EXPECT_EQ(l3.version, 3);
+  EXPECT_EQ(digests_of(out3), digests_of(shards));
+}
+
+}  // namespace
+}  // namespace eccheck

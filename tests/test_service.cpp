@@ -160,6 +160,94 @@ TEST(ServiceProtocol, ClientRequestRoundTripsAndRejectsUnknownCommands) {
                         "exit", "", opts);
 }
 
+// Control frames come off the open network: a garbage or overflowing
+// integer argument must produce a typed kStatusBadRequest reply — never an
+// uncaught std::invalid_argument/std::out_of_range that kills the daemon.
+// Each refusal is followed by a ping proving the worker still serves.
+TEST(ServiceProtocol, MalformedWireIntegersGetTypedRefusalsNotCrashes) {
+  TempDir dir;
+  std::vector<std::unique_ptr<DaemonThread>> daemons;
+  for (int r = 0; r < kNodes; ++r)
+    daemons.push_back(std::make_unique<DaemonThread>(worker_config(dir, r)));
+  const net::Endpoint ctl0 = net::Endpoint::uds(dir.path + "/ctl0.sock");
+  const net::TransportOptions opts = fast_opts(dir);
+  auto expect_bad = [&](const std::string& cmd, const std::string& args,
+                        const std::string& needle) {
+    const svc::ControlReply r = svc::client_request(ctl0, cmd, args, opts);
+    EXPECT_FALSE(r.ok) << cmd << " " << args;
+    EXPECT_EQ(r.status, svc::kStatusBadRequest) << cmd << " " << args << " → "
+                                                << r.body;
+    EXPECT_NE(r.body.find(needle), std::string::npos)
+        << cmd << " " << args << " → " << r.body;
+    const svc::ControlReply pong = svc::client_request(ctl0, "ping", "", opts);
+    EXPECT_TRUE(pong.ok) << "daemon died after: " << cmd << " " << args;
+  };
+
+  expect_bad("save", "jobX abc", "save iteration");
+  // 2^80 overflows int64 — range refusal, not std::out_of_range.
+  expect_bad("save", "jobX 1208925819614629174706176", "save iteration");
+  expect_bad("save", "jobX 0", "save iteration");     // below minimum
+  expect_bad("save", "jobX 12garbage", "save iteration");  // trailing junk
+  expect_bad("save", "jobX 1 epoch=banana", "epoch");
+  expect_bad("save", "jobX 1 epoch=1 alive=1,x,3", "alive rank");
+  expect_bad("load", "jobX alive=0,zz,2", "alive rank");
+  expect_bad("inject", "drop nan", "drop probability");
+  expect_bad("inject", "delay 0.5 -7", "delay ms");
+  expect_bad("inject", "delay 0.5 1e99", "delay ms");
+
+  for (int r = 0; r < kNodes; ++r)
+    svc::client_request(net::Endpoint::uds(dir.path + "/ctl" +
+                                           std::to_string(r) + ".sock"),
+                        "exit", "", opts);
+}
+
+// Same contract for the coordinator's liveness listener: beats with a
+// garbage rank, a 2^80 epoch, or an empty token get kStatusBadRequest and
+// the liveness thread keeps serving (a well-formed beat still lands).
+TEST(ServiceProtocol, LivenessBeatsValidateRankAndEpoch) {
+  TempDir dir;
+  std::vector<std::unique_ptr<DaemonThread>> daemons;
+  for (int r = 0; r < kNodes; ++r)
+    daemons.push_back(std::make_unique<DaemonThread>(worker_config(dir, r)));
+  svc::CoordinatorConfig ccfg;
+  ccfg.client_ep = net::Endpoint::uds(dir.path + "/client.sock");
+  for (int r = 0; r < kNodes; ++r)
+    ccfg.worker_eps.push_back(net::Endpoint::uds(
+        dir.path + "/ctl" + std::to_string(r) + ".sock"));
+  ccfg.liveness_ep = net::Endpoint::uds(dir.path + "/live.sock");
+  ccfg.parity_m = kM;
+  ccfg.data_k = kK;
+  ccfg.opts = fast_opts(dir);
+  svc::Coordinator coordinator(ccfg);
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+
+  const net::TransportOptions opts = ccfg.opts;
+  auto beat = [&](const std::string& args) {
+    return svc::client_request(*ccfg.liveness_ep, "beat", args, opts);
+  };
+
+  for (const std::string& args :
+       {std::string("x epoch=1"),                             // garbage rank
+        std::string("0 epoch=1208925819614629174706176"),     // 2^80
+        std::string("0 epoch="),                              // empty token
+        std::string("99 epoch=1"),                            // out of world
+        std::string("-3 epoch=1"), std::string("1z epoch=1")}) {
+    const svc::ControlReply r = beat(args);
+    EXPECT_FALSE(r.ok) << args;
+    EXPECT_EQ(r.status, svc::kStatusBadRequest) << args << " → " << r.body;
+  }
+
+  // The thread survived every refusal: a legitimate beat still lands.
+  const svc::ControlReply good = beat("0 epoch=0");
+  EXPECT_TRUE(good.ok) << good.body;
+  EXPECT_NE(good.body.find("ok epoch="), std::string::npos) << good.body;
+
+  const svc::ControlReply bye =
+      svc::client_request(ccfg.client_ep, "shutdown", "", opts);
+  EXPECT_TRUE(bye.ok) << bye.body;
+  coord_thread.join();
+}
+
 TEST(ServiceDaemon, MultiJobSaveLoadKillRecoverBitExact) {
   TempDir dir;
   std::vector<std::unique_ptr<DaemonThread>> daemons;
